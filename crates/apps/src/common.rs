@@ -1,0 +1,160 @@
+//! Conventions shared by the case studies.
+
+use cool_core::StealPolicy;
+use cool_sim::{MachineConfig, RunReport, SimConfig};
+
+/// The scheduling versions the paper's figures compare. Not every app uses
+/// every version; each app documents its subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Version {
+    /// Tasks scheduled round-robin across processors without regard for
+    /// locality; data left wherever the default allocation put it
+    /// (the `Base` curves).
+    Base,
+    /// Data structures distributed across memories, but tasks still
+    /// scheduled round-robin (the `Distr` curve of Figure 14).
+    Distr,
+    /// Affinity hints supplied; data not explicitly distributed
+    /// (the `Affinity` curve of Figure 10).
+    Affinity,
+    /// Affinity hints plus object distribution (`Affinity+ObjDistr`,
+    /// `Distr+Aff`).
+    AffinityDistr,
+    /// Affinity + distribution + stealing restricted to the cluster
+    /// (`Distr+Aff+ClusterStealing`, Section 6.3).
+    AffinityDistrCluster,
+}
+
+impl Version {
+    /// All versions, in the order the figures list them.
+    pub const ALL: [Version; 5] = [
+        Version::Base,
+        Version::Distr,
+        Version::Affinity,
+        Version::AffinityDistr,
+        Version::AffinityDistrCluster,
+    ];
+
+    /// Short label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Version::Base => "Base",
+            Version::Distr => "Distr",
+            Version::Affinity => "Affinity",
+            Version::AffinityDistr => "Affinity+Distr",
+            Version::AffinityDistrCluster => "Affinity+Distr+ClusterSteal",
+        }
+    }
+
+    /// Does this version distribute objects across memories?
+    pub fn distributes(self) -> bool {
+        matches!(
+            self,
+            Version::Distr | Version::AffinityDistr | Version::AffinityDistrCluster
+        )
+    }
+
+    /// Does this version supply affinity hints?
+    pub fn hints(self) -> bool {
+        matches!(
+            self,
+            Version::Affinity | Version::AffinityDistr | Version::AffinityDistrCluster
+        )
+    }
+
+    /// The steal policy this version runs under.
+    pub fn policy(self) -> StealPolicy {
+        match self {
+            Version::AffinityDistrCluster => StealPolicy::cluster_only(),
+            _ => StealPolicy::default(),
+        }
+    }
+}
+
+/// The result of one application run: the runtime report plus the app-level
+/// correctness verdict.
+#[derive(Clone, Debug)]
+pub struct AppReport {
+    /// Which version ran.
+    pub version: Version,
+    /// The runtime/machine report.
+    pub run: RunReport,
+    /// Maximum numeric deviation from the sequential reference (each app
+    /// defines the metric; must be small).
+    pub max_error: f64,
+}
+
+impl AppReport {
+    /// Speedup against a serial-cycle baseline.
+    pub fn speedup(&self, serial_cycles: u64) -> f64 {
+        self.run.speedup(serial_cycles)
+    }
+}
+
+/// Simulator configuration for an app run: DASH-like machine at the given
+/// processor count, with the version's steal policy.
+pub fn sim_config(nprocs: usize, version: Version) -> SimConfig {
+    SimConfig::new(MachineConfig::dash(nprocs)).with_policy(version.policy())
+}
+
+/// Scaled-down machine for fast tests.
+pub fn sim_config_small(nprocs: usize, version: Version) -> SimConfig {
+    SimConfig::new(MachineConfig::dash_small(nprocs)).with_policy(version.policy())
+}
+
+/// Scaled-down machine with one processor per cluster (every processor has
+/// its own local memory). Locality tests use this: with DASH's 4-processor
+/// clusters a small machine has so few memory nodes that "distribution"
+/// barely moves anything, whereas flat topology makes local-vs-remote
+/// classification crisp.
+pub fn sim_config_small_flat(nprocs: usize, version: Version) -> SimConfig {
+    let mut m = MachineConfig::dash_small(nprocs);
+    m.procs_per_cluster = 1;
+    SimConfig::new(m).with_policy(version.policy())
+}
+
+/// Round-robin spawn counter used by the Base/Distr versions ("the wire
+/// tasks are scheduled across processors in a round-robin fashion").
+#[derive(Debug, Default)]
+pub struct RoundRobin(std::cell::Cell<usize>);
+
+impl RoundRobin {
+    /// Next processor number.
+    pub fn next(&self) -> usize {
+        let v = self.0.get();
+        self.0.set(v.wrapping_add(1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Version::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), Version::ALL.len());
+    }
+
+    #[test]
+    fn version_properties() {
+        assert!(!Version::Base.distributes());
+        assert!(!Version::Base.hints());
+        assert!(Version::Distr.distributes());
+        assert!(!Version::Distr.hints());
+        assert!(Version::Affinity.hints());
+        assert!(!Version::Affinity.distributes());
+        assert!(Version::AffinityDistrCluster.policy().cluster_only);
+        assert!(!Version::Base.policy().cluster_only);
+    }
+
+    #[test]
+    fn round_robin_counts() {
+        let rr = RoundRobin::default();
+        assert_eq!(rr.next(), 0);
+        assert_eq!(rr.next(), 1);
+        assert_eq!(rr.next(), 2);
+    }
+}

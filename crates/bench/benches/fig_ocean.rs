@@ -1,0 +1,24 @@
+//! Criterion bench regenerating Figures 5-7 (Ocean) at test scale.
+//!
+//! The wall-clock numbers time the *simulation* of each scheduling version;
+//! the reproduced quantities themselves (speedups, misses) come from the
+//! `figures` binary. Timing the drivers keeps the whole pipeline honest
+//! under criterion's statistics and catches performance regressions in the
+//! simulator and the app kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{fig_ocean, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_ocean");
+    g.sample_size(10);
+    for procs in [1usize, 4, 8] {
+        g.bench_function(format!("sim_{procs}procs"), |b| {
+            b.iter(|| std::hint::black_box(fig_ocean(&[procs], Scale::Small)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

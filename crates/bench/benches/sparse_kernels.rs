@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks of the sparse Cholesky substrate: the kernels
+//! whose cost model (`FLOP_CYCLES` per touched non-zero) the Panel Cholesky
+//! case study charges, plus the symbolic pipeline and the orderings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use sparse::ordering::{minimum_degree, reverse_cuthill_mckee};
+use sparse::{EliminationTree, Factor, PanelPartition, SymbolicFactor};
+use workloads::matrices::grid_laplacian;
+
+fn symbolic_pipeline(c: &mut Criterion) {
+    let a = grid_laplacian(24);
+    let mut g = c.benchmark_group("symbolic");
+    g.bench_function("etree_24x24grid", |b| {
+        b.iter(|| std::hint::black_box(EliminationTree::new(&a)));
+    });
+    let e = EliminationTree::new(&a);
+    g.bench_function("symbolic_factor_24x24grid", |b| {
+        b.iter(|| std::hint::black_box(SymbolicFactor::new(&a, &e)));
+    });
+    let sym = SymbolicFactor::new(&a, &e);
+    g.bench_function("panel_partition", |b| {
+        b.iter(|| std::hint::black_box(PanelPartition::fundamental(&sym, 8)));
+    });
+    g.finish();
+}
+
+fn numeric_factorization(c: &mut Criterion) {
+    let a = grid_laplacian(24);
+    let e = EliminationTree::new(&a);
+    let sym = Arc::new(SymbolicFactor::new(&a, &e));
+    let mut g = c.benchmark_group("numeric");
+    g.sample_size(20);
+    g.bench_function("left_looking_24x24grid", |b| {
+        b.iter(|| {
+            let mut f = Factor::init(&a, sym.clone());
+            f.factorize_left_looking();
+            std::hint::black_box(f.get(0, 0));
+        });
+    });
+    let panels = PanelPartition::fundamental(&sym, 8);
+    g.bench_function("panelwise_right_looking", |b| {
+        b.iter(|| {
+            let mut f = Factor::init(&a, sym.clone());
+            for p in 0..panels.len() {
+                f.panel_internal_factor(panels.range(p));
+                for q in p + 1..panels.len() {
+                    f.panel_update(panels.range(q), panels.range(p));
+                }
+            }
+            std::hint::black_box(f.get(0, 0));
+        });
+    });
+    g.finish();
+}
+
+fn orderings(c: &mut Criterion) {
+    let a = grid_laplacian(16);
+    let mut g = c.benchmark_group("orderings");
+    g.sample_size(10);
+    g.bench_function("rcm_16x16grid", |b| {
+        b.iter(|| std::hint::black_box(reverse_cuthill_mckee(&a)));
+    });
+    g.bench_function("minimum_degree_16x16grid", |b| {
+        b.iter(|| std::hint::black_box(minimum_degree(&a)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, symbolic_pipeline, numeric_factorization, orderings);
+criterion_main!(benches);

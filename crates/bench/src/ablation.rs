@@ -1,0 +1,549 @@
+//! Ablations of the design choices DESIGN.md calls out — each isolates one
+//! mechanism and shows what the figures would look like without it.
+//!
+//! * [`contention`] — memory-module bandwidth: the paper's Figure 14 claims
+//!   "simply distributing the panels improves performance due to better
+//!   utilization of the available memory bandwidth"; with the contention
+//!   model off, distribution alone does (almost) nothing.
+//! * [`placement`] — explicit `distribute()` vs OS first-touch vs page
+//!   interleaving vs none, on Ocean (the Sections 7/8 automatic-placement
+//!   question).
+//! * [`affinity_slots`] — the Section 5 claim that collisions between
+//!   task-affinity sets "can be minimized by choosing a suitably large
+//!   array size": shrink the affinity-queue array and watch back-to-back
+//!   reuse degrade.
+//! * [`prefetch`] — the Section 4.1 multi-object heuristic plus Section 8's
+//!   prefetching: schedule on the heaviest object's home and prefetch the
+//!   remote ones.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use apps::ocean::PlacementPolicy;
+use apps::{ocean, panel_cholesky, Version};
+use sparse::ordering::{minimum_degree, reverse_cuthill_mckee};
+use sparse::Permutation;
+use cool_core::affinity::resolve_multi_object;
+use cool_core::AffinitySpec;
+use cool_sim::{MachineConfig, SimConfig, SimRuntime, Task};
+use workloads::matrices::grid_laplacian;
+use workloads::ocean::OceanParams;
+
+/// A labelled ablation measurement.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    pub experiment: &'static str,
+    pub variant: String,
+    pub elapsed: u64,
+    pub misses: u64,
+    pub local_frac: f64,
+}
+
+/// Print ablation rows as TSV.
+pub fn print_ablation(rows: &[AblationRow]) {
+    println!("experiment\tvariant\telapsed\tmisses\tlocal%");
+    for r in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{:.1}",
+            r.experiment,
+            r.variant,
+            r.elapsed,
+            r.misses,
+            r.local_frac * 100.0
+        );
+    }
+}
+
+/// Bandwidth ablation: Panel Cholesky Base vs Distr, with the contention
+/// model on and off, at `nprocs`.
+pub fn contention(nprocs: usize) -> Vec<AblationRow> {
+    let prob = panel_cholesky::PanelProblem::analyse(&panel_cholesky::PanelParams {
+        matrix: grid_laplacian(24),
+        max_panel_width: 8,
+    });
+    let mut rows = Vec::new();
+    for occupancy in [0u64, 30] {
+        for v in [Version::Base, Version::Distr] {
+            let mut machine = MachineConfig::dash(nprocs);
+            machine.mem_occupancy = occupancy;
+            let cfg = SimConfig::new(machine).with_policy(v.policy());
+            let rep = panel_cholesky::run(cfg, &prob, v);
+            rows.push(AblationRow {
+                experiment: "contention",
+                variant: format!("occupancy={occupancy} {}", v.label()),
+                elapsed: rep.run.elapsed,
+                misses: rep.run.mem.misses(),
+                local_frac: rep.run.mem.local_fraction(),
+            });
+        }
+    }
+    rows
+}
+
+/// Placement ablation: Ocean under four placement policies, affinity hints
+/// on (except Central+round-robin as reference "none").
+pub fn placement(nprocs: usize) -> Vec<AblationRow> {
+    let params = OceanParams {
+        n: 128,
+        num_grids: 12,
+        regions: 32,
+        sweeps: 3,
+        seed: 3,
+    };
+    let mut rows = Vec::new();
+    for (label, policy, version) in [
+        ("central", PlacementPolicy::Central, Version::Affinity),
+        ("explicit-distribute", PlacementPolicy::Explicit, Version::AffinityDistr),
+        ("first-touch", PlacementPolicy::FirstTouch, Version::Affinity),
+        ("interleaved", PlacementPolicy::Interleaved, Version::Affinity),
+    ] {
+        let cfg = SimConfig::new(MachineConfig::dash(nprocs)).with_policy(version.policy());
+        let rep = ocean::run_with_placement(cfg, &params, version, policy);
+        assert!(rep.max_error < 1e-9, "placement {label} changed results");
+        rows.push(AblationRow {
+            experiment: "placement",
+            variant: label.to_string(),
+            elapsed: rep.run.elapsed,
+            misses: rep.run.mem.misses(),
+            local_frac: rep.run.mem.local_fraction(),
+        });
+    }
+    rows
+}
+
+/// Affinity-array-size ablation: many task-affinity sets forced through
+/// arrays of decreasing size. With one slot every set collides: service
+/// interleaves sets and cache reuse collapses.
+pub fn affinity_slots(nprocs: usize) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for slots in [64usize, 8, 1] {
+        let mut cfg = SimConfig::new(MachineConfig::dash(nprocs));
+        cfg.affinity_slots = slots;
+        let mut rt = SimRuntime::new(cfg);
+        // 16 sets of 16 tasks, each set repeatedly scanning its own 32 KB
+        // buffer; all sets hash to the few processors, so slot collisions
+        // directly interleave their service order.
+        let nsets = 16u64;
+        let buf_bytes = 32 * 1024u64;
+        let objs: Vec<_> = (0..nsets)
+            .map(|i| rt.machine_mut().alloc_on_proc(i as usize % nprocs, buf_bytes))
+            .collect();
+        rt.reset_monitor();
+        rt.run_phase(move |ctx| {
+            for round in 0..16 {
+                for (i, &obj) in objs.iter().enumerate() {
+                    let _ = round;
+                    ctx.spawn(
+                        Task::new(move |c| {
+                            c.read(obj, buf_bytes);
+                            c.compute(500);
+                        })
+                        .with_affinity(AffinitySpec::task(ObjRefExt::same(obj)).and_object(obj)),
+                    );
+                    let _ = i;
+                }
+            }
+        });
+        let rep = rt.report();
+        rows.push(AblationRow {
+            experiment: "affinity_slots",
+            variant: format!("slots={slots}"),
+            elapsed: rep.elapsed,
+            misses: rep.mem.misses(),
+            local_frac: rep.mem.local_fraction(),
+        });
+    }
+    rows
+}
+
+/// Tiny helper so the intent (token == object) reads clearly above.
+struct ObjRefExt;
+impl ObjRefExt {
+    fn same(o: cool_core::ObjRef) -> cool_core::ObjRef {
+        o
+    }
+}
+
+/// Task-granularity ablation (Panel Cholesky): panel width controls the
+/// locality/parallelism trade-off — width 1 maximises parallelism but pays
+/// per-task overhead and loses supernodal reuse; very wide panels starve the
+/// machine. The paper's panels (Rothberg & Gupta) sit in the middle.
+pub fn granularity(nprocs: usize) -> Vec<AblationRow> {
+    // A banded matrix has wide fundamental supernodes, so the width cap
+    // actually bites (a 2-D grid's supernodes are mostly single columns).
+    let a = workloads::matrices::banded_spd(768, 24, 5);
+    let mut rows = Vec::new();
+    for width in [1usize, 8, 48] {
+        let prob = panel_cholesky::PanelProblem::analyse(&panel_cholesky::PanelParams {
+            matrix: a.clone(),
+            max_panel_width: width,
+        });
+        let cfg = SimConfig::new(MachineConfig::dash(nprocs))
+            .with_policy(Version::AffinityDistr.policy());
+        let rep = panel_cholesky::run(cfg, &prob, Version::AffinityDistr);
+        assert!(rep.max_error < 1e-8);
+        rows.push(AblationRow {
+            experiment: "granularity",
+            variant: format!("panel_width={width} ({} panels)", prob.panels.len()),
+            elapsed: rep.run.elapsed,
+            misses: rep.run.mem.misses(),
+            local_frac: rep.run.mem.local_fraction(),
+        });
+    }
+    rows
+}
+
+/// Decomposition ablation (Ocean): the paper picked row regions over
+/// rectangular blocks. Blocks halve the halo perimeter, but their rows
+/// stride across pages, so page-granular `migrate` cannot give each block a
+/// clean home — placement quality and halo volume trade off.
+pub fn decomposition(nprocs: usize) -> Vec<AblationRow> {
+    use apps::ocean::{run_full, Decomposition, PlacementPolicy};
+    let params = OceanParams {
+        n: 128,
+        num_grids: 12,
+        regions: 16,
+        sweeps: 3,
+        seed: 3,
+    };
+    let mut rows = Vec::new();
+    for (label, decomp) in [
+        ("rows-16", Decomposition::Rows),
+        ("blocks-4x4", Decomposition::Blocks { br: 4, bc: 4 }),
+    ] {
+        let cfg = SimConfig::new(MachineConfig::dash(nprocs))
+            .with_policy(Version::AffinityDistr.policy());
+        let rep = run_full(
+            cfg,
+            &params,
+            Version::AffinityDistr,
+            PlacementPolicy::Explicit,
+            decomp,
+        );
+        assert!(rep.max_error < 1e-9);
+        rows.push(AblationRow {
+            experiment: "decomposition",
+            variant: label.to_string(),
+            elapsed: rep.run.elapsed,
+            misses: rep.run.mem.misses(),
+            local_frac: rep.run.mem.local_fraction(),
+        });
+    }
+    rows
+}
+
+/// Whole-set stealing ablation (Section 4.2: task-affinity sets "can be
+/// stolen as a set by an idle processor to improve load balance and still
+/// benefit from cache locality"). Pure TASK-affinity sets (stealable by
+/// polite thieves) hash onto a few overloaded servers; whole-set thieves
+/// keep each stolen set's buffer hot, single-task thieves scatter a set
+/// across processors and each pays the cold misses.
+pub fn steal_sets(nprocs: usize) -> Vec<AblationRow> {
+    use std::rc::Rc;
+    let mut rows = Vec::new();
+    for (label, whole) in [("whole-set", true), ("single-task", false)] {
+        let mut policy = cool_core::StealPolicy::default();
+        policy.steal_whole_sets = whole;
+        let cfg = SimConfig::new(MachineConfig::dash(nprocs)).with_policy(policy);
+        let mut rt = SimRuntime::new(cfg);
+        // More sets than thieves, all hoarded on server 0 (TASK affinity
+        // with explicit PROCESSOR placement): each thief can carry away a
+        // different whole set and run it back to back. With single-task
+        // stealing the sets fragment and every fragment rescans its buffer
+        // cold. (The converse regime — fewer sets than thieves — makes
+        // whole sets ping-pong instead; that is why it is a policy knob.)
+        let nsets = (2 * nprocs) as u64;
+        let tasks_per_set = 16usize;
+        let buf_bytes = 32 * 1024u64;
+        let objs: Vec<_> = (0..nsets)
+            .map(|_| rt.machine_mut().alloc_on_proc(0, buf_bytes))
+            .collect();
+        rt.reset_monitor();
+        let objs2 = Rc::new(objs);
+        rt.run_phase(move |ctx| {
+            for t in 0..tasks_per_set {
+                for &obj in objs2.iter() {
+                    let _ = t;
+                    ctx.spawn(
+                        Task::new(move |c| {
+                            c.read(obj, buf_bytes);
+                            c.compute(2_000);
+                        })
+                        .with_affinity(AffinitySpec::task(obj).and_processor(0)),
+                    );
+                }
+            }
+        });
+        let rep = rt.report();
+        rows.push(AblationRow {
+            experiment: "steal_sets",
+            variant: label.to_string(),
+            elapsed: rep.elapsed,
+            misses: rep.mem.misses(),
+            local_frac: rep.mem.local_fraction(),
+        });
+    }
+    rows
+}
+
+/// Ordering ablation: Panel Cholesky under natural, RCM and minimum-degree
+/// orderings of the same grid Laplacian. Fill determines both the flop count
+/// and the factor's footprint, so the ordering moves the entire figure.
+pub fn ordering(nprocs: usize) -> Vec<AblationRow> {
+    let a = grid_laplacian(24);
+    let mut rows = Vec::new();
+    let perms: [(&str, Permutation); 3] = [
+        ("natural", Permutation::identity(a.n())),
+        ("rcm", reverse_cuthill_mckee(&a)),
+        ("minimum-degree", minimum_degree(&a)),
+    ];
+    for (label, p) in perms {
+        let pa = a.permute_sym(&p);
+        let prob = panel_cholesky::PanelProblem::analyse(&panel_cholesky::PanelParams {
+            matrix: pa,
+            max_panel_width: 8,
+        });
+        let fill = prob.sym.fill_in(&prob.a);
+        let cfg = SimConfig::new(MachineConfig::dash(nprocs))
+            .with_policy(Version::AffinityDistr.policy());
+        let rep = panel_cholesky::run(cfg, &prob, Version::AffinityDistr);
+        assert!(rep.max_error < 1e-8, "ordering {label} broke the factorization");
+        rows.push(AblationRow {
+            experiment: "ordering",
+            variant: format!("{label} (fill={fill})"),
+            elapsed: rep.run.elapsed,
+            misses: rep.run.mem.misses(),
+            local_frac: rep.run.mem.local_fraction(),
+        });
+    }
+    rows
+}
+
+/// Multi-object affinity + prefetch ablation. Tasks read two objects of
+/// different sizes homed on different processors:
+///
+/// * `first-object` — the paper's current rule: schedule on the first
+///   object's home (which here is the *smaller* object);
+/// * `heaviest-object` — Section 4.1's proposed heuristic;
+/// * `heaviest+prefetch` — additionally prefetch the remote object
+///   (Section 8's ongoing work).
+pub fn prefetch(nprocs: usize) -> Vec<AblationRow> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        FirstObject,
+        Heaviest,
+        HeaviestPrefetch,
+    }
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("first-object", Mode::FirstObject),
+        ("heaviest-object", Mode::Heaviest),
+        ("heaviest+prefetch", Mode::HeaviestPrefetch),
+    ] {
+        let mut rt = SimRuntime::new(SimConfig::new(MachineConfig::dash(nprocs)));
+        let small_bytes = 2 * 1024u64;
+        let big_bytes = 32 * 1024u64;
+        let ntasks = 128usize;
+        // Each task's two objects live in *different clusters*, so where the
+        // task runs decides which one is remote.
+        let nclusters = nprocs.div_ceil(4).max(2);
+        let smalls: Vec<_> = (0..ntasks)
+            .map(|i| rt.machine_mut().alloc_on_proc((i % nclusters) * 4, small_bytes))
+            .collect();
+        let bigs: Vec<_> = (0..ntasks)
+            .map(|i| {
+                rt.machine_mut()
+                    .alloc_on_proc(((i + nclusters / 2) % nclusters) * 4, big_bytes)
+            })
+            .collect();
+        rt.reset_monitor();
+        let touched = Rc::new(RefCell::new(0u64));
+        let t2 = touched.clone();
+        rt.run_phase(move |ctx| {
+            for i in 0..ntasks {
+                let (s, b) = (smalls[i], bigs[i]);
+                let t = t2.clone();
+                let body = move |c: &mut cool_sim::TaskCtx<'_>| {
+                    c.read(s, small_bytes);
+                    c.read(b, big_bytes);
+                    c.compute(2000);
+                    *t.borrow_mut() += 1;
+                };
+                // The affinity block lists the small object *first*.
+                let task = match mode {
+                    Mode::FirstObject => {
+                        Task::new(body).with_affinity(AffinitySpec::object(s))
+                    }
+                    Mode::Heaviest | Mode::HeaviestPrefetch => {
+                        let home = |o| ctx_home(ctx, o);
+                        let (_, remote) = resolve_multi_object(
+                            &[(s, small_bytes), (b, big_bytes)],
+                            home,
+                        )
+                        .expect("two objects");
+                        // Heaviest is the big object: OBJECT affinity on it.
+                        let mut task =
+                            Task::new(body).with_affinity(AffinitySpec::object(b));
+                        if mode == Mode::HeaviestPrefetch {
+                            task = task.with_prefetch(
+                                remote.into_iter().map(|o| (o, small_bytes)).collect(),
+                            );
+                        }
+                        task
+                    }
+                };
+                ctx.spawn(task);
+            }
+        });
+        assert_eq!(*touched.borrow(), ntasks as u64);
+        let rep = rt.report();
+        rows.push(AblationRow {
+            experiment: "multiobj_prefetch",
+            variant: label.to_string(),
+            elapsed: rep.elapsed,
+            misses: rep.mem.misses(),
+            local_frac: rep.mem.local_fraction(),
+        });
+    }
+    rows
+}
+
+fn ctx_home(ctx: &cool_sim::TaskCtx<'_>, o: cool_core::ObjRef) -> cool_core::ProcId {
+    ctx.home(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_ablation_shows_the_bandwidth_effect() {
+        let rows = contention(16);
+        let get = |variant: &str| {
+            rows.iter()
+                .find(|r| r.variant == variant)
+                .map(|r| r.elapsed as f64)
+                .unwrap()
+        };
+        let gain_without = get("occupancy=0 Base") / get("occupancy=0 Distr");
+        let gain_with = get("occupancy=30 Base") / get("occupancy=30 Distr");
+        // Distribution helps (relative to Base) strictly more when bandwidth
+        // is modelled.
+        assert!(
+            gain_with > gain_without,
+            "bandwidth effect missing: with={gain_with:.3} without={gain_without:.3}"
+        );
+    }
+
+    #[test]
+    fn placement_ablation_orders_policies_sensibly() {
+        let rows = placement(16);
+        let get = |v: &str| rows.iter().find(|r| r.variant == v).unwrap();
+        // Any distribution beats central allocation.
+        for v in ["explicit-distribute", "first-touch", "interleaved"] {
+            assert!(
+                get(v).local_frac > get("central").local_frac,
+                "{v} did not improve locality over central"
+            );
+        }
+        // Explicit distribution (placement matched to the task mapping) is
+        // at least as local as blind interleaving.
+        assert!(
+            get("explicit-distribute").local_frac >= get("interleaved").local_frac
+        );
+    }
+
+    #[test]
+    fn slot_collisions_degrade_cache_reuse() {
+        let rows = affinity_slots(8);
+        let get = |v: &str| rows.iter().find(|r| r.variant == v).unwrap();
+        assert!(
+            get("slots=1").misses > get("slots=64").misses,
+            "collisions should interleave sets and raise misses: {} vs {}",
+            get("slots=1").misses,
+            get("slots=64").misses
+        );
+    }
+
+    #[test]
+    fn overwide_panels_starve_parallelism() {
+        let rows = granularity(8);
+        let mid = rows.iter().find(|r| r.variant.starts_with("panel_width=8 ")).unwrap();
+        let wide = rows.iter().find(|r| r.variant.starts_with("panel_width=48 ")).unwrap();
+        // Over-wide panels serialise the elimination chains of the band;
+        // moderate panels win.
+        assert!(
+            mid.elapsed < wide.elapsed,
+            "moderate panels should beat over-wide ones: {} vs {}",
+            mid.elapsed,
+            wide.elapsed
+        );
+    }
+
+    #[test]
+    fn row_decomposition_beats_blocks_under_page_placement() {
+        let rows = decomposition(16);
+        let get = |v: &str| rows.iter().find(|r| r.variant.starts_with(v)).unwrap();
+        // Blocks share pages horizontally, so page-granular migration homes
+        // every horizontal neighbour group on one processor — collocation
+        // then piles their tasks there and stealing has to unpick it. Rows
+        // win on both time and misses, which is exactly why the paper chose
+        // the "single array of regions".
+        assert!(
+            get("rows").elapsed < get("blocks").elapsed,
+            "rows {} vs blocks {}",
+            get("rows").elapsed,
+            get("blocks").elapsed
+        );
+    }
+
+    #[test]
+    fn whole_set_stealing_preserves_cache_reuse() {
+        let rows = steal_sets(16);
+        let whole = rows.iter().find(|r| r.variant == "whole-set").unwrap();
+        let single = rows.iter().find(|r| r.variant == "single-task").unwrap();
+        assert!(
+            whole.misses < single.misses,
+            "whole-set steals should keep buffers hot: {} vs {}",
+            whole.misses,
+            single.misses
+        );
+    }
+
+    #[test]
+    fn minimum_degree_speeds_up_the_factorization() {
+        let rows = ordering(8);
+        let natural = rows
+            .iter()
+            .find(|r| r.variant.starts_with("natural"))
+            .unwrap();
+        let md = rows
+            .iter()
+            .find(|r| r.variant.starts_with("minimum-degree"))
+            .unwrap();
+        assert!(
+            md.elapsed < natural.elapsed,
+            "less fill should mean less time: {} vs {}",
+            md.elapsed,
+            natural.elapsed
+        );
+    }
+
+    #[test]
+    fn heaviest_object_and_prefetch_each_help() {
+        let rows = prefetch(16);
+        let get = |v: &str| rows.iter().find(|r| r.variant == v).unwrap();
+        assert!(
+            get("heaviest-object").elapsed < get("first-object").elapsed,
+            "heaviest-home placement should win: {} vs {}",
+            get("heaviest-object").elapsed,
+            get("first-object").elapsed
+        );
+        assert!(
+            get("heaviest+prefetch").elapsed < get("heaviest-object").elapsed,
+            "prefetching the remote object should win again: {} vs {}",
+            get("heaviest+prefetch").elapsed,
+            get("heaviest-object").elapsed
+        );
+    }
+}

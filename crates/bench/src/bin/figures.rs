@@ -1,0 +1,99 @@
+//! Regenerate the paper's tables and figures as TSV on stdout.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- --all
+//! cargo run --release -p bench --bin figures -- --ocean --panel
+//! cargo run --release -p bench --bin figures -- --summary --procs 16
+//! cargo run --release -p bench --bin figures -- --all --small   # quick pass
+//! ```
+
+use bench::ablation;
+use bench::{
+    fig_barnes_hut, fig_block_cholesky, fig_gauss, fig_locusroute, fig_ocean,
+    fig_panel_cholesky, machine_table, print_rows, summary, table1, Scale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let all = has("--all") || args.is_empty();
+    let scale = if has("--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
+    let procs: Vec<usize> = match args.iter().position(|a| a == "--procs") {
+        Some(i) => args[i + 1]
+            .split(',')
+            .map(|s| s.parse().expect("--procs takes a comma list"))
+            .collect(),
+        None => scale.default_procs(),
+    };
+
+    if all || has("--table1") {
+        println!("# Table 1: affinity hints and runtime actions");
+        for [hint, action] in table1() {
+            println!("{hint}\t{action}");
+        }
+        println!();
+    }
+    if all || has("--machine") {
+        println!("# Figure 1: modelled DASH memory hierarchy");
+        for (k, v) in machine_table(scale) {
+            println!("{k}\t{v}");
+        }
+        println!();
+    }
+    if all || has("--gauss") {
+        println!("# Figure 3 example: column Gaussian elimination (TASK+OBJECT affinity)");
+        print_rows(&fig_gauss(&procs, scale));
+        println!();
+    }
+    if all || has("--ocean") {
+        println!("# Figures 5-7: Ocean");
+        print_rows(&fig_ocean(&procs, scale));
+        println!();
+    }
+    if all || has("--locusroute") {
+        println!("# Figures 10-11: LocusRoute");
+        print_rows(&fig_locusroute(&procs, scale));
+        println!();
+    }
+    if all || has("--panel") {
+        println!("# Figures 14-15: Panel Cholesky");
+        print_rows(&fig_panel_cholesky(&procs, scale));
+        println!();
+    }
+    if all || has("--block") {
+        println!("# Figure 16 (right): Block Cholesky");
+        print_rows(&fig_block_cholesky(&procs, scale));
+        println!();
+    }
+    if all || has("--barnes") {
+        println!("# Figure 16 (left): Barnes-Hut");
+        print_rows(&fig_barnes_hut(&procs, scale));
+        println!();
+    }
+    if all || has("--ablations") {
+        let p = 16;
+        println!("# Ablations (see EXPERIMENTS.md): isolating one mechanism each, {p} procs");
+        let mut rows = ablation::contention(p);
+        rows.extend(ablation::placement(p));
+        rows.extend(ablation::affinity_slots(8));
+        rows.extend(ablation::prefetch(p));
+        rows.extend(ablation::ordering(p));
+        rows.extend(ablation::steal_sets(p));
+        rows.extend(ablation::decomposition(p));
+        rows.extend(ablation::granularity(p));
+        ablation::print_ablation(&rows);
+        println!();
+    }
+    if all || has("--summary") {
+        let p = *procs.last().unwrap_or(&16);
+        println!("# Headline (Sections 1/8): improvement of hinted over Base at {p} procs");
+        println!("app\timprovement%");
+        for (app, gain) in summary(p, scale) {
+            println!("{app}\t{:.1}", gain * 100.0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Strongly-typed identifiers used throughout the runtimes.
+
+use std::fmt;
+
+/// A processor (equivalently, a COOL *server process*: the implementation
+/// creates one server per processor and keeps it there for its lifetime).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcId(pub usize);
+
+/// A cluster of processors sharing a local memory (a DASH cluster holds four
+/// processors and a slice of shared memory).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ClusterId(pub usize);
+
+/// A memory node — the unit of "local memory". On DASH this is the cluster
+/// memory, so there is one node per cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub usize);
+
+/// A reference to a shared object: a virtual address in the simulated shared
+/// address space.
+///
+/// Affinity hints name objects by reference; the runtime maps the reference
+/// to the memory node holding it (via the page table in `dash-sim`, or a
+/// placement registry in `cool-rt`) to decide where to schedule the task.
+/// The same value doubles as the task-affinity *token*: tasks declaring TASK
+/// affinity for the same object form one task-affinity set.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ObjRef(pub u64);
+
+impl ProcId {
+    /// Index form for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ClusterId {
+    /// Index form for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl NodeId {
+    /// Index form for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ObjRef {
+    /// Construct an object reference from a raw simulated address.
+    #[inline]
+    pub fn from_addr(addr: u64) -> Self {
+        ObjRef(addr)
+    }
+
+    /// Raw simulated address.
+    #[inline]
+    pub fn addr(self) -> u64 {
+        self.0
+    }
+
+    /// Object reference displaced by `bytes` — used to name sub-objects
+    /// (e.g. one column within a matrix allocation).
+    #[inline]
+    pub fn offset(self, bytes: u64) -> Self {
+        ObjRef(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objref_offset_displaces_address() {
+        let base = ObjRef::from_addr(0x1000);
+        assert_eq!(base.offset(0x40).addr(), 0x1040);
+        assert_eq!(base.offset(0), base);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(3).to_string(), "P3");
+        assert_eq!(ClusterId(1).to_string(), "C1");
+        assert_eq!(NodeId(7).to_string(), "N7");
+        assert_eq!(ObjRef(0x20).to_string(), "@0x20");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(ObjRef(5) < ObjRef(6));
+    }
+}

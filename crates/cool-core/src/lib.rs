@@ -1,0 +1,38 @@
+//! Core model shared by the COOL runtimes.
+//!
+//! This crate contains the backend-independent pieces of the COOL
+//! reproduction (Chandra, Gupta & Hennessy, *Data Locality and Load Balancing
+//! in COOL*, PPoPP 1993):
+//!
+//! * [`ids`] — strongly-typed identifiers for processors, clusters, memory
+//!   nodes, and object references.
+//! * [`affinity`] — the hierarchy of affinity hints from Table 1 of the
+//!   paper: smart defaults, simple affinity, TASK / OBJECT affinity, and
+//!   PROCESSOR affinity, plus the rules for resolving a hint to a server and
+//!   a queue slot.
+//! * [`queues`] — the per-server task-queue structure from Section 5: an
+//!   array of affinity queues (indexed by a modulo hash of the affinity
+//!   token) threaded by an intrusive doubly-linked list of non-empty slots,
+//!   plus a default FIFO queue. Provides O(1) enqueue/dequeue and
+//!   back-to-back service of task-affinity sets.
+//! * [`policy`] — work-stealing policy knobs from Sections 4.2 and 6.3:
+//!   stealing whole task-affinity sets, avoiding object-affinity tasks, and
+//!   cluster-first stealing.
+//! * [`stats`] — scheduling statistics (tasks executed, stolen, affinity
+//!   adherence) used by both runtimes and by the figure harnesses.
+//!
+//! Both the simulated runtime (`cool-sim`, which reproduces the paper's DASH
+//! numbers) and the real threaded runtime (`cool-rt`) are built on these
+//! types, so the scheduling behaviour under test is literally the same code.
+
+pub mod affinity;
+pub mod ids;
+pub mod policy;
+pub mod queues;
+pub mod stats;
+
+pub use affinity::{AffinityKind, AffinitySpec};
+pub use ids::{ClusterId, NodeId, ObjRef, ProcId};
+pub use policy::{StealPolicy, Topology};
+pub use queues::{ServerQueues, SlotClass, StolenBatch};
+pub use stats::SchedStats;

@@ -1,0 +1,174 @@
+//! Work-stealing policy and machine topology knobs.
+//!
+//! Section 4.2 of the paper describes the stealing behaviour the runtime
+//! layers on top of the affinity hints: idle processors steal; task-affinity
+//! sets are stolen as a set; object-affinity tasks should preferably not be
+//! stolen. Section 6.3 adds *cluster stealing* — an idle processor first (or
+//! only) steals from processors within its own cluster so stolen tasks keep
+//! referencing the destination object in local memory — controlled in the
+//! paper by a runtime flag the programmer can manipulate dynamically.
+
+use crate::ids::{ClusterId, ProcId};
+
+/// Machine topology as seen by the scheduler: how many servers there are and
+/// how they group into clusters sharing a local memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Topology {
+    /// Number of server processes (one per processor).
+    pub nservers: usize,
+    /// Processors per cluster (4 on the DASH prototype).
+    pub procs_per_cluster: usize,
+}
+
+impl Topology {
+    /// A flat machine: every processor is its own cluster.
+    pub fn flat(nservers: usize) -> Self {
+        Topology {
+            nservers,
+            procs_per_cluster: 1,
+        }
+    }
+
+    /// DASH-like topology: clusters of `procs_per_cluster` processors.
+    pub fn clustered(nservers: usize, procs_per_cluster: usize) -> Self {
+        assert!(procs_per_cluster > 0);
+        Topology {
+            nservers,
+            procs_per_cluster,
+        }
+    }
+
+    /// The cluster a processor belongs to.
+    #[inline]
+    pub fn cluster_of(&self, p: ProcId) -> ClusterId {
+        ClusterId(p.index() / self.procs_per_cluster)
+    }
+
+    /// Number of clusters (last one may be partially populated).
+    pub fn nclusters(&self) -> usize {
+        self.nservers.div_ceil(self.procs_per_cluster)
+    }
+
+    /// Are two processors in the same cluster (sharing a local memory)?
+    #[inline]
+    pub fn same_cluster(&self, a: ProcId, b: ProcId) -> bool {
+        self.cluster_of(a) == self.cluster_of(b)
+    }
+
+    /// Victim scan order for a thief: same-cluster processors first (in
+    /// round-robin order starting after the thief), then remote processors.
+    /// A deterministic order keeps the simulation reproducible.
+    pub fn steal_order(&self, thief: ProcId) -> Vec<ProcId> {
+        let mut local = Vec::new();
+        let mut remote = Vec::new();
+        for k in 1..self.nservers {
+            let v = ProcId((thief.index() + k) % self.nservers);
+            if self.same_cluster(thief, v) {
+                local.push(v);
+            } else {
+                remote.push(v);
+            }
+        }
+        local.extend(remote);
+        local
+    }
+}
+
+/// Steal-policy configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StealPolicy {
+    /// Master switch: disable stealing entirely (used by the round-robin
+    /// "Base" versions in the case studies, which rely on even initial
+    /// placement alone).
+    pub enabled: bool,
+    /// Thieves avoid tasks collocated with objects (OBJECT affinity).
+    pub avoid_object_affinity: bool,
+    /// Steal task-affinity sets as a whole (Section 4.2: "tasks scheduled
+    /// with task-affinity can be stolen as a set ... and still benefit from
+    /// cache locality"). When false, thieves take a single task even from
+    /// affinity slots — the ablation shows the cache-reuse cost.
+    pub steal_whole_sets: bool,
+    /// Restrict stealing to processors within the thief's cluster, so stolen
+    /// tasks still reference the destination object in local memory
+    /// (the `Distr+Aff+ClusterStealing` experiment of Section 6.3).
+    pub cluster_only: bool,
+    /// After this many consecutive failed scans an idle server performs a
+    /// last-resort steal ignoring `avoid_object_affinity` and
+    /// `cluster_only`, guaranteeing progress.
+    pub last_resort_after: usize,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        StealPolicy {
+            enabled: true,
+            avoid_object_affinity: true,
+            steal_whole_sets: true,
+            cluster_only: false,
+            last_resort_after: 2,
+        }
+    }
+}
+
+impl StealPolicy {
+    /// No stealing at all.
+    pub fn disabled() -> Self {
+        StealPolicy {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Default stealing with the cluster-only restriction enabled.
+    pub fn cluster_only() -> Self {
+        StealPolicy {
+            cluster_only: true,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_partition_processors() {
+        let t = Topology::clustered(32, 4);
+        assert_eq!(t.nclusters(), 8);
+        assert_eq!(t.cluster_of(ProcId(0)), ClusterId(0));
+        assert_eq!(t.cluster_of(ProcId(3)), ClusterId(0));
+        assert_eq!(t.cluster_of(ProcId(4)), ClusterId(1));
+        assert_eq!(t.cluster_of(ProcId(31)), ClusterId(7));
+        assert!(t.same_cluster(ProcId(4), ProcId(7)));
+        assert!(!t.same_cluster(ProcId(3), ProcId(4)));
+    }
+
+    #[test]
+    fn flat_topology_has_singleton_clusters() {
+        let t = Topology::flat(5);
+        assert_eq!(t.nclusters(), 5);
+        assert!(!t.same_cluster(ProcId(0), ProcId(1)));
+    }
+
+    #[test]
+    fn steal_order_visits_everyone_once_cluster_first() {
+        let t = Topology::clustered(8, 4);
+        let order = t.steal_order(ProcId(1));
+        assert_eq!(order.len(), 7);
+        // First the rest of cluster 0 ...
+        assert_eq!(&order[..3], &[ProcId(2), ProcId(3), ProcId(0)]);
+        // ... then cluster 1.
+        assert!(order[3..].iter().all(|p| p.index() >= 4));
+        let mut sorted: Vec<usize> = order.iter().map(|p| p.index()).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn partial_last_cluster_is_counted() {
+        let t = Topology::clustered(10, 4);
+        assert_eq!(t.nclusters(), 3);
+        assert_eq!(t.cluster_of(ProcId(9)), ClusterId(2));
+    }
+}

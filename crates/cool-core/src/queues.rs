@@ -1,0 +1,580 @@
+//! The per-server task-queue structure (Section 5 of the paper).
+//!
+//! Each server owns two kinds of task queues:
+//!
+//! 1. An **array of affinity queues**. A task carrying an affinity token is
+//!    mapped to slot `hash(token) % array_size` — together with the server
+//!    choice this is the paper's "two modulo operations". All tasks of one
+//!    task-affinity set land in the same slot, so servicing a slot until it
+//!    is empty executes the set *back to back*, maximising cache reuse.
+//!    The non-empty slots are threaded on an intrusive doubly-linked list so
+//!    enqueue and dequeue are O(1) regardless of array size.
+//! 2. A **default queue** (plain FIFO) for tasks with no affinity token.
+//!
+//! The structure is generic over the task payload `T` so the simulated and
+//! the threaded runtime can queue their own task representations.
+
+use std::collections::VecDeque;
+
+use crate::affinity::{hash_token, AffinityKind};
+use crate::ids::ObjRef;
+
+/// Classification of a queue slot for steal policies, derived from the tasks
+/// it currently holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SlotClass {
+    /// Every queued task is safe to move (task-affinity or weaker).
+    Stealable,
+    /// At least one task was collocated with an object (OBJECT affinity or
+    /// the default rule); moving it would turn local references into remote
+    /// ones, so thieves avoid the slot unless desperate.
+    PrefersHome,
+}
+
+/// A task queued with its steal classification.
+#[derive(Debug)]
+struct Entry<T> {
+    kind: AffinityKind,
+    payload: T,
+}
+
+/// One affinity-queue slot plus its intrusive list links.
+#[derive(Debug)]
+struct Slot<T> {
+    queue: VecDeque<Entry<T>>,
+    /// Index of the previous non-empty slot, or `NIL`.
+    prev: usize,
+    /// Index of the next non-empty slot, or `NIL`.
+    next: usize,
+    /// Whether this slot is currently on the non-empty list.
+    linked: bool,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A batch of tasks stolen together. Whole task-affinity sets travel as one
+/// batch so the thief still executes them back to back (Section 4.2).
+#[derive(Debug)]
+pub struct StolenBatch<T> {
+    /// The affinity token of the stolen set, if it came from an affinity
+    /// slot (`None` when stolen from the default queue).
+    pub token: Option<ObjRef>,
+    /// The stolen tasks, in their original FIFO order.
+    pub tasks: Vec<T>,
+}
+
+/// The dual task-queue structure owned by one server.
+#[derive(Debug)]
+pub struct ServerQueues<T> {
+    slots: Vec<Slot<T>>,
+    /// Head/tail of the intrusive list of non-empty slots (service order:
+    /// oldest non-empty slot first).
+    head: usize,
+    tail: usize,
+    /// Token currently stored in each linked slot (for reporting stolen
+    /// batches). Collisions share a slot; the token recorded is the first
+    /// that linked the slot.
+    slot_token: Vec<Option<ObjRef>>,
+    default_queue: VecDeque<Entry<T>>,
+    len: usize,
+}
+
+impl<T> ServerQueues<T> {
+    /// Create a queue structure with `array_size` affinity slots. The paper
+    /// notes collisions between different task-affinity sets are minimised by
+    /// choosing a suitably large array size; 64 is a reasonable default.
+    pub fn new(array_size: usize) -> Self {
+        assert!(array_size > 0, "affinity array must have at least one slot");
+        let mut slots = Vec::with_capacity(array_size);
+        for _ in 0..array_size {
+            slots.push(Slot {
+                queue: VecDeque::new(),
+                prev: NIL,
+                next: NIL,
+                linked: false,
+            });
+        }
+        ServerQueues {
+            slots,
+            head: NIL,
+            tail: NIL,
+            slot_token: vec![None; array_size],
+            default_queue: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of affinity slots.
+    pub fn array_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total queued tasks across all queues.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot index for an affinity token (the second of the two modulo
+    /// operations).
+    #[inline]
+    pub fn slot_of(&self, token: ObjRef) -> usize {
+        hash_token(token) % self.slots.len()
+    }
+
+    /// Enqueue a task carrying an affinity token into its slot.
+    pub fn push_affinity(&mut self, token: ObjRef, kind: AffinityKind, payload: T) {
+        let idx = self.slot_of(token);
+        self.slots[idx].queue.push_back(Entry { kind, payload });
+        if !self.slots[idx].linked {
+            self.link_tail(idx);
+            self.slot_token[idx] = Some(token);
+        }
+        self.len += 1;
+    }
+
+    /// Enqueue a task with no affinity token on the default queue.
+    pub fn push_default(&mut self, kind: AffinityKind, payload: T) {
+        self.default_queue.push_back(Entry { kind, payload });
+        self.len += 1;
+    }
+
+    /// Re-insert a stolen batch at the *front* of service order so the thief
+    /// runs it next, back to back.
+    pub fn push_stolen(&mut self, batch: StolenBatch<T>, kind: AffinityKind) {
+        match batch.token {
+            Some(token) => {
+                let idx = self.slot_of(token);
+                let was_linked = self.slots[idx].linked;
+                for payload in batch.tasks {
+                    self.slots[idx].queue.push_back(Entry { kind, payload });
+                    self.len += 1;
+                }
+                if !was_linked && !self.slots[idx].queue.is_empty() {
+                    self.link_head(idx);
+                    self.slot_token[idx] = Some(token);
+                }
+            }
+            None => {
+                for payload in batch.tasks.into_iter().rev() {
+                    self.default_queue.push_front(Entry { kind, payload });
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
+    /// Dequeue the next task for local execution.
+    ///
+    /// Affinity slots are serviced before the default queue, and the head
+    /// slot is drained completely before moving on — this is what realises
+    /// back-to-back execution of a task-affinity set.
+    pub fn pop_local(&mut self) -> Option<(AffinityKind, T)> {
+        if self.head != NIL {
+            let idx = self.head;
+            let entry = self.slots[idx]
+                .queue
+                .pop_front()
+                .expect("linked slot must be non-empty");
+            if self.slots[idx].queue.is_empty() {
+                self.unlink(idx);
+                self.slot_token[idx] = None;
+            }
+            self.len -= 1;
+            return Some((entry.kind, entry.payload));
+        }
+        if let Some(entry) = self.default_queue.pop_front() {
+            self.len -= 1;
+            return Some((entry.kind, entry.payload));
+        }
+        None
+    }
+
+    /// Classify the slot at the *tail* of the non-empty list (the one a
+    /// thief would take), without removing anything. Returns `None` when no
+    /// affinity slot is linked.
+    pub fn tail_slot_class(&self) -> Option<SlotClass> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = &self.slots[self.tail];
+        let prefers_home = slot
+            .queue
+            .iter()
+            .any(|e| matches!(e.kind, AffinityKind::Object));
+        Some(if prefers_home {
+            SlotClass::PrefersHome
+        } else {
+            SlotClass::Stealable
+        })
+    }
+
+    /// Attempt to steal work for an idle server.
+    ///
+    /// * Task-affinity sets are stolen whole, from the tail of the non-empty
+    ///   list (the set the victim will reach last, minimising disruption).
+    /// * Slots holding object-affinity tasks are skipped when
+    ///   `avoid_object_affinity` is set, falling back to the default queue;
+    ///   passing `false` implements the last-resort steal that keeps the
+    ///   system making progress — but even then only a *single* task is
+    ///   taken from such a slot: the set's collocation is worth preserving,
+    ///   and moving the whole set would overshoot the imbalance the steal is
+    ///   correcting.
+    /// * From the default queue, a single task is stolen.
+    pub fn steal(&mut self, avoid_object_affinity: bool) -> Option<StolenBatch<T>> {
+        self.steal_with(avoid_object_affinity, true)
+    }
+
+    /// As [`ServerQueues::steal`], with whole-set stealing controllable:
+    /// when `whole_sets` is false a single task is taken even from a
+    /// task-affinity slot (the ablation case).
+    pub fn steal_with(
+        &mut self,
+        avoid_object_affinity: bool,
+        whole_sets: bool,
+    ) -> Option<StolenBatch<T>> {
+        // Walk affinity slots from the tail, looking for a stealable set.
+        let mut idx = self.tail;
+        while idx != NIL {
+            let prefers_home = self.slots[idx]
+                .queue
+                .iter()
+                .any(|e| matches!(e.kind, AffinityKind::Object));
+            if prefers_home && !avoid_object_affinity {
+                // Last-resort: one task from the tail of the set.
+                let entry = self.slots[idx]
+                    .queue
+                    .pop_back()
+                    .expect("linked slot must be non-empty");
+                self.len -= 1;
+                if self.slots[idx].queue.is_empty() {
+                    self.unlink(idx);
+                    self.slot_token[idx] = None;
+                }
+                return Some(StolenBatch {
+                    token: None,
+                    tasks: vec![entry.payload],
+                });
+            }
+            if !prefers_home {
+                if !whole_sets {
+                    let entry = self.slots[idx]
+                        .queue
+                        .pop_back()
+                        .expect("linked slot must be non-empty");
+                    self.len -= 1;
+                    if self.slots[idx].queue.is_empty() {
+                        self.unlink(idx);
+                        self.slot_token[idx] = None;
+                    }
+                    // No token: a single task does not re-form a set at the
+                    // thief.
+                    return Some(StolenBatch {
+                        token: None,
+                        tasks: vec![entry.payload],
+                    });
+                }
+                let token = self.slot_token[idx];
+                let drained: Vec<T> = self.slots[idx]
+                    .queue
+                    .drain(..)
+                    .map(|e| e.payload)
+                    .collect();
+                self.len -= drained.len();
+                self.unlink(idx);
+                self.slot_token[idx] = None;
+                return Some(StolenBatch {
+                    token,
+                    tasks: drained,
+                });
+            }
+            idx = self.slots[idx].prev;
+        }
+        // Fall back to a single task from the default queue (FIFO end: steal
+        // the oldest, as classic work stealing does).
+        if let Some(entry) = self.default_queue.pop_back() {
+            self.len -= 1;
+            return Some(StolenBatch {
+                token: None,
+                tasks: vec![entry.payload],
+            });
+        }
+        None
+    }
+
+    /// Number of currently linked (non-empty) affinity slots. Exposed for
+    /// tests and statistics.
+    pub fn linked_slots(&self) -> usize {
+        let mut n = 0;
+        let mut idx = self.head;
+        while idx != NIL {
+            n += 1;
+            idx = self.slots[idx].next;
+        }
+        n
+    }
+
+    /// Internal consistency check used by tests: the linked list threads
+    /// exactly the non-empty slots, in both directions, and `len` matches.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut forward = Vec::new();
+        let mut idx = self.head;
+        let mut prev = NIL;
+        while idx != NIL {
+            let slot = &self.slots[idx];
+            if !slot.linked {
+                return Err(format!("slot {idx} on list but not marked linked"));
+            }
+            if slot.queue.is_empty() {
+                return Err(format!("slot {idx} linked but empty"));
+            }
+            if slot.prev != prev {
+                return Err(format!("slot {idx} prev link broken"));
+            }
+            forward.push(idx);
+            prev = idx;
+            idx = slot.next;
+        }
+        if self.tail != prev {
+            return Err("tail pointer broken".into());
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.linked != forward.contains(&i) {
+                return Err(format!("slot {i} linked flag inconsistent"));
+            }
+            if !slot.linked && !slot.queue.is_empty() {
+                return Err(format!("slot {i} non-empty but unlinked"));
+            }
+        }
+        let total: usize = self.slots.iter().map(|s| s.queue.len()).sum::<usize>()
+            + self.default_queue.len();
+        if total != self.len {
+            return Err(format!("len {} != actual {}", self.len, total));
+        }
+        Ok(())
+    }
+
+    fn link_tail(&mut self, idx: usize) {
+        debug_assert!(!self.slots[idx].linked);
+        self.slots[idx].prev = self.tail;
+        self.slots[idx].next = NIL;
+        self.slots[idx].linked = true;
+        if self.tail != NIL {
+            self.slots[self.tail].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+    }
+
+    fn link_head(&mut self, idx: usize) {
+        debug_assert!(!self.slots[idx].linked);
+        self.slots[idx].next = self.head;
+        self.slots[idx].prev = NIL;
+        self.slots[idx].linked = true;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        debug_assert!(self.slots[idx].linked);
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+        self.slots[idx].linked = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> ServerQueues<u32> {
+        ServerQueues::new(8)
+    }
+
+    #[test]
+    fn fifo_within_one_affinity_set() {
+        let mut q = q();
+        let tok = ObjRef(1);
+        for i in 0..5 {
+            q.push_affinity(tok, AffinityKind::Task, i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop_local().unwrap().1, i);
+        }
+        assert!(q.pop_local().is_none());
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn back_to_back_service_drains_one_set_before_the_next() {
+        let mut q = ServerQueues::new(64);
+        let (a, b) = (ObjRef(10), ObjRef(11));
+        assert_ne!(q.slot_of(a), q.slot_of(b), "need distinct slots");
+        // Interleave enqueues of two sets.
+        q.push_affinity(a, AffinityKind::Task, 100);
+        q.push_affinity(b, AffinityKind::Task, 200);
+        q.push_affinity(a, AffinityKind::Task, 101);
+        q.push_affinity(b, AffinityKind::Task, 201);
+        q.push_affinity(a, AffinityKind::Task, 102);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_local().map(|(_, t)| t)).collect();
+        // Set A linked first, so it is drained completely before set B.
+        assert_eq!(order, vec![100, 101, 102, 200, 201]);
+    }
+
+    #[test]
+    fn affinity_queues_serviced_before_default() {
+        let mut q = q();
+        q.push_default(AffinityKind::None, 1);
+        q.push_affinity(ObjRef(9), AffinityKind::Task, 2);
+        assert_eq!(q.pop_local().unwrap().1, 2);
+        assert_eq!(q.pop_local().unwrap().1, 1);
+    }
+
+    #[test]
+    fn steal_takes_whole_set_from_tail() {
+        let mut q = ServerQueues::new(64);
+        let (a, b) = (ObjRef(10), ObjRef(11));
+        q.push_affinity(a, AffinityKind::Task, 1);
+        q.push_affinity(a, AffinityKind::Task, 2);
+        q.push_affinity(b, AffinityKind::Task, 3);
+        let batch = q.steal(true).unwrap();
+        assert_eq!(batch.token, Some(b), "tail set stolen first");
+        assert_eq!(batch.tasks, vec![3]);
+        let batch = q.steal(true).unwrap();
+        assert_eq!(batch.token, Some(a));
+        assert_eq!(batch.tasks, vec![1, 2], "whole set, original order");
+        assert!(q.is_empty());
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn steal_avoids_object_affinity_until_last_resort() {
+        let mut q = q();
+        q.push_affinity(ObjRef(5), AffinityKind::Object, 7);
+        assert!(q.steal(true).is_none(), "polite thief leaves home tasks");
+        assert_eq!(q.len(), 1);
+        let batch = q.steal(false).unwrap();
+        assert_eq!(batch.tasks, vec![7], "last-resort steal succeeds");
+    }
+
+    #[test]
+    fn steal_skips_home_slot_but_takes_stealable_one() {
+        let mut q = ServerQueues::new(64);
+        let (home, roam) = (ObjRef(10), ObjRef(11));
+        q.push_affinity(roam, AffinityKind::Task, 1);
+        q.push_affinity(home, AffinityKind::Object, 2);
+        // `home` is at the tail; the thief must skip it and take `roam`.
+        let batch = q.steal(true).unwrap();
+        assert_eq!(batch.token, Some(roam));
+        assert_eq!(batch.tasks, vec![1]);
+        assert_eq!(q.len(), 1);
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn steal_falls_back_to_default_queue_oldest_task() {
+        let mut q = q();
+        q.push_default(AffinityKind::None, 1);
+        q.push_default(AffinityKind::None, 2);
+        let batch = q.steal(true).unwrap();
+        assert_eq!(batch.tasks, vec![2], "steals from the back");
+        assert_eq!(q.pop_local().unwrap().1, 1);
+    }
+
+    #[test]
+    fn push_stolen_set_runs_next() {
+        let mut thief: ServerQueues<u32> = ServerQueues::new(64);
+        let mine = ObjRef(20);
+        let stolen_tok = ObjRef(21);
+        thief.push_affinity(mine, AffinityKind::Task, 1);
+        let batch = StolenBatch {
+            token: Some(stolen_tok),
+            tasks: vec![8, 9],
+        };
+        thief.push_stolen(batch, AffinityKind::Task);
+        // Stolen set is serviced first (pushed at the head), back to back.
+        assert_eq!(thief.pop_local().unwrap().1, 8);
+        assert_eq!(thief.pop_local().unwrap().1, 9);
+        assert_eq!(thief.pop_local().unwrap().1, 1);
+        thief.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn push_stolen_default_tasks_run_next() {
+        let mut thief: ServerQueues<u32> = ServerQueues::new(8);
+        thief.push_default(AffinityKind::None, 5);
+        thief.push_stolen(
+            StolenBatch {
+                token: None,
+                tasks: vec![1, 2],
+            },
+            AffinityKind::None,
+        );
+        assert_eq!(thief.pop_local().unwrap().1, 1);
+        assert_eq!(thief.pop_local().unwrap().1, 2);
+        assert_eq!(thief.pop_local().unwrap().1, 5);
+    }
+
+    #[test]
+    fn colliding_tokens_share_a_slot_without_breaking_invariants() {
+        // Array of size 1 forces every token into the same slot.
+        let mut q: ServerQueues<u32> = ServerQueues::new(1);
+        q.push_affinity(ObjRef(1), AffinityKind::Task, 1);
+        q.push_affinity(ObjRef(2), AffinityKind::Task, 2);
+        q.check_invariants().unwrap();
+        assert_eq!(q.linked_slots(), 1);
+        assert_eq!(q.pop_local().unwrap().1, 1);
+        assert_eq!(q.pop_local().unwrap().1, 2);
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tail_slot_class_reflects_contents() {
+        let mut q = ServerQueues::new(64);
+        assert_eq!(q.tail_slot_class(), None);
+        q.push_affinity(ObjRef(10), AffinityKind::Task, 0);
+        assert_eq!(q.tail_slot_class(), Some(SlotClass::Stealable));
+        q.push_affinity(ObjRef(11), AffinityKind::Object, 0);
+        assert_eq!(q.tail_slot_class(), Some(SlotClass::PrefersHome));
+    }
+
+    #[test]
+    fn interleaved_operations_preserve_invariants() {
+        let mut q: ServerQueues<usize> = ServerQueues::new(4);
+        for i in 0..100 {
+            match i % 5 {
+                0 => q.push_affinity(ObjRef(i as u64), AffinityKind::Task, i),
+                1 => q.push_default(AffinityKind::None, i),
+                2 => {
+                    q.pop_local();
+                }
+                3 => {
+                    q.steal(true);
+                }
+                _ => q.push_affinity(ObjRef((i % 3) as u64), AffinityKind::Object, i),
+            }
+            q.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Scheduling statistics collected by both runtimes.
+//!
+//! These are the scheduler-side counterparts of the DASH hardware performance
+//! monitor: they let the case studies report affinity adherence (Section 6.2
+//! reports that with hints "most of the wire tasks (over 80%) in a region are
+//! routed on the corresponding processor") and steal activity.
+
+use std::ops::AddAssign;
+
+/// Counters describing how tasks were scheduled and executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tasks created.
+    pub spawned: u64,
+    /// Tasks executed to completion.
+    pub executed: u64,
+    /// Tasks that ran on the server the affinity hint selected.
+    pub affinity_hits: u64,
+    /// Tasks that carried some affinity hint (denominator for adherence).
+    pub hinted: u64,
+    /// Individual tasks moved by stealing.
+    pub tasks_stolen: u64,
+    /// Steal operations that moved a whole task-affinity set.
+    pub sets_stolen: u64,
+    /// Steal attempts that found nothing.
+    pub failed_steals: u64,
+    /// Steals that crossed a cluster boundary.
+    pub remote_steals: u64,
+    /// Last-resort steals (policy restrictions waived).
+    pub desperate_steals: u64,
+    /// Tasks that blocked on a mutex object at least once.
+    pub mutex_blocks: u64,
+}
+
+impl SchedStats {
+    /// Fraction of hinted tasks that executed on their hinted server,
+    /// in [0, 1]. Returns 1.0 when nothing was hinted.
+    pub fn adherence(&self) -> f64 {
+        if self.hinted == 0 {
+            1.0
+        } else {
+            self.affinity_hits as f64 / self.hinted as f64
+        }
+    }
+
+    /// Fraction of executed tasks that arrived by stealing.
+    pub fn steal_fraction(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.tasks_stolen as f64 / self.executed as f64
+        }
+    }
+}
+
+impl AddAssign for SchedStats {
+    fn add_assign(&mut self, o: Self) {
+        self.spawned += o.spawned;
+        self.executed += o.executed;
+        self.affinity_hits += o.affinity_hits;
+        self.hinted += o.hinted;
+        self.tasks_stolen += o.tasks_stolen;
+        self.sets_stolen += o.sets_stolen;
+        self.failed_steals += o.failed_steals;
+        self.remote_steals += o.remote_steals;
+        self.desperate_steals += o.desperate_steals;
+        self.mutex_blocks += o.mutex_blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adherence_handles_zero_hints() {
+        let s = SchedStats::default();
+        assert_eq!(s.adherence(), 1.0);
+        assert_eq!(s.steal_fraction(), 0.0);
+    }
+
+    #[test]
+    fn adherence_ratio() {
+        let s = SchedStats {
+            hinted: 10,
+            affinity_hits: 8,
+            ..Default::default()
+        };
+        assert!((s.adherence() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = SchedStats {
+            spawned: 1,
+            executed: 2,
+            tasks_stolen: 3,
+            ..Default::default()
+        };
+        let b = SchedStats {
+            spawned: 10,
+            executed: 20,
+            tasks_stolen: 30,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.spawned, 11);
+        assert_eq!(a.executed, 22);
+        assert_eq!(a.tasks_stolen, 33);
+    }
+}

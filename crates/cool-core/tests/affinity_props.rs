@@ -1,0 +1,137 @@
+//! Property-based tests for affinity resolution: the scheduling laws of
+//! Table 1 hold for every combination of hints, server counts and homes.
+
+use cool_core::affinity::{hash_token, resolve_multi_object};
+use cool_core::{AffinityKind, AffinitySpec, ObjRef, ProcId};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = AffinitySpec> {
+    (
+        prop::option::of(0u64..64),
+        prop::option::of(0u64..64),
+        prop::option::of(0usize..256),
+    )
+        .prop_map(|(obj, task, processor)| AffinitySpec {
+            object: obj.map(ObjRef),
+            task: task.map(ObjRef),
+            processor,
+        })
+}
+
+proptest! {
+    /// The resolved server is always a valid server index.
+    #[test]
+    fn resolve_server_is_in_range(
+        spec in spec_strategy(),
+        nservers in 1usize..64,
+        creator in 0usize..64,
+        home_stride in 1u64..13,
+    ) {
+        let home = |o: ObjRef| ProcId(((o.0 * home_stride) % 64) as usize);
+        let s = spec.resolve_server(nservers, ProcId(creator % nservers), home);
+        prop_assert!(s.index() < nservers);
+    }
+
+    /// PROCESSOR dominates every other hint.
+    #[test]
+    fn processor_hint_dominates(
+        obj in prop::option::of(0u64..64),
+        task in prop::option::of(0u64..64),
+        n in 0usize..512,
+        nservers in 1usize..64,
+    ) {
+        let spec = AffinitySpec {
+            object: obj.map(ObjRef),
+            task: task.map(ObjRef),
+            processor: Some(n),
+        };
+        let s = spec.resolve_server(nservers, ProcId(0), |o| ProcId(o.0 as usize % nservers));
+        prop_assert_eq!(s, ProcId(n % nservers));
+    }
+
+    /// OBJECT affinity follows the home map exactly (modulo servers).
+    #[test]
+    fn object_hint_follows_home(
+        obj in 0u64..1024,
+        task in prop::option::of(0u64..64),
+        nservers in 1usize..64,
+        home_mul in 1u64..31,
+    ) {
+        let spec = AffinitySpec {
+            object: Some(ObjRef(obj)),
+            task: task.map(ObjRef),
+            processor: None,
+        };
+        let home = |o: ObjRef| ProcId(((o.0 * home_mul) % 97) as usize);
+        let s = spec.resolve_server(nservers, ProcId(0), home);
+        prop_assert_eq!(s.index(), ((obj * home_mul) % 97) as usize % nservers);
+    }
+
+    /// The queue token prefers TASK over OBJECT, and exists iff either does.
+    #[test]
+    fn queue_token_law(spec in spec_strategy()) {
+        match (spec.task, spec.object) {
+            (Some(t), _) => prop_assert_eq!(spec.queue_token(), Some(t)),
+            (None, Some(o)) => prop_assert_eq!(spec.queue_token(), Some(o)),
+            (None, None) => prop_assert_eq!(spec.queue_token(), None),
+        }
+    }
+
+    /// Steal classification: Object > Task > Processor > None precedence.
+    #[test]
+    fn kind_precedence(spec in spec_strategy()) {
+        let k = spec.kind();
+        if spec.object.is_some() {
+            prop_assert_eq!(k, AffinityKind::Object);
+        } else if spec.task.is_some() {
+            prop_assert_eq!(k, AffinityKind::Task);
+        } else if spec.processor.is_some() {
+            prop_assert_eq!(k, AffinityKind::Processor);
+        } else {
+            prop_assert_eq!(k, AffinityKind::None);
+        }
+    }
+
+    /// hash_token is a pure function and never degenerates: any 64 tokens in
+    /// arithmetic progression land in a healthy number of distinct slots of
+    /// a 64-slot array (adversarial strides may alias some slots, but the
+    /// multiplier must keep well clear of the single-slot collapse a plain
+    /// modulo would suffer for stride = 64).
+    #[test]
+    fn hash_token_is_stable_and_spreading(base in 0u64..1_000_000, stride in 1u64..4096) {
+        let mut slots = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let tok = ObjRef(base + i * stride);
+            prop_assert_eq!(hash_token(tok), hash_token(tok));
+            slots.insert(hash_token(tok) % 64);
+        }
+        prop_assert!(slots.len() >= 8, "only {} slots used", slots.len());
+    }
+
+    /// Multi-object resolution: the chosen server owns at least as many
+    /// bytes as any other candidate, and the prefetch list is exactly the
+    /// objects homed elsewhere.
+    #[test]
+    fn multi_object_law(
+        objs in prop::collection::vec((0u64..32, 1u64..10_000), 1..8),
+        nhomes in 1u64..8,
+    ) {
+        let pairs: Vec<(ObjRef, u64)> = objs.iter().map(|&(o, s)| (ObjRef(o), s)).collect();
+        let home = |o: ObjRef| ProcId((o.0 % nhomes) as usize);
+        let (best, prefetch) = resolve_multi_object(&pairs, home).unwrap();
+        // Weight owned by the chosen server.
+        let weight = |p: ProcId| -> u64 {
+            pairs.iter().filter(|&&(o, _)| home(o) == p).map(|&(_, s)| s).sum()
+        };
+        let best_w = weight(best);
+        for h in 0..nhomes {
+            prop_assert!(weight(ProcId(h as usize)) <= best_w || weight(ProcId(h as usize)) == 0 || best_w >= weight(ProcId(h as usize)),
+                "server {h} owns more than the chosen one");
+            prop_assert!(best_w >= weight(ProcId(h as usize)));
+        }
+        for &(o, _) in &pairs {
+            let remote = home(o) != best;
+            prop_assert_eq!(remote, prefetch.contains(&o));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Object placement registry: the threaded runtime's stand-in for the
+//! simulated address space's page table.
+//!
+//! Real objects live wherever Rust allocated them; what matters to the
+//! scheduler is the *declared* home of each logical object: `alloc_on(p)`
+//! plays the role of `new (p) T`, `migrate` re-homes, and `home` resolves an
+//! object for collocation. Object references are opaque ids.
+
+use parking_lot::RwLock;
+
+use cool_core::{ObjRef, ProcId};
+
+/// Thread-safe registry of logical object homes.
+#[derive(Debug, Default)]
+pub struct Placement {
+    homes: RwLock<Vec<ProcId>>,
+}
+
+impl Placement {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new logical object homed on `p`; returns its reference.
+    pub fn alloc_on(&self, p: ProcId) -> ObjRef {
+        let mut homes = self.homes.write();
+        homes.push(p);
+        ObjRef((homes.len() - 1) as u64)
+    }
+
+    /// `migrate()`: re-home an object.
+    pub fn migrate(&self, obj: ObjRef, p: ProcId) {
+        let mut homes = self.homes.write();
+        let slot = homes
+            .get_mut(obj.0 as usize)
+            .unwrap_or_else(|| panic!("migrate of unregistered object {obj}"));
+        *slot = p;
+    }
+
+    /// `home()`: the processor whose local memory (conceptually) holds the
+    /// object.
+    pub fn home(&self, obj: ObjRef) -> ProcId {
+        *self
+            .homes
+            .read()
+            .get(obj.0 as usize)
+            .unwrap_or_else(|| panic!("home() of unregistered object {obj}"))
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.homes.read().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_home_roundtrip() {
+        let p = Placement::new();
+        let a = p.alloc_on(ProcId(3));
+        let b = p.alloc_on(ProcId(1));
+        assert_eq!(p.home(a), ProcId(3));
+        assert_eq!(p.home(b), ProcId(1));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn migrate_rehomes() {
+        let p = Placement::new();
+        let a = p.alloc_on(ProcId(0));
+        p.migrate(a, ProcId(5));
+        assert_eq!(p.home(a), ProcId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn home_of_unknown_object_panics() {
+        Placement::new().home(ObjRef(42));
+    }
+}

@@ -1,0 +1,617 @@
+//! The threaded runtime: worker threads, scopes, and the scheduling loop.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use cool_core::{
+    AffinityKind, AffinitySpec, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy, Topology,
+};
+
+use crate::placement::Placement;
+
+/// Configuration for the threaded runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct RtConfig {
+    /// Worker threads (servers).
+    pub nthreads: usize,
+    /// Processors per scheduling cluster (affects steal order and the
+    /// cluster-only policy; purely logical on a UMA host).
+    pub procs_per_cluster: usize,
+    /// Steal policy.
+    pub policy: StealPolicy,
+    /// Affinity-queue array size per server.
+    pub affinity_slots: usize,
+}
+
+impl RtConfig {
+    /// Sensible defaults for `nthreads` workers.
+    pub fn new(nthreads: usize) -> Self {
+        RtConfig {
+            nthreads,
+            procs_per_cluster: 4,
+            policy: StealPolicy::default(),
+            affinity_slots: 64,
+        }
+    }
+
+    /// Replace the steal policy.
+    pub fn with_policy(mut self, policy: StealPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// The body type for threaded tasks.
+pub type RtBody = Box<dyn FnOnce(&RtCtx<'_>) + Send>;
+
+/// A task for the threaded runtime (mirrors `cool_sim::Task`).
+pub struct RtTask {
+    body: RtBody,
+    affinity: AffinitySpec,
+    mutex_on: Option<ObjRef>,
+}
+
+impl RtTask {
+    /// A task with no hints.
+    pub fn new(body: impl FnOnce(&RtCtx<'_>) + Send + 'static) -> Self {
+        RtTask {
+            body: Box::new(body),
+            affinity: AffinitySpec::none(),
+            mutex_on: None,
+        }
+    }
+
+    /// Attach an affinity specification.
+    pub fn with_affinity(mut self, spec: AffinitySpec) -> Self {
+        self.affinity = spec;
+        self
+    }
+
+    /// Declare the task a `mutex` function on `obj`.
+    pub fn with_mutex(mut self, obj: ObjRef) -> Self {
+        self.mutex_on = Some(obj);
+        self
+    }
+}
+
+/// A queued task bound to its scheduling decision and scope.
+struct Queued {
+    task: RtTask,
+    target: ProcId,
+    hinted: bool,
+    scope: Arc<ScopeState>,
+}
+
+/// Scope bookkeeping for `waitfor`.
+struct ScopeState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Arc<Self> {
+        Arc::new(ScopeState {
+            remaining: Mutex::new(0),
+            done: Condvar::new(),
+        })
+    }
+
+    fn enter(&self) {
+        *self.remaining.lock() += 1;
+    }
+
+    fn exit(&self) {
+        let mut r = self.remaining.lock();
+        *r -= 1;
+        if *r == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut r = self.remaining.lock();
+        while *r > 0 {
+            self.done.wait(&mut r);
+        }
+    }
+}
+
+/// One server: its queues, sleep signal and statistics.
+struct Server {
+    queues: Mutex<ServerQueues<Queued>>,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    stats: Mutex<SchedStats>,
+}
+
+struct Inner {
+    servers: Vec<Server>,
+    topology: Topology,
+    policy: StealPolicy,
+    placement: Placement,
+    /// Objects whose mutex is currently held.
+    held: Mutex<HashSet<ObjRef>>,
+    shutdown: AtomicBool,
+}
+
+/// The threaded COOL runtime. Dropping it shuts the workers down.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The context a threaded task body runs against.
+pub struct RtCtx<'a> {
+    inner: &'a Inner,
+    proc: ProcId,
+    scope: Arc<ScopeState>,
+}
+
+impl Runtime {
+    /// Start `cfg.nthreads` workers.
+    pub fn new(cfg: RtConfig) -> Self {
+        assert!(cfg.nthreads >= 1);
+        let inner = Arc::new(Inner {
+            servers: (0..cfg.nthreads)
+                .map(|_| Server {
+                    queues: Mutex::new(ServerQueues::new(cfg.affinity_slots)),
+                    sleep_lock: Mutex::new(()),
+                    wake: Condvar::new(),
+                    stats: Mutex::new(SchedStats::default()),
+                })
+                .collect(),
+            topology: Topology::clustered(cfg.nthreads, cfg.procs_per_cluster),
+            policy: cfg.policy,
+            placement: Placement::new(),
+            held: Mutex::new(HashSet::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.nthreads)
+            .map(|p| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("cool-server-{p}"))
+                    .spawn(move || worker_loop(&inner, ProcId(p)))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Runtime { inner, workers }
+    }
+
+    /// The placement registry (`alloc_on` / `migrate` / `home`).
+    pub fn placement(&self) -> &Placement {
+        &self.inner.placement
+    }
+
+    /// Number of servers.
+    pub fn nservers(&self) -> usize {
+        self.inner.servers.len()
+    }
+
+    /// Run a `waitfor` scope: execute `seed` (on the calling thread, as
+    /// creator server 0), then block until every task transitively spawned
+    /// inside the scope has completed.
+    pub fn scope(&self, seed: impl FnOnce(&RtCtx<'_>)) {
+        let scope = ScopeState::new();
+        {
+            let ctx = RtCtx {
+                inner: &self.inner,
+                proc: ProcId(0),
+                scope: scope.clone(),
+            };
+            seed(&ctx);
+        }
+        scope.wait();
+    }
+
+    /// Aggregated scheduling statistics since startup.
+    pub fn stats(&self) -> SchedStats {
+        let mut total = SchedStats::default();
+        for s in &self.inner.servers {
+            total += *s.stats.lock();
+        }
+        total
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for s in &self.inner.servers {
+            let _guard = s.sleep_lock.lock();
+            s.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl RtCtx<'_> {
+    /// The server executing this task (or the creator, inside `scope`).
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Number of servers.
+    pub fn nservers(&self) -> usize {
+        self.inner.servers.len()
+    }
+
+    /// Register a logical object homed on processor `p % nservers`.
+    pub fn alloc_on(&self, p: usize) -> ObjRef {
+        self.inner
+            .placement
+            .alloc_on(ProcId(p % self.inner.servers.len()))
+    }
+
+    /// `migrate()`: re-home a logical object.
+    pub fn migrate(&self, obj: ObjRef, p: usize) {
+        self.inner
+            .placement
+            .migrate(obj, ProcId(p % self.inner.servers.len()));
+    }
+
+    /// `home()`.
+    pub fn home(&self, obj: ObjRef) -> ProcId {
+        self.inner.placement.home(obj)
+    }
+
+    /// Spawn a task into the enclosing scope.
+    pub fn spawn(&self, task: RtTask) {
+        self.scope.enter();
+        enqueue(self.inner, self.proc, task, self.scope.clone());
+    }
+}
+
+/// Resolve affinity and enqueue, waking the target server.
+fn enqueue(inner: &Inner, creator: ProcId, task: RtTask, scope: Arc<ScopeState>) {
+    let spec = task.affinity;
+    let target = spec.resolve_server(inner.servers.len(), creator, |o| inner.placement.home(o));
+    let hinted = spec.is_hinted();
+    let kind = spec.kind();
+    let queued = Queued {
+        task,
+        target,
+        hinted,
+        scope,
+    };
+    let server = &inner.servers[target.index()];
+    {
+        let mut q = server.queues.lock();
+        match spec.queue_token() {
+            Some(tok) => q.push_affinity(tok, kind, queued),
+            None => q.push_default(kind, queued),
+        }
+        server.stats.lock().spawned += 1;
+    }
+    let _guard = server.sleep_lock.lock();
+    server.wake.notify_one();
+}
+
+fn worker_loop(inner: &Inner, me: ProcId) {
+    let mi = me.index();
+    let mut failed_scans = 0usize;
+    loop {
+        // 1. Local work.
+        let popped = inner.servers[mi].queues.lock().pop_local();
+        if let Some((kind, queued)) = popped {
+            failed_scans = 0;
+            run_or_rotate(inner, me, kind, queued);
+            continue;
+        }
+        // 2. Steal.
+        if inner.policy.enabled {
+            let desperate = failed_scans >= inner.policy.last_resort_after;
+            let mut stolen = None;
+            for v in inner.topology.steal_order(me) {
+                let cross = !inner.topology.same_cluster(me, v);
+                // Strict cluster boundary (see cool-sim): desperation lifts
+                // only the object-affinity avoidance.
+                if inner.policy.cluster_only && cross {
+                    continue;
+                }
+                let avoid = inner.policy.avoid_object_affinity && !desperate;
+                let batch = inner.servers[v.index()]
+                    .queues
+                    .lock()
+                    .steal_with(avoid, inner.policy.steal_whole_sets);
+                if let Some(batch) = batch {
+                    let mut st = inner.servers[mi].stats.lock();
+                    st.tasks_stolen += batch.tasks.len() as u64;
+                    if batch.token.is_some() {
+                        st.sets_stolen += 1;
+                    }
+                    if cross {
+                        st.remote_steals += 1;
+                    }
+                    if desperate {
+                        st.desperate_steals += 1;
+                    }
+                    drop(st);
+                    stolen = Some(batch);
+                    break;
+                }
+            }
+            match stolen {
+                Some(batch) => {
+                    let kind = if batch.token.is_some() {
+                        AffinityKind::Task
+                    } else {
+                        AffinityKind::None
+                    };
+                    inner.servers[mi].queues.lock().push_stolen(batch, kind);
+                    failed_scans = 0;
+                    continue;
+                }
+                None => {
+                    failed_scans += 1;
+                    inner.servers[mi].stats.lock().failed_steals += 1;
+                }
+            }
+        }
+        // 3. Sleep until woken or shutdown.
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let server = &inner.servers[mi];
+            let mut guard = server.sleep_lock.lock();
+            // Re-check under the lock to avoid missed wakeups.
+            if server.queues.lock().is_empty() && !inner.shutdown.load(Ordering::SeqCst) {
+                server
+                    .wake
+                    .wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Execute a task, or set it aside if its mutex object is busy.
+fn run_or_rotate(inner: &Inner, me: ProcId, kind: AffinityKind, queued: Queued) {
+    let mi = me.index();
+    if let Some(lock_obj) = queued.task.mutex_on {
+        let acquired = inner.held.lock().insert(lock_obj);
+        if !acquired {
+            // Blocked: back of the queue; the server moves on (COOL blocks
+            // the task, never the server).
+            inner.servers[mi].stats.lock().mutex_blocks += 1;
+            let mut q = inner.servers[mi].queues.lock();
+            match queued.task.affinity.queue_token() {
+                Some(tok) => q.push_affinity(tok, kind, queued),
+                None => q.push_default(kind, queued),
+            }
+            drop(q);
+            std::thread::yield_now();
+            return;
+        }
+        execute(inner, me, queued);
+        inner.held.lock().remove(&lock_obj);
+    } else {
+        execute(inner, me, queued);
+    }
+}
+
+fn execute(inner: &Inner, me: ProcId, queued: Queued) {
+    {
+        let mut st = inner.servers[me.index()].stats.lock();
+        st.executed += 1;
+        if queued.hinted {
+            st.hinted += 1;
+            if queued.target == me {
+                st.affinity_hits += 1;
+            }
+        }
+    }
+    let scope = queued.scope.clone();
+    let ctx = RtCtx {
+        inner,
+        proc: me,
+        scope: queued.scope.clone(),
+    };
+    (queued.task.body)(&ctx);
+    scope.exit();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let rt = Runtime::new(RtConfig::new(4));
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        rt.scope(move |s| {
+            for _ in 0..100 {
+                let c = c.clone();
+                s.spawn(RtTask::new(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_spawns_are_in_scope() {
+        let rt = Runtime::new(RtConfig::new(4));
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        rt.scope(move |s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(RtTask::new(move |ctx| {
+                    for _ in 0..8 {
+                        let c = c.clone();
+                        ctx.spawn(RtTask::new(move |_| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }));
+                    }
+                }));
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn sequential_scopes_are_barriers() {
+        let rt = Runtime::new(RtConfig::new(4));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for phase in 0..3u32 {
+            let log = log.clone();
+            rt.scope(move |s| {
+                for _ in 0..16 {
+                    let log = log.clone();
+                    s.spawn(RtTask::new(move |_| {
+                        log.lock().push(phase);
+                    }));
+                }
+            });
+        }
+        let v = log.lock();
+        assert_eq!(v.len(), 48);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]), "phases interleaved: {v:?}");
+    }
+
+    #[test]
+    fn processor_affinity_pins_without_stealing() {
+        let rt = Runtime::new(RtConfig::new(4).with_policy(StealPolicy::disabled()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        rt.scope(move |s| {
+            for i in 0..32 {
+                let seen = s2.clone();
+                s.spawn(
+                    RtTask::new(move |ctx| {
+                        seen.lock().push((i, ctx.proc().index()));
+                    })
+                    .with_affinity(AffinitySpec::processor(i % 4)),
+                );
+            }
+        });
+        for &(i, p) in seen.lock().iter() {
+            assert_eq!(p, i % 4, "task {i} ran on wrong server");
+        }
+        assert_eq!(rt.stats().adherence(), 1.0);
+    }
+
+    #[test]
+    fn object_affinity_follows_placement_and_migration() {
+        let rt = Runtime::new(RtConfig::new(4).with_policy(StealPolicy::disabled()));
+        let obj = rt.placement().alloc_on(ProcId(2));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        rt.scope(move |s| {
+            let seen = s2.clone();
+            s.spawn(
+                RtTask::new(move |ctx| {
+                    seen.lock().push(ctx.proc().index());
+                    // Migrate, then respawn: the next task must follow.
+                    ctx.migrate(obj, 1);
+                    let seen = seen.clone();
+                    ctx.spawn(
+                        RtTask::new(move |ctx| {
+                            seen.lock().push(ctx.proc().index());
+                        })
+                        .with_affinity(AffinitySpec::object(obj)),
+                    );
+                })
+                .with_affinity(AffinitySpec::object(obj)),
+            );
+        });
+        assert_eq!(*seen.lock(), vec![2, 1]);
+    }
+
+    #[test]
+    fn mutex_tasks_are_mutually_exclusive() {
+        let rt = Runtime::new(RtConfig::new(8));
+        let obj = rt.placement().alloc_on(ProcId(0));
+        let in_section = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let (i2, m2) = (in_section.clone(), max_seen.clone());
+        rt.scope(move |s| {
+            for _ in 0..64 {
+                let (i3, m3) = (i2.clone(), m2.clone());
+                s.spawn(
+                    RtTask::new(move |_| {
+                        let now = i3.fetch_add(1, Ordering::SeqCst) + 1;
+                        m3.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_micros(50));
+                        i3.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .with_mutex(obj),
+                );
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "mutex violated");
+    }
+
+    #[test]
+    fn stealing_spreads_work_across_servers() {
+        let rt = Runtime::new(RtConfig::new(4));
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+        let s2 = seen.clone();
+        rt.scope(move |s| {
+            for _ in 0..200 {
+                let seen = s2.clone();
+                // Everything lands on server 0; thieves must spread it.
+                s.spawn(
+                    RtTask::new(move |ctx| {
+                        // Enough work that stealing is worthwhile.
+                        std::hint::black_box((0..5_000).sum::<u64>());
+                        seen.lock().insert(ctx.proc().index());
+                    })
+                    .with_affinity(AffinitySpec::processor(0)),
+                );
+            }
+        });
+        assert!(
+            seen.lock().len() > 1,
+            "no stealing happened: {:?}",
+            seen.lock()
+        );
+        assert!(rt.stats().tasks_stolen > 0);
+    }
+
+    #[test]
+    fn exactly_once_under_stress() {
+        let rt = Runtime::new(RtConfig::new(8));
+        let n = 2_000usize;
+        let flags: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+        let objs: Vec<ObjRef> = (0..16).map(|i| rt.placement().alloc_on(ProcId(i % 8))).collect();
+        let f2 = flags.clone();
+        rt.scope(move |s| {
+            for i in 0..n {
+                let flags = f2.clone();
+                let aff = match i % 5 {
+                    0 => AffinitySpec::none(),
+                    1 => AffinitySpec::simple(objs[i % 16]),
+                    2 => AffinitySpec::task(objs[i % 16]),
+                    3 => AffinitySpec::object(objs[i % 16]),
+                    _ => AffinitySpec::processor(i),
+                };
+                let mut t = RtTask::new(move |_| {
+                    flags[i].fetch_add(1, Ordering::SeqCst);
+                })
+                .with_affinity(aff);
+                if i % 7 == 0 {
+                    t = t.with_mutex(objs[i % 16]);
+                }
+                s.spawn(t);
+            }
+        });
+        for (i, f) in flags.iter().enumerate() {
+            assert_eq!(f.load(Ordering::SeqCst), 1, "task {i} ran wrong # times");
+        }
+        let st = rt.stats();
+        assert_eq!(st.executed, n as u64);
+    }
+}

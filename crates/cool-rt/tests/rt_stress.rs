@@ -1,0 +1,189 @@
+//! Stress and property tests for the threaded runtime under real
+//! concurrency: exactly-once execution, scope correctness, mutex exclusion
+//! and policy compliance across randomised task mixes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cool_rt::{AffinitySpec, ObjRef, ProcId, RtConfig, RtTask, Runtime, StealPolicy};
+
+/// Deterministic cheap PRNG so the stress mix is reproducible without
+/// pulling rand into this crate.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn randomized_mixes_execute_exactly_once() {
+    for seed in 1..=5u64 {
+        let mut rng = seed * 0x9E37_79B9;
+        let threads = 2 + (xorshift(&mut rng) % 7) as usize;
+        let rt = Runtime::new(RtConfig::new(threads));
+        let objs: Vec<ObjRef> = (0..8)
+            .map(|i| rt.placement().alloc_on(ProcId(i % threads)))
+            .collect();
+        let n = 500;
+        let counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+        let c2 = counts.clone();
+        rt.scope(|s| {
+            for i in 0..n {
+                let counts = c2.clone();
+                let r = xorshift(&mut rng);
+                let obj = objs[(r % 8) as usize];
+                let aff = match r % 5 {
+                    0 => AffinitySpec::none(),
+                    1 => AffinitySpec::simple(obj),
+                    2 => AffinitySpec::task(obj),
+                    3 => AffinitySpec::object(obj),
+                    _ => AffinitySpec::processor((r % 64) as usize),
+                };
+                let mut t = RtTask::new(move |_| {
+                    counts[i].fetch_add(1, Ordering::SeqCst);
+                })
+                .with_affinity(aff);
+                if r % 7 == 0 {
+                    t = t.with_mutex(obj);
+                }
+                s.spawn(t);
+            }
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "seed {seed}: task {i}");
+        }
+        assert_eq!(rt.stats().executed, n as u64);
+    }
+}
+
+#[test]
+fn deep_nesting_completes() {
+    let rt = Runtime::new(RtConfig::new(4));
+    let count = Arc::new(AtomicUsize::new(0));
+
+    fn recurse(ctx: &cool_rt::RtCtx<'_>, depth: usize, count: Arc<AtomicUsize>) {
+        count.fetch_add(1, Ordering::SeqCst);
+        if depth == 0 {
+            return;
+        }
+        for _ in 0..2 {
+            let count = count.clone();
+            ctx.spawn(RtTask::new(move |c| {
+                recurse(c, depth - 1, count);
+            }));
+        }
+    }
+
+    let c2 = count.clone();
+    rt.scope(move |s| {
+        let c3 = c2.clone();
+        s.spawn(RtTask::new(move |c| recurse(c, 8, c3)));
+    });
+    // A complete binary spawn tree of depth 8: 2^9 - 1 nodes.
+    assert_eq!(count.load(Ordering::SeqCst), (1 << 9) - 1);
+}
+
+#[test]
+fn mutexes_on_distinct_objects_do_not_serialize_everything() {
+    let rt = Runtime::new(RtConfig::new(4));
+    let objs: Vec<ObjRef> = (0..4).map(|i| rt.placement().alloc_on(ProcId(i))).collect();
+    let done = Arc::new(AtomicUsize::new(0));
+    let d2 = done.clone();
+    let start = std::time::Instant::now();
+    rt.scope(move |s| {
+        for i in 0..64 {
+            let done = d2.clone();
+            s.spawn(
+                RtTask::new(move |_| {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .with_affinity(AffinitySpec::processor(i % 4))
+                .with_mutex(objs[i % 4]),
+            );
+        }
+    });
+    let wall = start.elapsed();
+    assert_eq!(done.load(Ordering::SeqCst), 64);
+    // Fully serialised would be ≥ 64 × 200 µs = 12.8 ms; four independent
+    // chains should be well under that (allow slack for CI noise).
+    assert!(
+        wall < std::time::Duration::from_millis(11),
+        "chains appear serialised: {wall:?}"
+    );
+}
+
+#[test]
+fn cluster_only_policy_never_crosses_clusters() {
+    let mut cfg = RtConfig::new(8);
+    cfg.procs_per_cluster = 4;
+    cfg.policy = StealPolicy::cluster_only();
+    let rt = Runtime::new(cfg);
+    let count = Arc::new(AtomicUsize::new(0));
+    let c2 = count.clone();
+    rt.scope(move |s| {
+        for i in 0..256 {
+            let count = c2.clone();
+            s.spawn(
+                RtTask::new(move |_| {
+                    std::hint::black_box((0..2000).sum::<u64>());
+                    count.fetch_add(1, Ordering::SeqCst);
+                })
+                .with_affinity(AffinitySpec::processor(i % 2)),
+            );
+        }
+    });
+    assert_eq!(count.load(Ordering::SeqCst), 256);
+    assert_eq!(
+        rt.stats().remote_steals,
+        0,
+        "cluster boundary must be strict"
+    );
+}
+
+#[test]
+fn stats_spawn_and_execute_balance_across_many_scopes() {
+    let rt = Runtime::new(RtConfig::new(4));
+    for round in 0..20 {
+        let n = 10 + round;
+        rt.scope(|s| {
+            for _ in 0..n {
+                s.spawn(RtTask::new(|_| {}));
+            }
+        });
+    }
+    let st = rt.stats();
+    assert_eq!(st.spawned, st.executed);
+    assert_eq!(st.spawned, (0..20).map(|r| 10 + r).sum::<u64>());
+}
+
+#[test]
+fn scopes_from_multiple_host_threads() {
+    // The runtime is shared; two host threads run scopes concurrently.
+    let rt = Arc::new(Runtime::new(RtConfig::new(4)));
+    let total = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let rt = rt.clone();
+        let total = total.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..10 {
+                let t2 = total.clone();
+                rt.scope(|s| {
+                    for _ in 0..25 {
+                        let t3 = t2.clone();
+                        s.spawn(RtTask::new(move |_| {
+                            t3.fetch_add(1, Ordering::SeqCst);
+                        }));
+                    }
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(total.load(Ordering::SeqCst), 4 * 10 * 25);
+}

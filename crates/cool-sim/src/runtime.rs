@@ -1,0 +1,769 @@
+//! The simulated runtime: servers, virtual-time event loop, scheduling.
+
+use std::collections::HashMap;
+
+use cool_core::{
+    AffinityKind, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy, Topology,
+};
+use dash_sim::{Machine, MachineConfig};
+
+use crate::report::RunReport;
+use crate::task::{Task, TaskCtx};
+
+/// Runtime configuration: the machine plus scheduler knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// The simulated machine.
+    pub machine: MachineConfig,
+    /// Work-stealing policy.
+    pub policy: StealPolicy,
+    /// Affinity-queue array size per server (Section 5: "collisions ... can
+    /// be minimized by choosing a suitably large array size").
+    pub affinity_slots: usize,
+    /// Cycles to probe one victim's queues during a steal scan.
+    pub steal_probe_cost: u64,
+    /// Cycles to transfer a stolen batch.
+    pub steal_xfer_cost: u64,
+    /// Cycles burned when a mutex task is found blocked and set aside.
+    pub mutex_retry_cost: u64,
+    /// Cycles charged to a creator per spawn (task creation is lightweight
+    /// in COOL; this covers descriptor setup + enqueue).
+    pub spawn_cost: u64,
+}
+
+impl SimConfig {
+    /// Defaults for a given machine.
+    pub fn new(machine: MachineConfig) -> Self {
+        SimConfig {
+            machine,
+            policy: StealPolicy::default(),
+            affinity_slots: 64,
+            steal_probe_cost: 30,
+            steal_xfer_cost: 100,
+            mutex_retry_cost: 20,
+            spawn_cost: 20,
+        }
+    }
+
+    /// Replace the steal policy.
+    pub fn with_policy(mut self, policy: StealPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// A task bound to its scheduling decision.
+struct SimTask {
+    task: Task,
+    /// Server the affinity hint selected (for adherence statistics).
+    target: ProcId,
+    /// Whether any hint was supplied.
+    hinted: bool,
+}
+
+/// One executed task in the schedule trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Server the task ran on.
+    pub proc: ProcId,
+    /// The task's label (or "task").
+    pub label: &'static str,
+    /// Dispatch-complete virtual time.
+    pub start: u64,
+    /// Completion virtual time.
+    pub end: u64,
+    /// Whether the task arrived by stealing... reported as: ran on its
+    /// hinted target server.
+    pub on_target: bool,
+}
+
+/// The simulated COOL runtime. See the crate docs for the execution model.
+pub struct SimRuntime {
+    cfg: SimConfig,
+    machine: Machine,
+    topology: Topology,
+    queues: Vec<ServerQueues<SimTask>>,
+    clocks: Vec<u64>,
+    stats: SchedStats,
+    /// Virtual time at which each mutex object's lock becomes free.
+    locks: HashMap<ObjRef, u64>,
+    /// Tasks currently queued anywhere (phase termination condition).
+    pending: usize,
+    /// Consecutive failed steal scans per server (drives last-resort mode).
+    failed_scans: Vec<usize>,
+    /// Consecutive blocked-rotation dispatches per server, plus the earliest
+    /// lock-release time seen, to jump the clock over a convoy.
+    rotations: Vec<(usize, u64)>,
+    /// Schedule trace, when enabled.
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl SimRuntime {
+    /// Build a cold runtime (cold caches, empty queues, zero clocks).
+    pub fn new(cfg: SimConfig) -> Self {
+        let n = cfg.machine.nprocs;
+        SimRuntime {
+            machine: Machine::new(cfg.machine),
+            topology: cfg.machine.topology(),
+            queues: (0..n).map(|_| ServerQueues::new(cfg.affinity_slots)).collect(),
+            clocks: vec![0; n],
+            stats: SchedStats::default(),
+            locks: HashMap::new(),
+            pending: 0,
+            failed_scans: vec![0; n],
+            rotations: vec![(0, u64::MAX); n],
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Start recording a schedule trace: every executed task is logged with
+    /// its server, label and virtual time interval. Useful for visualising
+    /// back-to-back affinity-set service and steal-induced migration.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace (empty if tracing was never enabled).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Number of servers (= processors).
+    pub fn nservers(&self) -> usize {
+        self.topology.nservers
+    }
+
+    /// The scheduler topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The simulated machine (for setup-time allocation etc.).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// `home()` resolved to a server.
+    pub fn home_proc(&self, obj: ObjRef) -> ProcId {
+        self.machine.home_proc(obj)
+    }
+
+    /// The current virtual clock of one server.
+    pub fn clock_of(&self, p: ProcId) -> u64 {
+        self.clocks[p.index()]
+    }
+
+    /// Elapsed virtual time: the latest processor clock.
+    pub fn elapsed(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Scheduling statistics so far.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Zero the machine's performance monitor (e.g. after initialisation, so
+    /// reports cover only the parallel section, as the paper measures).
+    pub fn reset_monitor(&mut self) {
+        self.machine.monitor_mut().reset();
+    }
+
+    /// Full report of the run so far.
+    pub fn report(&self) -> RunReport {
+        let total = self.machine.monitor().total();
+        RunReport {
+            nprocs: self.nservers(),
+            elapsed: self.elapsed(),
+            stats: self.stats,
+            mem: self.machine.monitor().breakdown(),
+            busy_cycles: total.busy_cycles,
+            idle_cycles: total.idle_cycles,
+            overhead_cycles: total.overhead_cycles,
+        }
+    }
+
+    /// Spawn a task from outside any task (phase seeding). The creator is
+    /// taken to be server 0.
+    pub fn spawn(&mut self, task: Task) {
+        self.spawn_from(ProcId(0), task);
+    }
+
+    /// Spawn from `creator`, resolving the affinity block to a target server
+    /// and queue slot. Returns the cycles to charge the creator.
+    pub(crate) fn spawn_from(&mut self, creator: ProcId, task: Task) -> u64 {
+        let spec = task.affinity;
+        let hinted = spec.is_hinted();
+        let machine = &self.machine;
+        let target = spec.resolve_server(self.topology.nservers, creator, |o| {
+            machine.home_proc(o)
+        });
+        let kind = spec.kind();
+        let st = SimTask {
+            task,
+            target,
+            hinted,
+        };
+        match spec.queue_token() {
+            Some(tok) => self.queues[target.index()].push_affinity(tok, kind, st),
+            None => self.queues[target.index()].push_default(kind, st),
+        }
+        self.pending += 1;
+        self.stats.spawned += 1;
+        self.machine.monitor_mut().proc_mut(creator.index()).overhead_cycles +=
+            self.cfg.spawn_cost;
+        self.cfg.spawn_cost
+    }
+
+    /// Run one phase to quiescence: execute `seed` as a task on server 0,
+    /// then keep scheduling until every transitively-spawned task has
+    /// completed. This is the `waitfor { ... }` construct: control returns
+    /// only when the phase's task tree is done.
+    pub fn run_phase(&mut self, seed: impl FnOnce(&mut TaskCtx<'_>) + 'static) {
+        self.spawn(Task::new(seed));
+        self.drain();
+    }
+
+    /// The event loop: repeatedly act on the earliest-clock server.
+    fn drain(&mut self) {
+        while self.pending > 0 {
+            let p = self.min_clock_server();
+            if !self.queues[p.index()].is_empty() {
+                self.dispatch(p);
+            } else {
+                self.try_steal_or_idle(p);
+            }
+        }
+    }
+
+    /// The server with the earliest clock (ties broken by id) — the next one
+    /// to act in virtual time.
+    fn min_clock_server(&self) -> ProcId {
+        let mut best = 0;
+        for q in 1..self.clocks.len() {
+            if self.clocks[q] < self.clocks[best] {
+                best = q;
+            }
+        }
+        ProcId(best)
+    }
+
+    /// Pop and run (or rotate) the next local task on `p`.
+    fn dispatch(&mut self, p: ProcId) {
+        let pi = p.index();
+        let (kind, st) = self.queues[pi]
+            .pop_local()
+            .expect("dispatch on empty queue");
+        self.clocks[pi] += self.cfg.machine.dispatch_overhead;
+        self.machine.monitor_mut().proc_mut(pi).overhead_cycles +=
+            self.cfg.machine.dispatch_overhead;
+
+        // Mutex parallel function: check the object lock.
+        if let Some(lock_obj) = st.task.mutex_on {
+            let free_at = *self.locks.get(&lock_obj).unwrap_or(&0);
+            if free_at > self.clocks[pi] {
+                // Blocked: set the task aside (back of its queue) and let the
+                // server pick other work. COOL blocks the task, not the
+                // server.
+                self.stats.mutex_blocks += 1;
+                self.clocks[pi] += self.cfg.mutex_retry_cost;
+                let (rot, earliest) = &mut self.rotations[pi];
+                *rot += 1;
+                *earliest = (*earliest).min(free_at);
+                let full_cycle = *rot > self.queues[pi].len();
+                let jump_to = *earliest;
+                if full_cycle {
+                    // Everything runnable was tried; jump to the first lock
+                    // release so we stop spinning.
+                    let idle = jump_to.saturating_sub(self.clocks[pi]);
+                    self.machine.monitor_mut().proc_mut(pi).idle_cycles += idle;
+                    self.clocks[pi] = self.clocks[pi].max(jump_to);
+                    self.rotations[pi] = (0, u64::MAX);
+                }
+                match st.task.affinity.queue_token() {
+                    Some(tok) => self.queues[pi].push_affinity(tok, kind, st),
+                    None => self.queues[pi].push_default(kind, st),
+                }
+                return;
+            }
+        }
+        self.rotations[pi] = (0, u64::MAX);
+        self.failed_scans[pi] = 0;
+        self.execute(p, st);
+    }
+
+    /// Run a task body to completion on `p`, advancing its clock.
+    fn execute(&mut self, p: ProcId, mut st: SimTask) {
+        let pi = p.index();
+        self.pending -= 1;
+        self.stats.executed += 1;
+        if st.hinted {
+            self.stats.hinted += 1;
+            if st.target == p {
+                self.stats.affinity_hits += 1;
+            }
+        }
+        let start = self.clocks[pi];
+        let mutex_on = st.task.mutex_on;
+        // Issue the task's prefetches before the body runs: their latency
+        // overlaps the first part of the execution.
+        let mut prefetch_cycles = 0;
+        for (obj, bytes) in std::mem::take(&mut st.task.prefetch) {
+            prefetch_cycles += self
+                .machine
+                .prefetch(p, obj, bytes, start + prefetch_cycles);
+        }
+        self.clocks[pi] += prefetch_cycles;
+        let start = self.clocks[pi];
+        let body = st.task.body;
+        let mut ctx = TaskCtx {
+            rt: self,
+            proc: p,
+            cycles: 0,
+        };
+        let label = st.task.label;
+        let hinted_target = st.target;
+        body(&mut ctx);
+        let duration = ctx.cycles;
+        self.clocks[pi] = start + duration;
+        if let Some(lock_obj) = mutex_on {
+            self.locks.insert(lock_obj, start + duration);
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                proc: p,
+                label: label.unwrap_or("task"),
+                start,
+                end: start + duration,
+                on_target: hinted_target == p,
+            });
+        }
+    }
+
+    /// Steal scan for an idle server, or advance its clock past the next
+    /// event if nothing is stealable.
+    fn try_steal_or_idle(&mut self, p: ProcId) {
+        let pi = p.index();
+        let policy = self.cfg.policy;
+        if policy.enabled {
+            let desperate = self.failed_scans[pi] >= policy.last_resort_after;
+            let order = self.topology.steal_order(p);
+            let mut probes = 0u64;
+            for v in order {
+                let cross_cluster = !self.topology.same_cluster(p, v);
+                // cluster_only is strict: the whole point of the Section 6.3
+                // experiment is that stolen tasks keep referencing their
+                // objects in cluster-local memory, so desperation lifts only
+                // the object-affinity avoidance, never the cluster boundary.
+                if policy.cluster_only && cross_cluster {
+                    continue;
+                }
+                probes += 1;
+                let avoid_object = policy.avoid_object_affinity && !desperate;
+                if let Some(batch) =
+                    self.queues[v.index()].steal_with(avoid_object, policy.steal_whole_sets)
+                {
+                    let n = batch.tasks.len() as u64;
+                    self.stats.tasks_stolen += n;
+                    if batch.token.is_some() {
+                        self.stats.sets_stolen += 1;
+                    }
+                    if cross_cluster {
+                        self.stats.remote_steals += 1;
+                    }
+                    if desperate {
+                        self.stats.desperate_steals += 1;
+                    }
+                    // Stolen tasks keep their original target for adherence
+                    // accounting; re-steal classification is Task for sets
+                    // (their collocation is already broken) and None for
+                    // singles.
+                    let kind = if batch.token.is_some() {
+                        AffinityKind::Task
+                    } else {
+                        AffinityKind::None
+                    };
+                    self.queues[pi].push_stolen(batch, kind);
+                    let cost = probes * self.cfg.steal_probe_cost + self.cfg.steal_xfer_cost;
+                    self.clocks[pi] += cost;
+                    self.machine.monitor_mut().proc_mut(pi).overhead_cycles += cost;
+                    self.failed_scans[pi] = 0;
+                    // Run the first stolen task immediately. Besides matching
+                    // what a real thief does, this guarantees progress: a
+                    // steal always executes at least one task, so whole-set
+                    // steals cannot ping-pong a set between idle servers
+                    // indefinitely.
+                    self.dispatch(p);
+                    return;
+                }
+            }
+            let cost = probes * self.cfg.steal_probe_cost;
+            self.clocks[pi] += cost;
+            self.machine.monitor_mut().proc_mut(pi).overhead_cycles += cost;
+            self.failed_scans[pi] += 1;
+            self.stats.failed_steals += 1;
+        }
+        // Idle: advance past the earliest server that still has work, so it
+        // acts first and we re-examine the world afterwards.
+        let next = self
+            .clocks
+            .iter()
+            .enumerate()
+            .filter(|&(q, _)| !self.queues[q].is_empty())
+            .map(|(_, &c)| c)
+            .min();
+        if let Some(t) = next {
+            let target = t.max(self.clocks[pi]) + 1;
+            self.machine.monitor_mut().proc_mut(pi).idle_cycles +=
+                target - self.clocks[pi];
+            self.clocks[pi] = target;
+        }
+        // If no queue anywhere has work, pending must be 0 and the phase
+        // ends; `drain` checks on the next iteration.
+        debug_assert!(next.is_some() || self.pending == 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_core::AffinitySpec;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn rt(nprocs: usize) -> SimRuntime {
+        SimRuntime::new(SimConfig::new(MachineConfig::dash_small(nprocs)))
+    }
+
+    #[test]
+    fn single_task_runs_and_advances_clock() {
+        let mut rt = rt(2);
+        let ran = Rc::new(RefCell::new(false));
+        let flag = ran.clone();
+        rt.run_phase(move |ctx| {
+            ctx.compute(100);
+            *flag.borrow_mut() = true;
+        });
+        assert!(*ran.borrow());
+        assert!(rt.elapsed() >= 100);
+        assert_eq!(rt.stats().executed, 1);
+    }
+
+    #[test]
+    fn object_affinity_task_runs_on_home_server() {
+        let mut rt = rt(8);
+        let obj = rt.machine_mut().alloc_on_node(cool_core::NodeId(1), 64);
+        let where_ran = Rc::new(RefCell::new(ProcId(99)));
+        let w = where_ran.clone();
+        rt.run_phase(move |ctx| {
+            let w = w.clone();
+            ctx.spawn(
+                Task::new(move |c| {
+                    *w.borrow_mut() = c.proc();
+                    c.compute(10);
+                })
+                .with_affinity(AffinitySpec::object(obj)),
+            );
+        });
+        // Home of node 1 is processor 4 (first of cluster 1).
+        assert_eq!(*where_ran.borrow(), ProcId(4));
+        assert_eq!(rt.stats().adherence(), 1.0);
+    }
+
+    #[test]
+    fn task_affinity_set_runs_back_to_back_on_one_server() {
+        // Stealing is disabled so the property is tested in isolation; with
+        // stealing enabled a set may legitimately be stolen *as a set*.
+        let mut rt = SimRuntime::new(
+            SimConfig::new(MachineConfig::dash_small(4)).with_policy(StealPolicy::disabled()),
+        );
+        let token = ObjRef(0x500);
+        let trace: Rc<RefCell<Vec<(u32, ProcId)>>> = Rc::new(RefCell::new(Vec::new()));
+        let t = trace.clone();
+        let trace2 = trace.clone();
+        rt.run_phase(move |ctx| {
+            for i in 0..6u32 {
+                let t = t.clone();
+                // Interleave with unrelated tasks to check set cohesion.
+                ctx.spawn(Task::new(move |c| {
+                    c.compute(50);
+                    t.borrow_mut().push((100 + i, c.proc()));
+                }));
+                let t2 = trace2.clone();
+                ctx.spawn(
+                    Task::new(move |c| {
+                        c.compute(50);
+                        t2.borrow_mut().push((i, c.proc()));
+                    })
+                    .with_affinity(AffinitySpec::task(token)),
+                );
+            }
+        });
+        let tr = trace.borrow();
+        let set: Vec<(u32, ProcId)> = tr.iter().copied().filter(|&(i, _)| i < 100).collect();
+        assert_eq!(set.len(), 6);
+        // All on the same server...
+        assert!(set.iter().all(|&(_, p)| p == set[0].1), "{set:?}");
+        // ...in FIFO order (back to back service).
+        let ids: Vec<u32> = set.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stealing_balances_unhinted_load() {
+        let mut rt = rt(4);
+        let seen: Rc<RefCell<std::collections::HashSet<usize>>> =
+            Rc::new(RefCell::new(Default::default()));
+        let s = seen.clone();
+        rt.run_phase(move |ctx| {
+            for _ in 0..64 {
+                let s = s.clone();
+                ctx.spawn(Task::new(move |c| {
+                    c.compute(5000);
+                    s.borrow_mut().insert(c.proc().index());
+                }));
+            }
+        });
+        assert!(rt.stats().tasks_stolen > 0);
+        assert!(
+            seen.borrow().len() >= 3,
+            "work should spread: {:?}",
+            seen.borrow()
+        );
+    }
+
+    #[test]
+    fn disabled_stealing_keeps_unhinted_tasks_on_creator() {
+        let mut rt = SimRuntime::new(
+            SimConfig::new(MachineConfig::dash_small(4)).with_policy(StealPolicy::disabled()),
+        );
+        let seen: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        rt.run_phase(move |ctx| {
+            for _ in 0..10 {
+                let s = s.clone();
+                ctx.spawn(Task::new(move |c| {
+                    c.compute(1000);
+                    s.borrow_mut().push(c.proc().index());
+                }));
+            }
+        });
+        assert!(seen.borrow().iter().all(|&p| p == 0));
+        assert_eq!(rt.stats().tasks_stolen, 0);
+    }
+
+    #[test]
+    fn mutex_tasks_serialize_in_virtual_time() {
+        let mut rt = rt(4);
+        let obj = rt.machine_mut().alloc_on_node(cool_core::NodeId(0), 64);
+        rt.run_phase(move |ctx| {
+            for i in 0..4 {
+                ctx.spawn(
+                    Task::new(move |c| {
+                        c.compute(10_000);
+                    })
+                    .with_affinity(AffinitySpec::processor(i))
+                    .with_mutex(obj),
+                );
+            }
+        });
+        // Four 10k-cycle critical sections on one lock cannot overlap:
+        // elapsed must be at least 40k cycles even with 4 processors.
+        assert!(
+            rt.elapsed() >= 40_000,
+            "mutex sections overlapped: {}",
+            rt.elapsed()
+        );
+        assert!(rt.stats().mutex_blocks > 0);
+    }
+
+    #[test]
+    fn non_conflicting_mutex_tasks_run_in_parallel() {
+        let mut rt = rt(4);
+        let a = rt.machine_mut().alloc_on_node(cool_core::NodeId(0), 64);
+        let b = rt.machine_mut().alloc_on_node(cool_core::NodeId(0), 64);
+        rt.run_phase(move |ctx| {
+            ctx.spawn(
+                Task::new(|c| c.compute(10_000))
+                    .with_affinity(AffinitySpec::processor(1))
+                    .with_mutex(a),
+            );
+            ctx.spawn(
+                Task::new(|c| c.compute(10_000))
+                    .with_affinity(AffinitySpec::processor(2))
+                    .with_mutex(b),
+            );
+        });
+        assert!(
+            rt.elapsed() < 15_000,
+            "independent locks should not serialize: {}",
+            rt.elapsed()
+        );
+    }
+
+    #[test]
+    fn nested_spawns_all_execute() {
+        let mut rt = rt(4);
+        let count = Rc::new(RefCell::new(0u32));
+        let c0 = count.clone();
+        rt.run_phase(move |ctx| {
+            for _ in 0..4 {
+                let c1 = c0.clone();
+                ctx.spawn(Task::new(move |cx| {
+                    for _ in 0..4 {
+                        let c2 = c1.clone();
+                        cx.spawn(Task::new(move |cy| {
+                            cy.compute(10);
+                            *c2.borrow_mut() += 1;
+                        }));
+                    }
+                }));
+            }
+        });
+        assert_eq!(*count.borrow(), 16);
+        // seed + 4 + 16
+        assert_eq!(rt.stats().executed, 21);
+    }
+
+    #[test]
+    fn cluster_only_stealing_respects_boundary_until_desperate() {
+        // 8 procs = 2 clusters. All work pinned to cluster 0 with object
+        // affinity; cluster-1 thieves may only take it desperately.
+        let mut rt = SimRuntime::new(
+            SimConfig::new(MachineConfig::dash_small(8))
+                .with_policy(StealPolicy::cluster_only()),
+        );
+        let obj = rt.machine_mut().alloc_on_node(cool_core::NodeId(0), 64);
+        rt.run_phase(move |ctx| {
+            for _ in 0..32 {
+                ctx.spawn(
+                    Task::new(|c| c.compute(2000)).with_affinity(AffinitySpec::object(obj)),
+                );
+            }
+        });
+        let s = rt.stats();
+        // The cluster boundary is strict: no cross-cluster steals at all.
+        assert_eq!(s.remote_steals, 0, "cluster boundary crossed: {s:?}");
+    }
+
+    #[test]
+    fn adherence_reflects_stolen_hinted_tasks() {
+        // One server hoards hinted work; with stealing, some tasks run
+        // elsewhere so adherence < 1.
+        let mut rt = rt(4);
+        rt.run_phase(move |ctx| {
+            for _ in 0..32 {
+                ctx.spawn(
+                    Task::new(|c| c.compute(5000)).with_affinity(AffinitySpec::processor(0)),
+                );
+            }
+        });
+        let s = rt.stats();
+        assert_eq!(s.hinted, 32);
+        assert!(s.adherence() < 1.0, "stealing should break some adherence");
+        assert!(s.adherence() > 0.0);
+    }
+
+    #[test]
+    fn trace_records_labelled_intervals() {
+        let mut rt = SimRuntime::new(
+            SimConfig::new(MachineConfig::dash_small(2)).with_policy(StealPolicy::disabled()),
+        );
+        rt.enable_trace();
+        rt.run_phase(|ctx| {
+            ctx.spawn(
+                Task::new(|c| c.compute(100))
+                    .with_label("alpha")
+                    .with_affinity(AffinitySpec::processor(0)),
+            );
+            ctx.spawn(
+                Task::new(|c| c.compute(200))
+                    .with_label("beta")
+                    .with_affinity(AffinitySpec::processor(1)),
+            );
+        });
+        let trace = rt.trace();
+        // Seed + two labelled tasks.
+        assert_eq!(trace.len(), 3);
+        let alpha = trace.iter().find(|e| e.label == "alpha").unwrap();
+        let beta = trace.iter().find(|e| e.label == "beta").unwrap();
+        assert_eq!(alpha.proc, ProcId(0));
+        assert_eq!(beta.proc, ProcId(1));
+        assert!(alpha.end >= alpha.start + 100);
+        assert!(beta.end >= beta.start + 200);
+        assert!(alpha.on_target && beta.on_target);
+        // Intervals never overlap on one server.
+        for p in 0..2 {
+            let mut evs: Vec<_> = trace.iter().filter(|e| e.proc == ProcId(p)).collect();
+            evs.sort_by_key(|e| e.start);
+            for w in evs.windows(2) {
+                assert!(w[0].end <= w[1].start, "overlap on P{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut rt = rt(8);
+            let obj = rt.machine_mut().alloc_interleaved(4096);
+            rt.run_phase(move |ctx| {
+                for i in 0..40u64 {
+                    ctx.spawn(
+                        Task::new(move |c| {
+                            c.read(obj.offset(i * 64), 64);
+                            c.compute(100 + i * 7);
+                            c.write(obj.offset(i * 64), 8);
+                        })
+                        .with_affinity(AffinitySpec::task(obj.offset((i % 5) * 64))),
+                    );
+                }
+            });
+            (rt.elapsed(), rt.stats(), rt.report().mem)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn phases_are_barriers() {
+        let mut rt = rt(4);
+        let log: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        rt.run_phase(move |ctx| {
+            for _ in 0..8 {
+                let l = l1.clone();
+                ctx.spawn(Task::new(move |c| {
+                    c.compute(1000);
+                    l.borrow_mut().push(1);
+                }));
+            }
+        });
+        let l2 = log.clone();
+        rt.run_phase(move |ctx| {
+            for _ in 0..8 {
+                let l = l2.clone();
+                ctx.spawn(Task::new(move |c| {
+                    c.compute(1000);
+                    l.borrow_mut().push(2);
+                }));
+            }
+        });
+        let v = log.borrow();
+        let first_two = v.iter().position(|&x| x == 2).unwrap();
+        assert!(
+            v[..first_two].iter().all(|&x| x == 1),
+            "phase 2 started before phase 1 finished: {v:?}"
+        );
+        assert_eq!(v.len(), 16);
+    }
+}

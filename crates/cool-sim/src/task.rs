@@ -1,0 +1,139 @@
+//! Tasks and the execution context their bodies run against.
+
+use cool_core::{AffinitySpec, ObjRef, ProcId};
+
+use crate::runtime::SimRuntime;
+
+/// The body of a COOL task: real computation that mirrors its memory
+/// accesses into the simulated machine via the [`TaskCtx`].
+pub type TaskBody = Box<dyn FnOnce(&mut TaskCtx<'_>)>;
+
+/// A COOL task: a parallel function invocation plus its evaluated affinity
+/// block (Figure 2 of the paper).
+pub struct Task {
+    pub(crate) body: TaskBody,
+    pub(crate) affinity: AffinitySpec,
+    /// For `parallel mutex` functions: the object requiring exclusive access.
+    pub(crate) mutex_on: Option<ObjRef>,
+    /// Objects (address, bytes) to prefetch when the task is dispatched —
+    /// the remote side of a multi-object affinity (Section 4.1's heuristic,
+    /// Section 8's prefetching support).
+    pub(crate) prefetch: Vec<(ObjRef, u64)>,
+    /// Optional label recorded in the schedule trace.
+    pub(crate) label: Option<&'static str>,
+}
+
+impl Task {
+    /// A task with no hints (scheduled on the creating server's default
+    /// queue, freely stealable).
+    pub fn new(body: impl FnOnce(&mut TaskCtx<'_>) + 'static) -> Self {
+        Task {
+            body: Box::new(body),
+            affinity: AffinitySpec::none(),
+            mutex_on: None,
+            prefetch: Vec::new(),
+            label: None,
+        }
+    }
+
+    /// Attach an affinity specification (the `[affinity(...)]` block).
+    pub fn with_affinity(mut self, spec: AffinitySpec) -> Self {
+        self.affinity = spec;
+        self
+    }
+
+    /// Declare the task a `mutex` function on `obj`: the runtime acquires
+    /// exclusive access to `obj` before running the body.
+    pub fn with_mutex(mut self, obj: ObjRef) -> Self {
+        self.mutex_on = Some(obj);
+        self
+    }
+
+    /// Request that `(object, bytes)` pairs be prefetched into the executing
+    /// processor's cache when the task is dispatched.
+    pub fn with_prefetch(mut self, objects: Vec<(ObjRef, u64)>) -> Self {
+        self.prefetch = objects;
+        self
+    }
+
+    /// Attach a label that appears in the schedule trace (see
+    /// [`crate::runtime::SimRuntime::enable_trace`]).
+    pub fn with_label(mut self, label: &'static str) -> Self {
+        self.label = Some(label);
+        self
+    }
+
+    /// The affinity specification.
+    pub fn affinity(&self) -> AffinitySpec {
+        self.affinity
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("affinity", &self.affinity)
+            .field("mutex_on", &self.mutex_on)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The context a task body executes against: the simulated processor it runs
+/// on, plus the services of the runtime (memory mirroring, spawning,
+/// distribution primitives).
+pub struct TaskCtx<'rt> {
+    pub(crate) rt: &'rt mut SimRuntime,
+    pub(crate) proc: ProcId,
+    /// Cycles charged by this task so far (memory + compute + spawn costs).
+    pub(crate) cycles: u64,
+}
+
+impl TaskCtx<'_> {
+    /// The processor (server) executing this task.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Number of servers in the machine.
+    pub fn nservers(&self) -> usize {
+        self.rt.nservers()
+    }
+
+    /// Mirror a read of `len` bytes at `obj` into the machine. The access is
+    /// issued at the task's current virtual time, so misses queue behind
+    /// other requests contending for the servicing memory module.
+    pub fn read(&mut self, obj: ObjRef, len: u64) {
+        let now = self.rt.clock_of(self.proc) + self.cycles;
+        self.cycles += self.rt.machine_mut().read_at(self.proc, obj, len, now);
+    }
+
+    /// Mirror a write of `len` bytes at `obj` into the machine.
+    pub fn write(&mut self, obj: ObjRef, len: u64) {
+        let now = self.rt.clock_of(self.proc) + self.cycles;
+        self.cycles += self.rt.machine_mut().write_at(self.proc, obj, len, now);
+    }
+
+    /// Charge `cycles` of pure computation.
+    pub fn compute(&mut self, cycles: u64) {
+        self.cycles += self.rt.machine_mut().compute(self.proc, cycles);
+    }
+
+    /// Spawn a child task (a parallel function invocation). The child's
+    /// affinity block is evaluated immediately and the task enqueued on its
+    /// target server; a small spawn cost is charged to the caller.
+    pub fn spawn(&mut self, task: Task) {
+        self.cycles += self.rt.spawn_from(self.proc, task);
+    }
+
+    /// `home()`: the server collocated with `obj`'s memory.
+    pub fn home(&self, obj: ObjRef) -> ProcId {
+        self.rt.home_proc(obj)
+    }
+
+    /// `migrate()`: move `bytes` at `obj` to processor `n % nservers`'s
+    /// local memory, charging the migration cost to this task.
+    pub fn migrate(&mut self, obj: ObjRef, bytes: u64, n: usize) {
+        let c = self.rt.machine_mut().migrate_to_proc(obj, bytes, n);
+        self.cycles += self.rt.machine_mut().compute(self.proc, c);
+    }
+}

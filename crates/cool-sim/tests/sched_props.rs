@@ -1,0 +1,134 @@
+//! Property-based tests for the simulated scheduler: conservation laws and
+//! determinism under arbitrary affinity mixes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cool_core::{AffinitySpec, StealPolicy};
+use cool_sim::{MachineConfig, SimConfig, SimRuntime, Task};
+use proptest::prelude::*;
+
+/// Compact description of a random task for generation.
+#[derive(Clone, Debug)]
+struct Spec {
+    affinity: u8,   // 0 none, 1 simple, 2 task, 3 object, 4 processor, 5 task+object
+    arg: u8,        // object selector / processor number
+    cycles: u16,    // compute cost
+    mutex: bool,    // mutex on the selected object
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (0u8..6, any::<u8>(), 1u16..2000, any::<bool>()).prop_map(|(affinity, arg, cycles, mutex)| {
+        Spec {
+            affinity,
+            arg,
+            cycles,
+            mutex,
+        }
+    })
+}
+
+fn run_specs(specs: &[Spec], nprocs: usize, policy: StealPolicy) -> (u64, Vec<u32>, String) {
+    let mut rt = SimRuntime::new(
+        SimConfig::new(MachineConfig::dash_small(nprocs)).with_policy(policy),
+    );
+    // A pool of objects spread over the nodes.
+    let nobj = 16u64;
+    let objs: Vec<_> = (0..nobj)
+        .map(|i| {
+            rt.machine_mut()
+                .alloc_on_proc(i as usize % nprocs, 256)
+        })
+        .collect();
+    let executed: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let specs = specs.to_vec();
+    let ex = executed.clone();
+    rt.run_phase(move |ctx| {
+        for (id, s) in specs.iter().enumerate() {
+            let obj = objs[(s.arg as u64 % nobj) as usize];
+            let aff = match s.affinity {
+                0 => AffinitySpec::none(),
+                1 => AffinitySpec::simple(obj),
+                2 => AffinitySpec::task(obj),
+                3 => AffinitySpec::object(obj),
+                4 => AffinitySpec::processor(s.arg as usize),
+                _ => AffinitySpec::task(obj).and_object(objs[(s.arg as u64 + 1) as usize % nobj as usize]),
+            };
+            let cycles = s.cycles as u64;
+            let ex = ex.clone();
+            let id = id as u32;
+            let mut task = Task::new(move |c| {
+                c.read(obj, 64);
+                c.compute(cycles);
+                c.write(obj, 8);
+                ex.borrow_mut().push(id);
+            })
+            .with_affinity(aff);
+            if s.mutex {
+                task = task.with_mutex(obj);
+            }
+            ctx.spawn(task);
+        }
+    });
+    let stats = rt.stats();
+    let mem = rt.report().mem;
+    let order = executed.borrow().clone();
+    (rt.elapsed(), order, format!("{stats:?}/{mem:?}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every spawned task executes exactly once, for any affinity mix,
+    /// machine size and steal policy.
+    #[test]
+    fn exactly_once_execution(
+        specs in prop::collection::vec(spec_strategy(), 1..60),
+        nprocs in 1usize..12,
+        policy_sel in 0u8..3,
+    ) {
+        let policy = match policy_sel {
+            0 => StealPolicy::default(),
+            1 => StealPolicy::disabled(),
+            _ => StealPolicy::cluster_only(),
+        };
+        let (_, executed, _) = run_specs(&specs, nprocs, policy);
+        let mut ids = executed.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), executed.len(), "a task ran twice");
+        prop_assert_eq!(ids.len(), specs.len(), "a task was lost");
+    }
+
+    /// The simulation is a deterministic function of its inputs.
+    #[test]
+    fn deterministic(
+        specs in prop::collection::vec(spec_strategy(), 1..40),
+        nprocs in 1usize..8,
+    ) {
+        let a = run_specs(&specs, nprocs, StealPolicy::default());
+        let b = run_specs(&specs, nprocs, StealPolicy::default());
+        prop_assert_eq!(a.0, b.0, "elapsed time diverged");
+        prop_assert_eq!(a.1, b.1, "execution order diverged");
+        prop_assert_eq!(a.2, b.2, "statistics diverged");
+    }
+
+    /// Virtual time with P processors is never worse than serial execution
+    /// by more than the scheduling overheads, and total busy work is
+    /// conserved regardless of policy.
+    #[test]
+    fn more_processors_never_lose_badly(
+        specs in prop::collection::vec(spec_strategy(), 4..40),
+    ) {
+        let (t1, _, _) = run_specs(&specs, 1, StealPolicy::disabled());
+        let (t8, _, _) = run_specs(&specs, 8, StealPolicy::default());
+        // Parallel execution may pay steal/idle overhead and remote misses,
+        // but must stay within a modest constant factor of serial time.
+        prop_assert!(
+            t8 <= t1 * 3 + 50_000,
+            "8-proc run catastrophically slower: {} vs {}",
+            t8,
+            t1
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Machine configuration, defaulting to the Stanford DASH prototype used in
+//! Section 6 of the paper.
+
+use cool_core::{ClusterId, NodeId, ProcId, Topology};
+
+/// Parameters of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Cache line size in bytes (16 on DASH).
+    pub line_bytes: u64,
+    /// Associativity (1 = direct-mapped, as on the DASH prototype).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.assoc as u64)
+    }
+
+    /// Total lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// The latency table of the three-level hierarchy (processor cycles).
+///
+/// Values from Section 6: "References that are satisfied in the first-level
+/// cache take a single processor cycle, while hits in the second-level cache
+/// take about 14 cycles. Memory references to data in the local cluster
+/// memory take nearly 30 cycles, while references to the remote memory of
+/// another cluster take about 100-150 cycles."
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latencies {
+    /// First-level cache hit.
+    pub l1_hit: u64,
+    /// Second-level cache hit.
+    pub l2_hit: u64,
+    /// Miss serviced by the local cluster memory.
+    pub local_mem: u64,
+    /// Miss serviced by a remote cluster's memory (or a remote dirty cache).
+    pub remote_mem: u64,
+    /// Extra cycles when a miss must be serviced by another cache that holds
+    /// the line dirty (three-hop transaction on DASH).
+    pub dirty_penalty: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            l1_hit: 1,
+            l2_hit: 14,
+            local_mem: 30,
+            remote_mem: 130,
+            dirty_penalty: 20,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Processors per cluster; each cluster holds one memory node.
+    pub procs_per_cluster: usize,
+    /// First-level cache (64 KB on DASH).
+    pub l1: CacheConfig,
+    /// Second-level cache (256 KB on DASH).
+    pub l2: CacheConfig,
+    /// Latency table.
+    pub lat: Latencies,
+    /// Operating-system page size: homes are tracked per page, and `migrate`
+    /// moves whole pages, matching the DASH footnote in Section 4.1.
+    pub page_bytes: u64,
+    /// Scheduling overhead charged per task dispatch (enqueue + dequeue).
+    pub dispatch_overhead: u64,
+    /// Cycles to migrate one page (copy + remap).
+    pub page_migrate_cost: u64,
+    /// Cycles a memory module is occupied per request it services. Requests
+    /// to a busy module queue, so concentrating data on one node costs
+    /// bandwidth as well as latency — the effect behind the paper's
+    /// "distributing the panels improves performance due to better
+    /// utilization of the available memory bandwidth". 0 disables the
+    /// contention model.
+    pub mem_occupancy: u64,
+}
+
+impl MachineConfig {
+    /// The DASH prototype: 32 processors, 8 clusters of 4, 64 KB / 256 KB
+    /// direct-mapped caches with 16-byte lines.
+    pub fn dash(nprocs: usize) -> Self {
+        MachineConfig {
+            nprocs,
+            procs_per_cluster: 4,
+            l1: CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 16,
+                assoc: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                line_bytes: 16,
+                assoc: 1,
+            },
+            lat: Latencies::default(),
+            page_bytes: 4096,
+            dispatch_overhead: 50,
+            page_migrate_cost: 2000,
+            mem_occupancy: 3,
+        }
+    }
+
+    /// A scaled-down DASH for fast tests: small caches magnify locality
+    /// effects at small problem sizes while preserving the latency ratios.
+    pub fn dash_small(nprocs: usize) -> Self {
+        MachineConfig {
+            l1: CacheConfig {
+                size_bytes: 4 * 1024,
+                line_bytes: 16,
+                assoc: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 16,
+                assoc: 1,
+            },
+            page_bytes: 1024,
+            ..Self::dash(nprocs)
+        }
+    }
+
+    /// Scheduler-facing topology.
+    pub fn topology(&self) -> Topology {
+        Topology::clustered(self.nprocs, self.procs_per_cluster)
+    }
+
+    /// Number of clusters / memory nodes.
+    pub fn nclusters(&self) -> usize {
+        self.nprocs.div_ceil(self.procs_per_cluster)
+    }
+
+    /// The cluster (= memory node) of a processor.
+    #[inline]
+    pub fn cluster_of(&self, p: ProcId) -> ClusterId {
+        ClusterId(p.index() / self.procs_per_cluster)
+    }
+
+    /// The memory node local to a processor.
+    #[inline]
+    pub fn node_of(&self, p: ProcId) -> NodeId {
+        NodeId(self.cluster_of(p).index())
+    }
+
+    /// A representative processor for a memory node (the first in its
+    /// cluster) — used to turn `home(obj)` into a server choice.
+    #[inline]
+    pub fn proc_of_node(&self, n: NodeId) -> ProcId {
+        ProcId(n.index() * self.procs_per_cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dash_defaults_match_the_paper() {
+        let c = MachineConfig::dash(32);
+        assert_eq!(c.nclusters(), 8);
+        assert_eq!(c.l1.size_bytes, 64 * 1024);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.lat.l1_hit, 1);
+        assert_eq!(c.lat.l2_hit, 14);
+        assert_eq!(c.lat.local_mem, 30);
+        assert!(c.lat.remote_mem >= 100 && c.lat.remote_mem <= 150);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 16,
+            assoc: 1,
+        };
+        assert_eq!(c.lines(), 4096);
+        assert_eq!(c.sets(), 4096);
+        let c2 = CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 16,
+            assoc: 4,
+        };
+        assert_eq!(c2.sets(), 1024);
+    }
+
+    #[test]
+    fn node_and_proc_mapping_roundtrip() {
+        let c = MachineConfig::dash(32);
+        assert_eq!(c.node_of(ProcId(0)), NodeId(0));
+        assert_eq!(c.node_of(ProcId(5)), NodeId(1));
+        assert_eq!(c.proc_of_node(NodeId(1)), ProcId(4));
+        assert_eq!(c.node_of(c.proc_of_node(NodeId(7))), NodeId(7));
+    }
+}

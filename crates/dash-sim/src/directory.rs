@@ -1,0 +1,203 @@
+//! Invalidation-based cache-coherence directory.
+//!
+//! DASH keeps a directory per memory that tracks which clusters cache each
+//! line and invalidates them on writes. We model a simplified MSI protocol at
+//! processor-cache granularity — enough to classify where a reference is
+//! serviced and to count invalidations (the quantities in Figures 11 and 15):
+//!
+//! * A line has a set of *sharers* (processors caching it) and optionally a
+//!   *dirty owner*.
+//! * A read miss is serviced by the home memory, or by the dirty owner's
+//!   cache if one exists (a "three-hop" transaction on DASH).
+//! * A write needs exclusive access: all other sharers are invalidated.
+//!
+//! Sharer sets are bitmaps; the simulator supports up to 64 processors,
+//! double the DASH prototype.
+
+use std::collections::HashMap;
+
+/// Per-line directory state.
+#[derive(Clone, Copy, Debug, Default)]
+struct LineState {
+    /// Bitmap of processors holding the line.
+    sharers: u64,
+    /// Dirty owner, if the line is modified in some cache.
+    owner: Option<u8>,
+}
+
+/// The directory for the whole machine.
+#[derive(Debug, Default)]
+pub struct Directory {
+    lines: HashMap<u64, LineState>,
+}
+
+/// What the directory did to satisfy a request; the machine turns this into
+/// latency and monitor updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoherenceOutcome {
+    /// The request had to be serviced by the dirty owner's cache rather than
+    /// memory (extra hop on DASH).
+    pub from_dirty_cache: bool,
+    /// Processor that supplied dirty data, if any.
+    pub dirty_owner: Option<usize>,
+    /// Number of sharer caches invalidated (writes only).
+    pub invalidations: u32,
+    /// The processors that must drop the line from their caches.
+    pub invalidate_procs: u64,
+}
+
+impl Directory {
+    /// New empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of `line` by processor `p` that missed in `p`'s cache.
+    pub fn read_miss(&mut self, line: u64, p: usize) -> CoherenceOutcome {
+        debug_assert!(p < 64);
+        let st = self.lines.entry(line).or_default();
+        let outcome = CoherenceOutcome {
+            from_dirty_cache: st.owner.is_some_and(|o| o as usize != p),
+            dirty_owner: st.owner.map(|o| o as usize),
+            invalidations: 0,
+            invalidate_procs: 0,
+        };
+        // After a read by another processor the line is shared: the dirty
+        // owner writes back and downgrades.
+        if st.owner.is_some_and(|o| o as usize != p) {
+            st.owner = None;
+        }
+        st.sharers |= 1 << p;
+        outcome
+    }
+
+    /// Record a write of `line` by processor `p` (regardless of whether it
+    /// hit in `p`'s cache — a hit on a Shared line still needs ownership).
+    /// Returns the sharers to invalidate.
+    pub fn write(&mut self, line: u64, p: usize) -> CoherenceOutcome {
+        debug_assert!(p < 64);
+        let st = self.lines.entry(line).or_default();
+        let others = st.sharers & !(1 << p);
+        let from_dirty = st.owner.is_some_and(|o| o as usize != p);
+        let dirty_owner = st.owner.map(|o| o as usize);
+        let outcome = CoherenceOutcome {
+            from_dirty_cache: from_dirty,
+            dirty_owner,
+            invalidations: others.count_ones(),
+            invalidate_procs: others,
+        };
+        st.sharers = 1 << p;
+        st.owner = Some(p as u8);
+        outcome
+    }
+
+    /// Was `p` already an exclusive (dirty) owner of `line`? Such a write is
+    /// a pure cache hit with no coherence traffic.
+    pub fn is_exclusive(&self, line: u64, p: usize) -> bool {
+        self.lines
+            .get(&line)
+            .is_some_and(|st| st.owner == Some(p as u8) && st.sharers == 1 << p)
+    }
+
+    /// A cache evicted `line` from processor `p` (capacity/conflict victim):
+    /// clear its sharer bit so future writes don't send it a useless
+    /// invalidation.
+    pub fn evict(&mut self, line: u64, p: usize) {
+        if let Some(st) = self.lines.get_mut(&line) {
+            st.sharers &= !(1 << p);
+            if st.owner == Some(p as u8) {
+                // Dirty victim: written back to memory.
+                st.owner = None;
+            }
+            if st.sharers == 0 && st.owner.is_none() {
+                self.lines.remove(&line);
+            }
+        }
+    }
+
+    /// Remove all state for a line (used when a page migrates and every
+    /// cached copy is discarded machine-wide).
+    pub fn purge_line(&mut self, line: u64) {
+        self.lines.remove(&line);
+    }
+
+    /// Current sharer bitmap (tests / statistics).
+    pub fn sharers(&self, line: u64) -> u64 {
+        self.lines.get(&line).map_or(0, |st| st.sharers)
+    }
+
+    /// Number of lines with any directory state.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_then_write_invalidates_other_readers() {
+        let mut d = Directory::new();
+        d.read_miss(10, 0);
+        d.read_miss(10, 1);
+        d.read_miss(10, 2);
+        assert_eq!(d.sharers(10).count_ones(), 3);
+        let o = d.write(10, 0);
+        assert_eq!(o.invalidations, 2);
+        assert_eq!(o.invalidate_procs, 0b110);
+        assert_eq!(d.sharers(10), 0b001);
+    }
+
+    #[test]
+    fn read_of_dirty_line_is_serviced_by_owner() {
+        let mut d = Directory::new();
+        d.write(5, 3);
+        let o = d.read_miss(5, 1);
+        assert!(o.from_dirty_cache);
+        assert_eq!(o.dirty_owner, Some(3));
+        // Line downgraded to shared by both.
+        assert_eq!(d.sharers(5), 0b1010);
+        assert!(!d.is_exclusive(5, 3));
+    }
+
+    #[test]
+    fn exclusive_rewrite_has_no_traffic() {
+        let mut d = Directory::new();
+        d.write(7, 2);
+        assert!(d.is_exclusive(7, 2));
+        let o = d.write(7, 2);
+        assert_eq!(o.invalidations, 0);
+        assert!(!o.from_dirty_cache);
+    }
+
+    #[test]
+    fn write_to_own_shared_line_still_invalidates_others() {
+        let mut d = Directory::new();
+        d.read_miss(9, 0);
+        d.read_miss(9, 1);
+        let o = d.write(9, 0);
+        assert_eq!(o.invalidations, 1);
+        assert_eq!(o.invalidate_procs, 0b10);
+    }
+
+    #[test]
+    fn evict_clears_sharer_and_ownership() {
+        let mut d = Directory::new();
+        d.write(4, 1);
+        d.evict(4, 1);
+        assert_eq!(d.sharers(4), 0);
+        assert_eq!(d.tracked_lines(), 0);
+        // Re-read sees clean memory.
+        let o = d.read_miss(4, 0);
+        assert!(!o.from_dirty_cache);
+    }
+
+    #[test]
+    fn own_read_of_own_dirty_line_not_flagged_dirty_service() {
+        let mut d = Directory::new();
+        d.write(6, 5);
+        let o = d.read_miss(6, 5);
+        assert!(!o.from_dirty_cache, "own cache, not a remote service");
+    }
+}

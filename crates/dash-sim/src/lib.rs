@@ -1,0 +1,52 @@
+//! # dash-sim — a DASH-like shared-memory multiprocessor simulator
+//!
+//! The paper evaluates COOL on the Stanford DASH prototype: 32 processors in
+//! 8 clusters of 4, each processor with a 64 KB first-level and 256 KB
+//! second-level cache, and a three-level memory hierarchy whose latencies are
+//! roughly 1 cycle (L1 hit), 14 cycles (L2 hit), 30 cycles (local cluster
+//! memory) and 100–150 cycles (remote cluster memory). That machine no longer
+//! exists, so this crate simulates it:
+//!
+//! * [`config`] — machine parameters, defaulting to the DASH prototype.
+//! * [`cache`] — set-associative LRU caches.
+//! * [`space`] — the simulated shared address space: page-granular homes,
+//!   placement-aware allocation (`new` with a processor argument), `migrate`,
+//!   and `home` (Section 4.1's object-distribution primitives).
+//! * [`directory`] — an invalidation-based cache-coherence directory, enough
+//!   to classify each reference (cache hit / local / remote) and count
+//!   invalidations like the DASH hardware performance monitor did.
+//! * [`monitor`] — per-processor reference and cycle counters, the software
+//!   stand-in for the DASH performance monitor of Section 6.
+//! * [`machine`] — the façade tying it together: `read`/`write`/`compute`
+//!   charge cycles to a processor and update caches, directory and monitor.
+//!
+//! The simulation is *execution-driven at task grain*: application code runs
+//! natively and mirrors its memory accesses into the machine, which decides
+//! where each access would have been serviced and at what cost. This is
+//! exactly the information the paper's figures are built from.
+//!
+//! ## Example
+//!
+//! ```
+//! use dash_sim::{Machine, MachineConfig};
+//! use cool_core::ProcId;
+//!
+//! let mut m = Machine::new(MachineConfig::dash(8));
+//! let obj = m.alloc_on_proc(0, 64);           // homed on cluster 0
+//! let c_remote = m.read(ProcId(4), obj, 16);  // cluster 1: remote miss
+//! let c_hit = m.read(ProcId(4), obj, 16);     // now cached
+//! assert!(c_remote >= m.config().lat.remote_mem);
+//! assert_eq!(c_hit, m.config().lat.l1_hit);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod directory;
+pub mod machine;
+pub mod monitor;
+pub mod space;
+
+pub use config::{CacheConfig, Latencies, MachineConfig};
+pub use machine::Machine;
+pub use monitor::{MissBreakdown, PerfMonitor, ProcCounters};
+pub use space::AddressSpace;

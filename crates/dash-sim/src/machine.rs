@@ -1,0 +1,597 @@
+//! The machine façade: processors + caches + memories + directory + monitor.
+//!
+//! Application tasks mirror their memory accesses through [`Machine::read`] /
+//! [`Machine::write`]; the machine walks the cache hierarchy and coherence
+//! directory for every line touched, classifies where each reference was
+//! serviced (L1 / L2 / local memory / remote memory) and returns the cycles
+//! the access cost, which the scheduler adds to the issuing processor's
+//! virtual clock.
+
+use cool_core::{NodeId, ObjRef, ProcId};
+
+use crate::cache::{Level, ProcCache};
+use crate::config::MachineConfig;
+use crate::directory::Directory;
+use crate::monitor::{PerfMonitor, Service};
+use crate::space::AddressSpace;
+
+/// A simulated DASH-like multiprocessor.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    caches: Vec<ProcCache>,
+    space: AddressSpace,
+    dir: Directory,
+    mon: PerfMonitor,
+    /// Virtual time until which each memory module (cluster memory) is
+    /// occupied servicing earlier requests (contention model).
+    node_busy: Vec<u64>,
+}
+
+impl Machine {
+    /// Build a cold machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.nprocs >= 1 && cfg.nprocs <= 64, "1..=64 processors");
+        let caches = (0..cfg.nprocs).map(|_| ProcCache::new(cfg.l1, cfg.l2)).collect();
+        Machine {
+            caches,
+            space: AddressSpace::with_procs_per_node(
+                cfg.page_bytes,
+                cfg.nclusters(),
+                cfg.procs_per_cluster,
+            ),
+            dir: Directory::new(),
+            mon: PerfMonitor::new(cfg.nprocs),
+            node_busy: vec![0; cfg.nclusters()],
+            cfg,
+        }
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The performance monitor (read-only).
+    pub fn monitor(&self) -> &PerfMonitor {
+        &self.mon
+    }
+
+    /// Mutable monitor access (scheduler charges idle/overhead cycles).
+    pub fn monitor_mut(&mut self) -> &mut PerfMonitor {
+        &mut self.mon
+    }
+
+    /// The address space (read-only).
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    // ----- allocation & distribution (Section 4.1 primitives) -----
+
+    /// Default allocation: from the local memory of the requesting processor.
+    pub fn alloc_local(&mut self, p: ProcId, bytes: u64) -> ObjRef {
+        let node = self.cfg.node_of(p);
+        self.space.alloc_placed(bytes, node, p)
+    }
+
+    /// `new (n) T`: allocate in the local memory of processor `n % nprocs`.
+    pub fn alloc_on_proc(&mut self, n: usize, bytes: u64) -> ObjRef {
+        let p = ProcId(n % self.cfg.nprocs);
+        let node = self.cfg.node_of(p);
+        self.space.alloc_placed(bytes, node, p)
+    }
+
+    /// Allocate directly on a memory node (owned by its first processor).
+    pub fn alloc_on_node(&mut self, node: NodeId, bytes: u64) -> ObjRef {
+        let node = NodeId(node.index() % self.cfg.nclusters());
+        let p = self.cfg.proc_of_node(node);
+        self.space.alloc_placed(bytes, node, p)
+    }
+
+    /// Allocate with round-robin page interleaving across memory nodes.
+    pub fn alloc_interleaved(&mut self, bytes: u64) -> ObjRef {
+        self.space.alloc_interleaved(bytes)
+    }
+
+    /// Allocate under the first-touch policy: each page is homed on the
+    /// cluster of the first processor that references it (the automatic
+    /// OS placement the paper's related work contrasts with).
+    pub fn alloc_first_touch(&mut self, bytes: u64) -> ObjRef {
+        self.space.alloc_first_touch(bytes)
+    }
+
+    /// `home()`: the memory node holding the object.
+    pub fn home_node(&self, obj: ObjRef) -> NodeId {
+        self.space.home(obj)
+    }
+
+    /// The server/processor used to collocate tasks with `obj`: the
+    /// processor whose local memory was requested when the page was placed.
+    /// Object-affinity scheduling resolves through this — COOL's `home()`.
+    pub fn home_proc(&self, obj: ObjRef) -> ProcId {
+        self.space.home_proc(obj)
+    }
+
+    /// `migrate()`: move `bytes` at `obj` to processor `n % nprocs`'s local
+    /// memory. Whole pages move; cached copies of the moved pages are
+    /// discarded machine-wide (the physical address changed). Returns the
+    /// cycle cost to charge the calling processor.
+    pub fn migrate_to_proc(&mut self, obj: ObjRef, bytes: u64, n: usize) -> u64 {
+        let p = ProcId(n % self.cfg.nprocs);
+        let node = self.cfg.node_of(p);
+        self.migrate_placed(obj, bytes, node, p)
+    }
+
+    /// `migrate()` targeting a memory node directly (owned by its first
+    /// processor).
+    pub fn migrate_to_node(&mut self, obj: ObjRef, bytes: u64, node: NodeId) -> u64 {
+        let node = NodeId(node.index() % self.cfg.nclusters());
+        let p = self.cfg.proc_of_node(node);
+        self.migrate_placed(obj, bytes, node, p)
+    }
+
+    fn migrate_placed(&mut self, obj: ObjRef, bytes: u64, node: NodeId, p: ProcId) -> u64 {
+        let moved = self.space.migrate_placed(obj, bytes, node, p);
+        if moved == 0 {
+            return 0;
+        }
+        let (lo, hi) = self.space.span_pages(obj, bytes);
+        let line_bytes = self.cfg.l1.line_bytes;
+        let mut line = lo / line_bytes;
+        let end = hi / line_bytes;
+        while line < end {
+            for cache in &mut self.caches {
+                cache.invalidate(line);
+            }
+            self.dir.purge_line(line);
+            line += 1;
+        }
+        moved * self.cfg.page_migrate_cost
+    }
+
+    // ----- memory references -----
+
+    /// Simulate a read of `len` bytes at `obj` by processor `p`, issued at
+    /// virtual time 0 (no contention context). Returns the cycles the access
+    /// cost (summed over the cache lines touched).
+    pub fn read(&mut self, p: ProcId, obj: ObjRef, len: u64) -> u64 {
+        self.reference(p, obj, len, false, 0)
+    }
+
+    /// Simulate a write of `len` bytes at `obj` by processor `p`, issued at
+    /// virtual time 0.
+    pub fn write(&mut self, p: ProcId, obj: ObjRef, len: u64) -> u64 {
+        self.reference(p, obj, len, true, 0)
+    }
+
+    /// As [`Machine::read`], issued at virtual time `now` — misses queue
+    /// behind other requests occupying the servicing memory module.
+    pub fn read_at(&mut self, p: ProcId, obj: ObjRef, len: u64, now: u64) -> u64 {
+        self.reference(p, obj, len, false, now)
+    }
+
+    /// As [`Machine::write`], issued at virtual time `now`.
+    pub fn write_at(&mut self, p: ProcId, obj: ObjRef, len: u64, now: u64) -> u64 {
+        self.reference(p, obj, len, true, now)
+    }
+
+    /// Prefetch `len` bytes at `obj` into `p`'s caches, issued at virtual
+    /// time `now` (Section 8 lists prefetching support as ongoing work; this
+    /// models a non-binding prefetch whose latency overlaps computation).
+    /// Each line costs only an issue overhead; lines already cached are
+    /// skipped. Prefetched fills consume memory-module bandwidth like
+    /// ordinary misses but their latency is hidden.
+    pub fn prefetch(&mut self, p: ProcId, obj: ObjRef, len: u64, now: u64) -> u64 {
+        const ISSUE_COST: u64 = 2;
+        if len == 0 {
+            return 0;
+        }
+        let line_bytes = self.cfg.l1.line_bytes;
+        let first = obj.0 / line_bytes;
+        let last = (obj.0 + len - 1) / line_bytes;
+        let pi = p.index();
+        let mut cycles = 0;
+        for line in first..=last {
+            let addr = line * line_bytes;
+            if self.space.is_untouched(addr) {
+                let node = self.cfg.node_of(p);
+                self.space.claim_first_touch(addr, node, p);
+            }
+            if self.caches[pi].contains(line) {
+                self.mon.proc_mut(pi).prefetch_hits += 1;
+                continue;
+            }
+            // Fill both levels; handle inclusion victims and coherence like
+            // a read miss, but charge only the issue cost.
+            if let crate::cache::Level::Memory { l2_victim } = self.caches[pi].access(line) {
+                if let Some(v) = l2_victim {
+                    self.dir.evict(v, pi);
+                }
+            }
+            self.dir.read_miss(line, pi);
+            // Bandwidth: the servicing module is still occupied.
+            if self.cfg.mem_occupancy > 0 {
+                let module = self.space.home(ObjRef(addr)).index();
+                let busy = &mut self.node_busy[module];
+                *busy = (*busy).max(now + cycles) + self.cfg.mem_occupancy;
+            }
+            self.mon.proc_mut(pi).prefetches += 1;
+            cycles += ISSUE_COST;
+        }
+        self.mon.proc_mut(pi).busy_cycles += cycles;
+        cycles
+    }
+
+    /// Pure computation: `cycles` of busy work on `p` with no memory traffic.
+    pub fn compute(&mut self, p: ProcId, cycles: u64) -> u64 {
+        self.mon.proc_mut(p.index()).busy_cycles += cycles;
+        cycles
+    }
+
+    fn reference(&mut self, p: ProcId, obj: ObjRef, len: u64, is_write: bool, now: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let line_bytes = self.cfg.l1.line_bytes;
+        let first = obj.0 / line_bytes;
+        let last = (obj.0 + len - 1) / line_bytes;
+        let mut cycles = 0;
+        for line in first..=last {
+            // First-touch claiming: the first reference to an untouched page
+            // homes it on the referencing processor's cluster.
+            let addr = line * line_bytes;
+            if self.space.is_untouched(addr) {
+                let node = self.cfg.node_of(p);
+                self.space.claim_first_touch(addr, node, p);
+            }
+            // Time advances within the access: line i issues after the
+            // previous lines completed.
+            let t = now + cycles;
+            cycles += if is_write {
+                self.write_line(p, line, t)
+            } else {
+                self.read_line(p, line, t)
+            };
+        }
+        self.mon.proc_mut(p.index()).busy_cycles += cycles;
+        cycles
+    }
+
+    fn read_line(&mut self, p: ProcId, line: u64, now: u64) -> u64 {
+        let pi = p.index();
+        let level = self.caches[pi].access(line);
+        match level {
+            Level::L1 => {
+                self.mon.proc_mut(pi).record(Service::L1);
+                self.cfg.lat.l1_hit
+            }
+            Level::L2 => {
+                self.mon.proc_mut(pi).record(Service::L2);
+                self.cfg.lat.l2_hit
+            }
+            Level::Memory { l2_victim } => {
+                if let Some(v) = l2_victim {
+                    self.dir.evict(v, pi);
+                }
+                let outcome = self.dir.read_miss(line, pi);
+                self.service_miss(p, line, outcome.from_dirty_cache, outcome.dirty_owner, now)
+            }
+        }
+    }
+
+    fn write_line(&mut self, p: ProcId, line: u64, now: u64) -> u64 {
+        let pi = p.index();
+        let was_exclusive = self.dir.is_exclusive(line, pi);
+        let level = self.caches[pi].access(line);
+        if let Level::Memory { l2_victim } = level {
+            if let Some(v) = l2_victim {
+                self.dir.evict(v, pi);
+            }
+        }
+        let outcome = self.dir.write(line, pi);
+        // Invalidate the line out of every other sharer's caches.
+        let mut bits = outcome.invalidate_procs;
+        while bits != 0 {
+            let q = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.caches[q].invalidate(line);
+            self.mon.proc_mut(q).invalidations_received += 1;
+        }
+        self.mon.proc_mut(pi).invalidations_sent += u64::from(outcome.invalidations);
+        match level {
+            Level::L1 if was_exclusive => {
+                self.mon.proc_mut(pi).record(Service::L1);
+                self.cfg.lat.l1_hit
+            }
+            Level::L2 if was_exclusive => {
+                self.mon.proc_mut(pi).record(Service::L2);
+                self.cfg.lat.l2_hit
+            }
+            // A write hit on a shared line still needs an ownership
+            // transaction through the home directory; a write miss needs the
+            // data too. Both are charged (and counted) as a miss.
+            _ => self.service_miss(p, line, outcome.from_dirty_cache, outcome.dirty_owner, now),
+        }
+    }
+
+    /// Classify and cost a reference serviced beyond the private caches.
+    fn service_miss(
+        &mut self,
+        p: ProcId,
+        line: u64,
+        from_dirty: bool,
+        dirty_owner: Option<usize>,
+        now: u64,
+    ) -> u64 {
+        let pi = p.index();
+        let my_cluster = self.cfg.cluster_of(p);
+        // Data comes from the dirty owner's cache when one exists, otherwise
+        // from the home memory of the line's page.
+        let supplier_cluster = if from_dirty {
+            self.cfg
+                .cluster_of(ProcId(dirty_owner.expect("dirty service implies owner")))
+        } else {
+            let addr = line * self.cfg.l1.line_bytes;
+            cool_core::ClusterId(self.space.home(ObjRef(addr)).index())
+        };
+        let local = supplier_cluster == my_cluster;
+        let mut cycles = if local {
+            self.cfg.lat.local_mem
+        } else {
+            self.cfg.lat.remote_mem
+        };
+        if from_dirty {
+            cycles += self.cfg.lat.dirty_penalty;
+        }
+        // Contention: the servicing module is occupied for `mem_occupancy`
+        // cycles per request; requests finding it busy queue behind it.
+        // The busy pointer ratchets unbounded (true FIFO bandwidth: a module
+        // can only service 1/occupancy requests per cycle), but the delay
+        // *charged* to any one request is capped at QUEUE_DEPTH×occupancy.
+        // The cap matters because tasks execute atomically at task grain:
+        // processor clocks skew within a task, and charging the raw FIFO
+        // delay would let one late-clock request inflate every earlier-clock
+        // request's cost without bound. With the cap, a saturated module
+        // costs each request up to one full queue — throughput pressure is
+        // felt — while the skew error stays bounded.
+        const QUEUE_DEPTH: u64 = 32;
+        if self.cfg.mem_occupancy > 0 && !from_dirty {
+            let module = supplier_cluster.index();
+            let busy = &mut self.node_busy[module];
+            let start = (*busy).max(now);
+            *busy = start + self.cfg.mem_occupancy;
+            let queue_delay =
+                (start - now).min(QUEUE_DEPTH * self.cfg.mem_occupancy);
+            cycles += queue_delay;
+            self.mon.proc_mut(pi).contention_cycles += queue_delay;
+        }
+        self.mon.proc_mut(pi).record(if local {
+            Service::LocalMem
+        } else {
+            Service::RemoteMem
+        });
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(nprocs: usize) -> Machine {
+        // Exact-cost assertions below assume no queueing; the contention
+        // model has its own tests.
+        let mut cfg = MachineConfig::dash_small(nprocs);
+        cfg.mem_occupancy = 0;
+        Machine::new(cfg)
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits_in_l1() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 64);
+        let c1 = m.read(ProcId(0), obj, 8);
+        assert_eq!(c1, m.config().lat.local_mem, "cold miss to local memory");
+        let c2 = m.read(ProcId(0), obj, 8);
+        assert_eq!(c2, m.config().lat.l1_hit);
+        let b = m.monitor().breakdown();
+        assert_eq!(b.local_misses, 1);
+        assert_eq!(b.l1_hits, 1);
+    }
+
+    #[test]
+    fn remote_miss_costs_remote_latency() {
+        let mut m = machine(8); // clusters {0..3}, {4..7}
+        let obj = m.alloc_on_node(NodeId(1), 64);
+        let c = m.read(ProcId(0), obj, 4);
+        assert_eq!(c, m.config().lat.remote_mem);
+        assert_eq!(m.monitor().proc(0).remote_misses, 1);
+    }
+
+    #[test]
+    fn same_cluster_neighbor_misses_locally() {
+        let mut m = machine(8);
+        let obj = m.alloc_on_node(NodeId(0), 64);
+        // Processor 3 shares cluster 0's memory.
+        let c = m.read(ProcId(3), obj, 4);
+        assert_eq!(c, m.config().lat.local_mem);
+    }
+
+    #[test]
+    fn write_invalidates_readers() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read(ProcId(0), obj, 4);
+        m.read(ProcId(1), obj, 4);
+        m.write(ProcId(0), obj, 4);
+        assert_eq!(m.monitor().proc(0).invalidations_sent, 1);
+        assert_eq!(m.monitor().proc(1).invalidations_received, 1);
+        // Reader 1 must now miss again, serviced by owner 0's dirty cache
+        // (same cluster → local + dirty penalty).
+        let c = m.read(ProcId(1), obj, 4);
+        assert_eq!(c, m.config().lat.local_mem + m.config().lat.dirty_penalty);
+    }
+
+    #[test]
+    fn exclusive_rewrite_is_a_pure_hit() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.write(ProcId(2), obj, 4);
+        let c = m.write(ProcId(2), obj, 4);
+        assert_eq!(c, m.config().lat.l1_hit);
+        assert_eq!(m.monitor().proc(2).invalidations_sent, 0);
+    }
+
+    #[test]
+    fn migration_changes_home_and_cost_classification() {
+        let mut m = machine(8);
+        let page = m.config().page_bytes;
+        let obj = m.alloc_on_node(NodeId(0), page);
+        assert_eq!(m.home_node(obj), NodeId(0));
+        let cost = m.migrate_to_node(obj, page, NodeId(1));
+        assert!(cost > 0);
+        assert_eq!(m.home_node(obj), NodeId(1));
+        // Processor 4 (cluster 1) now misses locally.
+        let c = m.read(ProcId(4), obj, 4);
+        assert_eq!(c, m.config().lat.local_mem);
+    }
+
+    #[test]
+    fn migration_discards_cached_copies() {
+        let mut m = machine(8);
+        let page = m.config().page_bytes;
+        let obj = m.alloc_on_node(NodeId(0), page);
+        m.read(ProcId(0), obj, 4);
+        m.migrate_to_node(obj, page, NodeId(1));
+        // The old cached copy is gone: this is a miss, now remote.
+        let c = m.read(ProcId(0), obj, 4);
+        assert_eq!(c, m.config().lat.remote_mem);
+    }
+
+    #[test]
+    fn multi_line_reference_charges_per_line() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 256);
+        let line = m.config().l1.line_bytes;
+        let c = m.read(ProcId(0), obj, 4 * line);
+        assert_eq!(c, 4 * m.config().lat.local_mem);
+        assert_eq!(m.monitor().proc(0).refs, 4);
+    }
+
+    #[test]
+    fn unaligned_reference_spanning_two_lines() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 64);
+        let line = m.config().l1.line_bytes;
+        // Start 4 bytes before a line boundary, read 8 bytes.
+        let c = m.read(ProcId(0), obj.offset(line - 4), 8);
+        assert_eq!(c, 2 * m.config().lat.local_mem);
+    }
+
+    #[test]
+    fn zero_length_reference_is_free() {
+        let mut m = machine(2);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        assert_eq!(m.read(ProcId(0), obj, 0), 0);
+        assert_eq!(m.monitor().proc(0).refs, 0);
+    }
+
+    #[test]
+    fn compute_charges_busy_cycles_only() {
+        let mut m = machine(2);
+        assert_eq!(m.compute(ProcId(1), 500), 500);
+        assert_eq!(m.monitor().proc(1).busy_cycles, 500);
+        assert_eq!(m.monitor().proc(1).refs, 0);
+    }
+
+    #[test]
+    fn contended_module_queues_requests() {
+        let mut cfg = MachineConfig::dash_small(8);
+        cfg.mem_occupancy = 15;
+        let mut m = Machine::new(cfg);
+        let obj = m.alloc_on_node(NodeId(0), 4096);
+        // Two misses to the same module at the same instant: the second
+        // queues behind the first.
+        let c1 = m.read_at(ProcId(0), obj, 4, 1000);
+        let c2 = m.read_at(ProcId(1), obj.offset(64), 4, 1000);
+        assert_eq!(c1, m.config().lat.local_mem);
+        assert_eq!(c2, m.config().lat.local_mem + 15);
+        assert_eq!(m.monitor().proc(1).contention_cycles, 15);
+        // Much later, the module is free again.
+        let c3 = m.read_at(ProcId(2), obj.offset(128), 4, 100_000);
+        assert_eq!(c3, m.config().lat.local_mem);
+    }
+
+    #[test]
+    fn distinct_modules_do_not_contend() {
+        let mut cfg = MachineConfig::dash_small(8);
+        cfg.mem_occupancy = 15;
+        let mut m = Machine::new(cfg);
+        let a = m.alloc_on_node(NodeId(0), 64);
+        let b = m.alloc_on_node(NodeId(1), 64);
+        let c1 = m.read_at(ProcId(0), a, 4, 0);
+        let c2 = m.read_at(ProcId(4), b, 4, 0);
+        assert_eq!(c1, m.config().lat.local_mem);
+        assert_eq!(c2, m.config().lat.local_mem, "different module, no queue");
+    }
+
+    #[test]
+    fn prefetched_lines_hit_on_use() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 256);
+        let issue = m.prefetch(ProcId(0), obj, 64, 0);
+        assert!(issue > 0 && issue < m.config().lat.local_mem);
+        assert_eq!(m.monitor().proc(0).prefetches, 4); // 64 B / 16 B lines
+        // The subsequent read hits in L1 at full price avoided.
+        let c = m.read(ProcId(0), obj, 64);
+        assert_eq!(c, 4 * m.config().lat.l1_hit);
+    }
+
+    #[test]
+    fn prefetch_of_cached_line_is_counted_as_hit() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read(ProcId(0), obj, 4);
+        m.prefetch(ProcId(0), obj, 4, 0);
+        assert_eq!(m.monitor().proc(0).prefetch_hits, 1);
+        assert_eq!(m.monitor().proc(0).prefetches, 0);
+    }
+
+    #[test]
+    fn first_touch_claims_page_for_first_referencer() {
+        let mut m = machine(8);
+        let page = m.config().page_bytes;
+        let obj = m.alloc_first_touch(2 * page);
+        // Processor 5 (cluster 1) touches page 0 first; processor 0 touches
+        // page 1 first.
+        m.read(ProcId(5), obj, 4);
+        m.read(ProcId(0), obj.offset(page), 4);
+        assert_eq!(m.home_node(obj), NodeId(1));
+        assert_eq!(m.home_proc(obj), ProcId(5));
+        assert_eq!(m.home_node(obj.offset(page)), NodeId(0));
+        // Claims are permanent: a later remote reader does not re-home.
+        m.read(ProcId(0), obj, 4);
+        assert_eq!(m.home_node(obj), NodeId(1));
+    }
+
+    #[test]
+    fn migrate_overrides_first_touch() {
+        let mut m = machine(8);
+        let page = m.config().page_bytes;
+        let obj = m.alloc_first_touch(page);
+        m.migrate_to_proc(obj, page, 6);
+        assert_eq!(m.home_proc(obj), ProcId(6));
+        // Already claimed by the migration; first reference no longer moves it.
+        m.read(ProcId(0), obj, 4);
+        assert_eq!(m.home_proc(obj), ProcId(6));
+    }
+
+    #[test]
+    fn busy_cycles_accumulate_memory_stalls() {
+        let mut m = machine(2);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        let c = m.read(ProcId(0), obj, 4);
+        assert_eq!(m.monitor().proc(0).busy_cycles, c);
+    }
+}

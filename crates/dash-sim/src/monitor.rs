@@ -1,0 +1,234 @@
+//! The performance monitor — the software counterpart of the DASH hardware
+//! performance monitor used in Section 6 ("enables us to monitor the bus and
+//! network activity in a non-intrusive manner").
+//!
+//! Figures 11 and 15 of the paper plot cache misses split into *local* and
+//! *remote*; we track the same classification per processor, plus hit levels,
+//! invalidations and cycle attribution.
+
+use std::ops::AddAssign;
+
+/// Where a memory reference was serviced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Service {
+    /// First-level cache hit.
+    L1,
+    /// Second-level cache hit.
+    L2,
+    /// Miss serviced in the local cluster memory.
+    LocalMem,
+    /// Miss serviced in a remote cluster (memory or dirty cache).
+    RemoteMem,
+}
+
+/// Counters for one processor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcCounters {
+    /// Total references issued.
+    pub refs: u64,
+    /// References serviced per level.
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub local_misses: u64,
+    pub remote_misses: u64,
+    /// Invalidation messages this processor's writes caused.
+    pub invalidations_sent: u64,
+    /// Lines invalidated out of this processor's caches by others' writes.
+    pub invalidations_received: u64,
+    /// Cycles spent executing task work (compute + memory stalls).
+    pub busy_cycles: u64,
+    /// Cycles spent idle (no runnable task found).
+    pub idle_cycles: u64,
+    /// Cycles of scheduling overhead (dispatch, stealing scans).
+    pub overhead_cycles: u64,
+    /// Cycles spent queued behind busy memory modules (contention model).
+    pub contention_cycles: u64,
+    /// Prefetches issued (lines brought in ahead of use).
+    pub prefetches: u64,
+    /// Prefetches that were unnecessary (line already cached).
+    pub prefetch_hits: u64,
+}
+
+impl ProcCounters {
+    /// Total cache misses (local + remote).
+    pub fn misses(&self) -> u64 {
+        self.local_misses + self.remote_misses
+    }
+
+    /// Record a serviced reference.
+    pub fn record(&mut self, s: Service) {
+        self.refs += 1;
+        match s {
+            Service::L1 => self.l1_hits += 1,
+            Service::L2 => self.l2_hits += 1,
+            Service::LocalMem => self.local_misses += 1,
+            Service::RemoteMem => self.remote_misses += 1,
+        }
+    }
+}
+
+impl AddAssign for ProcCounters {
+    fn add_assign(&mut self, o: Self) {
+        self.refs += o.refs;
+        self.l1_hits += o.l1_hits;
+        self.l2_hits += o.l2_hits;
+        self.local_misses += o.local_misses;
+        self.remote_misses += o.remote_misses;
+        self.invalidations_sent += o.invalidations_sent;
+        self.invalidations_received += o.invalidations_received;
+        self.busy_cycles += o.busy_cycles;
+        self.idle_cycles += o.idle_cycles;
+        self.overhead_cycles += o.overhead_cycles;
+        self.contention_cycles += o.contention_cycles;
+        self.prefetches += o.prefetches;
+        self.prefetch_hits += o.prefetch_hits;
+    }
+}
+
+/// Machine-wide monitor: one counter block per processor.
+#[derive(Debug)]
+pub struct PerfMonitor {
+    procs: Vec<ProcCounters>,
+}
+
+/// The aggregate miss breakdown the paper's miss figures plot.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MissBreakdown {
+    pub refs: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub local_misses: u64,
+    pub remote_misses: u64,
+    pub invalidations: u64,
+}
+
+impl MissBreakdown {
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.local_misses + self.remote_misses
+    }
+
+    /// Fraction of misses serviced locally.
+    pub fn local_fraction(&self) -> f64 {
+        let m = self.misses();
+        if m == 0 {
+            0.0
+        } else {
+            self.local_misses as f64 / m as f64
+        }
+    }
+
+    /// Miss rate over all references.
+    pub fn miss_rate(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.refs as f64
+        }
+    }
+}
+
+impl PerfMonitor {
+    /// Monitor for `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        PerfMonitor {
+            procs: vec![ProcCounters::default(); nprocs],
+        }
+    }
+
+    /// Mutable access to one processor's counters.
+    #[inline]
+    pub fn proc_mut(&mut self, p: usize) -> &mut ProcCounters {
+        &mut self.procs[p]
+    }
+
+    /// Read one processor's counters.
+    pub fn proc(&self, p: usize) -> &ProcCounters {
+        &self.procs[p]
+    }
+
+    /// Number of processors monitored.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Aggregate counters across processors.
+    pub fn total(&self) -> ProcCounters {
+        let mut t = ProcCounters::default();
+        for p in &self.procs {
+            t += *p;
+        }
+        t
+    }
+
+    /// The miss breakdown for the whole run.
+    pub fn breakdown(&self) -> MissBreakdown {
+        let t = self.total();
+        MissBreakdown {
+            refs: t.refs,
+            l1_hits: t.l1_hits,
+            l2_hits: t.l2_hits,
+            local_misses: t.local_misses,
+            remote_misses: t.remote_misses,
+            invalidations: t.invalidations_sent,
+        }
+    }
+
+    /// Reset all counters (e.g. after a warm-up phase, to measure only the
+    /// parallel section as the paper does).
+    pub fn reset(&mut self) {
+        for p in &mut self.procs {
+            *p = ProcCounters::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_services() {
+        let mut c = ProcCounters::default();
+        c.record(Service::L1);
+        c.record(Service::L2);
+        c.record(Service::LocalMem);
+        c.record(Service::RemoteMem);
+        assert_eq!(c.refs, 4);
+        assert_eq!(c.l1_hits, 1);
+        assert_eq!(c.l2_hits, 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn counters_conserve_references() {
+        let mut m = PerfMonitor::new(2);
+        m.proc_mut(0).record(Service::L1);
+        m.proc_mut(1).record(Service::RemoteMem);
+        m.proc_mut(1).record(Service::LocalMem);
+        let b = m.breakdown();
+        assert_eq!(b.refs, 3);
+        assert_eq!(
+            b.refs,
+            b.l1_hits + b.l2_hits + b.local_misses + b.remote_misses
+        );
+        assert!((b.local_fraction() - 0.5).abs() < 1e-12);
+        assert!((b.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = PerfMonitor::new(1);
+        m.proc_mut(0).record(Service::L1);
+        m.proc_mut(0).busy_cycles += 100;
+        m.reset();
+        assert_eq!(m.total(), ProcCounters::default());
+    }
+
+    #[test]
+    fn empty_breakdown_ratios_are_zero() {
+        let b = MissBreakdown::default();
+        assert_eq!(b.local_fraction(), 0.0);
+        assert_eq!(b.miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The simulated shared address space and object distribution primitives.
+//!
+//! COOL exposes three mechanisms (Section 4.1, "Object Distribution"):
+//!
+//! * allocation from the local memory of a particular processor (an extra
+//!   argument to `new`),
+//! * `migrate(ptr, processor [, count])` — move object(s) to another
+//!   processor's local memory, and
+//! * `home(ptr)` — the processor whose local memory holds the object.
+//!
+//! On DASH the operating system supports placement at page granularity only,
+//! so `migrate` moves the pages spanned by the object; we model exactly that:
+//! the space is divided into pages and each page has a home memory node.
+
+use cool_core::{NodeId, ObjRef, ProcId};
+
+/// A bump-allocated shared address space with page-granular homes.
+///
+/// Each page records two things: the **memory node** that physically holds
+/// it (cluster memory — determines local/remote latency) and the
+/// **processor** whose local memory was requested at allocation/migration
+/// time (determines where object-affinity tasks are collocated). On DASH the
+/// memory node is shared by the four processors of a cluster, but COOL's
+/// `migrate(obj, p)` and the default scheduling rule are expressed in terms
+/// of processors, so both granularities are kept.
+#[derive(Debug)]
+pub struct AddressSpace {
+    page_bytes: u64,
+    /// Home node of each allocated page.
+    page_home: Vec<NodeId>,
+    /// Owning processor of each allocated page (scheduling granularity).
+    page_proc: Vec<ProcId>,
+    /// Pages allocated under the first-touch policy that have not been
+    /// referenced yet: their home is provisional until the first access
+    /// claims them.
+    page_untouched: Vec<bool>,
+    /// Next free address.
+    brk: u64,
+    nnodes: usize,
+    /// Processors per memory node (to map a node to its first processor).
+    procs_per_node: usize,
+    /// Pages migrated (for statistics / costing).
+    pages_migrated: u64,
+}
+
+impl AddressSpace {
+    /// Create an empty space. `nnodes` is the number of memory nodes
+    /// (clusters); pages are homed on nodes modulo this count.
+    pub fn new(page_bytes: u64, nnodes: usize) -> Self {
+        Self::with_procs_per_node(page_bytes, nnodes, 1)
+    }
+
+    /// As [`AddressSpace::new`], with the machine's processors-per-node so
+    /// interleaved pages are owned by each node's first processor.
+    pub fn with_procs_per_node(page_bytes: u64, nnodes: usize, procs_per_node: usize) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be 2^k");
+        assert!(nnodes > 0 && procs_per_node > 0);
+        AddressSpace {
+            page_bytes,
+            page_home: Vec::new(),
+            page_proc: Vec::new(),
+            page_untouched: Vec::new(),
+            // Keep null distinguishable.
+            brk: page_bytes,
+            nnodes,
+            procs_per_node,
+            pages_migrated: 0,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Number of memory nodes.
+    pub fn nnodes(&self) -> usize {
+        self.nnodes
+    }
+
+    /// Total pages migrated so far.
+    pub fn pages_migrated(&self) -> u64 {
+        self.pages_migrated
+    }
+
+    #[inline]
+    fn page_of(&self, addr: u64) -> usize {
+        (addr / self.page_bytes) as usize
+    }
+
+    /// Allocate `bytes` homed on `node` with the owning processor defaulting
+    /// to the node's index (useful for tests; the machine façade passes the
+    /// real processor via [`AddressSpace::alloc_placed`]).
+    pub fn alloc_on(&mut self, bytes: u64, node: NodeId) -> ObjRef {
+        let proc = ProcId(node.index());
+        self.alloc_placed(bytes, node, proc)
+    }
+
+    /// Allocate `bytes` homed on `node`, owned (for scheduling) by `proc`
+    /// (COOL's `new (n) T`). The allocation is page-aligned when it does not
+    /// fit in the remainder of the current page *and* the current page is
+    /// placed elsewhere, so that one allocation's placement is well-defined;
+    /// small same-placement allocations pack.
+    pub fn alloc_placed(&mut self, bytes: u64, node: NodeId, proc: ProcId) -> ObjRef {
+        assert!(bytes > 0, "zero-sized allocations are not placeable");
+        let node = NodeId(node.index() % self.nnodes);
+        let start_page = self.page_of(self.brk);
+        let in_page_off = self.brk % self.page_bytes;
+        let fits_in_page = in_page_off != 0 && in_page_off + bytes <= self.page_bytes;
+        let same_placement = self.page_home.get(start_page) == Some(&node)
+            && self.page_proc.get(start_page) == Some(&proc);
+        let addr = if fits_in_page && same_placement {
+            self.brk
+        } else {
+            // Start on a fresh page boundary.
+            if in_page_off != 0 {
+                self.brk += self.page_bytes - in_page_off;
+            }
+            self.brk
+        };
+        let end = addr + bytes;
+        // Home every page spanned by [addr, end).
+        let last_page = self.page_of(end - 1);
+        while self.page_home.len() <= last_page {
+            self.page_home.push(node);
+            self.page_proc.push(proc);
+            self.page_untouched.push(false);
+        }
+        for p in self.page_of(addr)..=last_page {
+            self.page_home[p] = node;
+            self.page_proc[p] = proc;
+        }
+        self.brk = end;
+        ObjRef(addr)
+    }
+
+    /// Allocate `bytes` with round-robin page interleaving across all nodes —
+    /// the common "distribute this large array" idiom. Each page of the
+    /// allocation is homed on successive nodes.
+    pub fn alloc_interleaved(&mut self, bytes: u64) -> ObjRef {
+        assert!(bytes > 0);
+        // Page-align.
+        let off = self.brk % self.page_bytes;
+        if off != 0 {
+            self.brk += self.page_bytes - off;
+        }
+        let addr = self.brk;
+        let end = addr + bytes;
+        let last_page = self.page_of(end - 1);
+        while self.page_home.len() <= last_page {
+            let p = self.page_home.len();
+            let node = p % self.nnodes;
+            self.page_home.push(NodeId(node));
+            // Owned by the node's first processor, so affinity hints on
+            // interleaved data spread across clusters.
+            self.page_proc.push(ProcId(node * self.procs_per_node));
+            self.page_untouched.push(false);
+        }
+        self.brk = end;
+        ObjRef(addr)
+    }
+
+    /// Allocate `bytes` under the **first-touch** policy (the operating-
+    /// system technique of Section 7's related work): pages start with a
+    /// provisional home on node 0 and are claimed by the node of the first
+    /// processor to reference them.
+    pub fn alloc_first_touch(&mut self, bytes: u64) -> ObjRef {
+        assert!(bytes > 0);
+        let off = self.brk % self.page_bytes;
+        if off != 0 {
+            self.brk += self.page_bytes - off;
+        }
+        let addr = self.brk;
+        let end = addr + bytes;
+        let last_page = self.page_of(end - 1);
+        while self.page_home.len() <= last_page {
+            self.page_home.push(NodeId(0));
+            self.page_proc.push(ProcId(0));
+            self.page_untouched.push(true);
+        }
+        self.brk = end;
+        ObjRef(addr)
+    }
+
+    /// Is the page holding `addr` still unclaimed first-touch memory?
+    pub fn is_untouched(&self, addr: u64) -> bool {
+        let page = self.page_of(addr);
+        self.page_untouched.get(page).copied().unwrap_or(false)
+    }
+
+    /// Claim an untouched page for `node`/`proc` (called by the machine on
+    /// the first reference). No-op if already claimed.
+    pub fn claim_first_touch(&mut self, addr: u64, node: NodeId, proc: ProcId) {
+        let page = self.page_of(addr);
+        if self.page_untouched.get(page).copied().unwrap_or(false) {
+            self.page_untouched[page] = false;
+            self.page_home[page] = node;
+            self.page_proc[page] = proc;
+        }
+    }
+
+    /// The home node of the page containing `obj` — COOL's `home()`.
+    pub fn home(&self, obj: ObjRef) -> NodeId {
+        let page = self.page_of(obj.0);
+        *self
+            .page_home
+            .get(page)
+            .unwrap_or_else(|| panic!("home() of unallocated address {obj}"))
+    }
+
+    /// The processor owning the page containing `obj` (scheduling
+    /// granularity of `home()`).
+    pub fn home_proc(&self, obj: ObjRef) -> ProcId {
+        let page = self.page_of(obj.0);
+        *self
+            .page_proc
+            .get(page)
+            .unwrap_or_else(|| panic!("home_proc() of unallocated address {obj}"))
+    }
+
+    /// Migrate with the owning processor defaulting to the node index
+    /// (tests); the machine passes the real processor via
+    /// [`AddressSpace::migrate_placed`].
+    pub fn migrate(&mut self, obj: ObjRef, bytes: u64, node: NodeId) -> u64 {
+        self.migrate_placed(obj, bytes, node, ProcId(node.index()))
+    }
+
+    /// Migrate the `bytes`-long object at `obj` to `node`, owned by `proc` —
+    /// COOL's `migrate()`. Whole pages move (the DASH footnote). Returns the
+    /// pages actually moved (pages already placed identically are free).
+    pub fn migrate_placed(&mut self, obj: ObjRef, bytes: u64, node: NodeId, proc: ProcId) -> u64 {
+        assert!(bytes > 0);
+        let node = NodeId(node.index() % self.nnodes);
+        let first = self.page_of(obj.0);
+        let last = self.page_of(obj.0 + bytes - 1);
+        assert!(
+            last < self.page_home.len(),
+            "migrate of unallocated range at {obj}"
+        );
+        let mut moved = 0;
+        for p in first..=last {
+            if self.page_home[p] != node || self.page_proc[p] != proc {
+                self.page_home[p] = node;
+                self.page_proc[p] = proc;
+                moved += 1;
+            }
+            self.page_untouched[p] = false;
+        }
+        self.pages_migrated += moved;
+        moved
+    }
+
+    /// The address range `[start, end)` of pages spanned by an object —
+    /// used by the machine to invalidate cached lines after migration.
+    pub fn span_pages(&self, obj: ObjRef, bytes: u64) -> (u64, u64) {
+        let first = (obj.0 / self.page_bytes) * self.page_bytes;
+        let last = ((obj.0 + bytes - 1) / self.page_bytes + 1) * self.page_bytes;
+        (first, last)
+    }
+
+    /// Bytes allocated so far (excluding the reserved null page).
+    pub fn allocated(&self) -> u64 {
+        self.brk - self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_homes_pages_on_requested_node() {
+        let mut s = AddressSpace::new(1024, 4);
+        let a = s.alloc_on(100, NodeId(2));
+        assert_eq!(s.home(a), NodeId(2));
+        // Node argument wraps modulo node count, like COOL's modulo-server
+        // semantics.
+        let b = s.alloc_on(100, NodeId(6));
+        assert_eq!(s.home(b), NodeId(2));
+    }
+
+    #[test]
+    fn distinct_nodes_get_distinct_pages() {
+        let mut s = AddressSpace::new(1024, 4);
+        let a = s.alloc_on(64, NodeId(0));
+        let b = s.alloc_on(64, NodeId(1));
+        assert_ne!(a.0 / 1024, b.0 / 1024, "different homes, different pages");
+        assert_eq!(s.home(a), NodeId(0));
+        assert_eq!(s.home(b), NodeId(1));
+    }
+
+    #[test]
+    fn same_node_allocations_pack_into_one_page() {
+        let mut s = AddressSpace::new(1024, 4);
+        let a = s.alloc_on(64, NodeId(0));
+        let b = s.alloc_on(64, NodeId(0));
+        assert_eq!(a.0 / 1024, b.0 / 1024);
+        assert_eq!(b.0, a.0 + 64);
+    }
+
+    #[test]
+    fn multi_page_allocation_homed_throughout() {
+        let mut s = AddressSpace::new(1024, 4);
+        let a = s.alloc_on(3000, NodeId(3));
+        assert_eq!(s.home(a), NodeId(3));
+        assert_eq!(s.home(a.offset(2999)), NodeId(3));
+    }
+
+    #[test]
+    fn interleaved_allocation_round_robins_pages() {
+        let mut s = AddressSpace::new(1024, 4);
+        let a = s.alloc_interleaved(4096);
+        let homes: Vec<usize> = (0..4)
+            .map(|i| s.home(a.offset(i * 1024)).index())
+            .collect();
+        // Consecutive pages land on consecutive nodes (starting wherever the
+        // first page fell in the global page sequence).
+        for w in homes.windows(2) {
+            assert_eq!((w[0] + 1) % 4, w[1]);
+        }
+    }
+
+    #[test]
+    fn migrate_rehomes_spanned_pages_only() {
+        let mut s = AddressSpace::new(1024, 4);
+        let a = s.alloc_on(4096, NodeId(0));
+        // Move the middle 2048 bytes: pages 1 and 2 of the object.
+        let moved = s.migrate(a.offset(1024), 2048, NodeId(1));
+        assert_eq!(moved, 2);
+        assert_eq!(s.home(a), NodeId(0));
+        assert_eq!(s.home(a.offset(1024)), NodeId(1));
+        assert_eq!(s.home(a.offset(3072)), NodeId(0));
+        assert_eq!(s.pages_migrated(), 2);
+    }
+
+    #[test]
+    fn migrate_to_same_node_is_free() {
+        let mut s = AddressSpace::new(1024, 2);
+        let a = s.alloc_on(1024, NodeId(1));
+        assert_eq!(s.migrate(a, 1024, NodeId(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn home_of_wild_pointer_panics() {
+        let s = AddressSpace::new(1024, 2);
+        s.home(ObjRef(1 << 40));
+    }
+
+    #[test]
+    fn span_pages_covers_object() {
+        let mut s = AddressSpace::new(1024, 2);
+        let a = s.alloc_on(100, NodeId(0));
+        let (lo, hi) = s.span_pages(a.offset(10), 50);
+        assert!(lo <= a.0 + 10 && hi >= a.0 + 60);
+        assert_eq!(lo % 1024, 0);
+        assert_eq!(hi % 1024, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the contention model and prefetch extension.
+
+use cool_core::{NodeId, ProcId};
+use dash_sim::{Machine, MachineConfig};
+use proptest::prelude::*;
+
+fn configs(occupancy: u64) -> MachineConfig {
+    let mut c = MachineConfig::dash_small(8);
+    c.mem_occupancy = occupancy;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contention never makes an access cheaper, and with occupancy 0 the
+    /// cost is identical to the base model, for any access pattern.
+    #[test]
+    fn contention_is_monotone(
+        ops in prop::collection::vec((0usize..8, 0u64..512, any::<bool>(), 0u64..10_000), 1..200),
+    ) {
+        let mut base = Machine::new(configs(0));
+        let mut cont = Machine::new(configs(8));
+        let ob = base.alloc_on_node(NodeId(0), 8192);
+        let oc = cont.alloc_on_node(NodeId(0), 8192);
+        let mut total_base = 0u64;
+        let mut total_cont = 0u64;
+        for (p, off, w, now) in ops {
+            let (cb, cc) = if w {
+                (
+                    base.write_at(ProcId(p), ob.offset(off), 4, now),
+                    cont.write_at(ProcId(p), oc.offset(off), 4, now),
+                )
+            } else {
+                (
+                    base.read_at(ProcId(p), ob.offset(off), 4, now),
+                    cont.read_at(ProcId(p), oc.offset(off), 4, now),
+                )
+            };
+            prop_assert!(cc >= cb, "contention made an access cheaper: {cc} < {cb}");
+            total_base += cb;
+            total_cont += cc;
+        }
+        prop_assert!(total_cont >= total_base);
+        // Charged contention is visible in the monitor and equals the delta.
+        let extra = cont.monitor().total().contention_cycles;
+        prop_assert_eq!(total_cont - total_base, extra);
+    }
+
+    /// The charged queue delay per line never exceeds the documented cap
+    /// (QUEUE_DEPTH × occupancy = 32 × occ).
+    #[test]
+    fn charged_delay_is_capped(
+        occupancy in 1u64..20,
+        burst in 2usize..64,
+    ) {
+        let mut m = Machine::new(configs(occupancy));
+        let obj = m.alloc_on_node(NodeId(0), 16 * 1024);
+        // A burst of simultaneous misses to one module.
+        let mut max_cost = 0;
+        for i in 0..burst {
+            let c = m.read_at(ProcId(i % 8), obj.offset((i * 16) as u64), 4, 0);
+            max_cost = max_cost.max(c);
+        }
+        let worst_latency = m.config().lat.remote_mem + m.config().lat.dirty_penalty;
+        prop_assert!(
+            max_cost <= worst_latency + 32 * occupancy,
+            "cost {max_cost} exceeds latency + cap"
+        );
+    }
+
+    /// Prefetching an object never makes the subsequent read by the same
+    /// processor slower, and total (prefetch + read) stays within the plain
+    /// read cost plus the issue overhead.
+    #[test]
+    fn prefetch_never_hurts_the_read(
+        node in 0usize..2,
+        len in 16u64..2048,
+        p in 0usize..8,
+    ) {
+        let mut plain = Machine::new(configs(0));
+        let o1 = plain.alloc_on_node(NodeId(node), 4096);
+        let read_cost = plain.read(ProcId(p), o1, len);
+
+        let mut pre = Machine::new(configs(0));
+        let o2 = pre.alloc_on_node(NodeId(node), 4096);
+        let issue = pre.prefetch(ProcId(p), o2, len, 0);
+        let after = pre.read(ProcId(p), o2, len);
+        prop_assert!(after <= read_cost, "prefetched read slower: {after} > {read_cost}");
+        let lines = len.div_ceil(16) + 1;
+        prop_assert!(issue <= lines * 2, "issue cost too high: {issue}");
+    }
+
+    /// First-touch claims are stable: whichever processor touches a page
+    /// first owns it forever (absent migration), for any touch order.
+    #[test]
+    fn first_touch_is_sticky(
+        touches in prop::collection::vec((0usize..8, 0u64..4), 1..60),
+    ) {
+        let mut m = Machine::new(configs(0));
+        let page = m.config().page_bytes;
+        let obj = m.alloc_first_touch(4 * page);
+        let mut first: [Option<usize>; 4] = [None; 4];
+        for (p, pg) in touches {
+            m.read(ProcId(p), obj.offset(pg * page), 4);
+            if first[pg as usize].is_none() {
+                first[pg as usize] = Some(p);
+            }
+            let expect = first[pg as usize].unwrap();
+            prop_assert_eq!(
+                m.home_proc(obj.offset(pg * page)),
+                ProcId(expect),
+                "page {} re-homed",
+                pg
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Compressed-sparse-column storage for symmetric matrices.
+//!
+//! Only the lower triangle (including the diagonal) is stored; the matrix is
+//! implicitly symmetric. Row indices within each column are kept sorted,
+//! which the downstream symbolic algorithms rely on.
+
+/// A sparse symmetric matrix in CSC format, lower triangle stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CscMatrix {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Build from (row, col, value) triplets of the lower triangle.
+    /// Duplicate entries are summed; upper-triangle triplets are mirrored
+    /// into the lower triangle. Panics on out-of-range indices.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(r, c, v) in triplets {
+            assert!(r < n && c < n, "triplet ({r},{c}) out of range for n={n}");
+            let (r, c) = if r >= c { (r, c) } else { (c, r) };
+            per_col[c].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for col in &mut per_col {
+            col.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < col.len() {
+                let r = col[i].0;
+                let mut v = 0.0;
+                while i < col.len() && col[i].0 == r {
+                    v += col[i].1;
+                    i += 1;
+                }
+                row_idx.push(r);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            n,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored non-zeros (lower triangle).
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Column pointers (length n+1).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices, sorted within each column.
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Values aligned with `row_idx`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The sorted row indices of column `j` (lower triangle).
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// The values of column `j`, aligned with [`CscMatrix::col_rows`].
+    pub fn col_values(&self, j: usize) -> &[f64] {
+        &self.values[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Entry (i, j) of the full symmetric matrix (0 if not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        match self.col_rows(j).binary_search(&i) {
+            Ok(pos) => self.col_values(j)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dense (full symmetric) form, column-major — for verification only.
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut d = crate::dense::DenseMatrix::zeros(self.n, self.n);
+        for j in 0..self.n {
+            for (pos, &i) in self.col_rows(j).iter().enumerate() {
+                let v = self.col_values(j)[pos];
+                d.set(i, j, v);
+                d.set(j, i, v);
+            }
+        }
+        d
+    }
+
+    /// y = A·x for the full symmetric matrix.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for j in 0..self.n {
+            for (pos, &i) in self.col_rows(j).iter().enumerate() {
+                let v = self.col_values(j)[pos];
+                y[i] += v * x[j];
+                if i != j {
+                    y[j] += v * x[i];
+                }
+            }
+        }
+        y
+    }
+
+    /// Verify structural invariants (sorted rows, lower triangle, monotone
+    /// pointers). Used by tests and debug assertions.
+    pub fn check(&self) -> Result<(), String> {
+        if self.col_ptr.len() != self.n + 1 {
+            return Err("col_ptr length".into());
+        }
+        for j in 0..self.n {
+            let (a, b) = (self.col_ptr[j], self.col_ptr[j + 1]);
+            if a > b || b > self.row_idx.len() {
+                return Err(format!("col_ptr not monotone at {j}"));
+            }
+            let rows = &self.row_idx[a..b];
+            for w in rows.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("rows not strictly sorted in col {j}"));
+                }
+            }
+            if let Some(&r0) = rows.first() {
+                if r0 < j {
+                    return Err(format!("upper-triangle entry in col {j}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CscMatrix {
+        // [ 4 1 0 ]
+        // [ 1 5 2 ]
+        // [ 0 2 6 ]
+        CscMatrix::from_triplets(
+            3,
+            &[(0, 0, 4.0), (1, 0, 1.0), (1, 1, 5.0), (2, 1, 2.0), (2, 2, 6.0)],
+        )
+    }
+
+    #[test]
+    fn triplets_build_sorted_lower_triangle() {
+        let m = example();
+        m.check().unwrap();
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.col_rows(0), &[0, 1]);
+        assert_eq!(m.col_rows(1), &[1, 2]);
+        assert_eq!(m.col_rows(2), &[2]);
+    }
+
+    #[test]
+    fn get_is_symmetric() {
+        let m = example();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(2, 0), 0.0);
+        assert_eq!(m.get(2, 2), 6.0);
+    }
+
+    #[test]
+    fn upper_triplets_are_mirrored_and_duplicates_summed() {
+        let m = CscMatrix::from_triplets(2, &[(0, 1, 3.0), (1, 0, 2.0), (0, 0, 1.0), (1, 1, 1.0)]);
+        m.check().unwrap();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = example();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = m.mul_vec(&x);
+        // Dense: [4*1+1*2, 1*1+5*2+2*3, 2*2+6*3]
+        assert_eq!(y, vec![6.0, 17.0, 22.0]);
+        let d = m.to_dense();
+        let yd = d.mul_vec(&x);
+        assert_eq!(y, yd);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_triplet_panics() {
+        CscMatrix::from_triplets(2, &[(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Dense matrix helpers: verification Cholesky, the column-oriented Gaussian
+//! elimination of Figure 3, and blocked dense Cholesky kernels for the Block
+//! Cholesky case study.
+
+/// A dense column-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read entry (i, j).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.rows + i]
+    }
+
+    /// Write entry (i, j).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.rows + i] = v;
+    }
+
+    /// A whole column as a slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// A whole column, mutable.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Two distinct columns, one mutable (for column updates).
+    pub fn col_pair_mut(&mut self, dest: usize, src: usize) -> (&mut [f64], &[f64]) {
+        assert_ne!(dest, src);
+        let r = self.rows;
+        if dest < src {
+            let (a, b) = self.data.split_at_mut(src * r);
+            (&mut a[dest * r..(dest + 1) * r], &b[..r])
+        } else {
+            let (a, b) = self.data.split_at_mut(dest * r);
+            (&mut b[..r], &a[src * r..(src + 1) * r])
+        }
+    }
+
+    /// y = A·x.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let c = self.col(j);
+            let xj = x[j];
+            for i in 0..self.rows {
+                y[i] += c[i] * xj;
+            }
+        }
+        y
+    }
+
+    /// C = A·Bᵀ restricted to the lower triangle? No — full product A·Bᵀ.
+    pub fn mul_transpose(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.cols);
+        let mut c = DenseMatrix::zeros(self.rows, other.rows);
+        for k in 0..self.cols {
+            for j in 0..other.rows {
+                let b = other.get(j, k);
+                if b == 0.0 {
+                    continue;
+                }
+                for i in 0..self.rows {
+                    let v = c.get(i, j) + self.get(i, k) * b;
+                    c.set(i, j, v);
+                }
+            }
+        }
+        c
+    }
+
+    /// Max |A - B| entry.
+    pub fn max_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// In-place dense Cholesky: returns L (lower triangular, upper part zeroed).
+/// Panics if the matrix is not positive definite.
+pub fn dense_cholesky(a: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    let mut l = a.clone();
+    for k in 0..n {
+        let mut d = l.get(k, k);
+        for j in 0..k {
+            let v = l.get(k, j);
+            d -= v * v;
+        }
+        assert!(d > 0.0, "matrix not positive definite at column {k}");
+        let d = d.sqrt();
+        l.set(k, k, d);
+        for i in k + 1..n {
+            let mut v = l.get(i, k);
+            for j in 0..k {
+                v -= l.get(i, j) * l.get(k, j);
+            }
+            l.set(i, k, v / d);
+        }
+    }
+    // Zero the strict upper triangle.
+    for j in 1..n {
+        for i in 0..j {
+            l.set(i, j, 0.0);
+        }
+    }
+    l
+}
+
+/// One column update of column-oriented Gaussian elimination (the `update`
+/// parallel function of Figure 3): `dest -= dest[src_pivot] * src` below the
+/// pivot, and zero the pivot position. `src` must already be normalised
+/// (unit pivot with stored multipliers below).
+///
+/// Returns the multiplier used (for tests).
+pub fn ge_column_update(dest: &mut [f64], src: &[f64], pivot: usize) -> f64 {
+    let m = dest[pivot];
+    if m != 0.0 {
+        for i in pivot + 1..dest.len() {
+            dest[i] -= m * src[i];
+        }
+    }
+    dest[pivot] = m; // multiplier stored in place (classic LU storage)
+    m
+}
+
+/// Normalise a completed GE column: divide the subdiagonal by the pivot so it
+/// stores multipliers (the `complete` step of the Figure 3 algorithm).
+pub fn ge_column_complete(col: &mut [f64], pivot: usize) {
+    let d = col[pivot];
+    assert!(d.abs() > 1e-300, "zero pivot at {pivot}");
+    for v in col[pivot + 1..].iter_mut() {
+        *v /= d;
+    }
+}
+
+/// Sequential column-oriented (unpivoted) LU: after return the matrix holds
+/// U on and above the diagonal and the multipliers of L strictly below.
+/// This is the serial baseline for the Gaussian elimination example.
+pub fn ge_factor(a: &mut DenseMatrix) {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    for k in 0..n {
+        {
+            let col = a.col_mut(k);
+            ge_column_complete(col, k);
+        }
+        for j in k + 1..n {
+            let (dest, src) = a.col_pair_mut(j, k);
+            let m = dest[k];
+            for i in k + 1..n {
+                dest[i] -= m * src[i];
+            }
+        }
+    }
+}
+
+/// Solve A·x = b given the in-place LU produced by [`ge_factor`].
+pub fn ge_solve(lu: &DenseMatrix, b: &[f64]) -> Vec<f64> {
+    let n = lu.rows();
+    assert_eq!(b.len(), n);
+    // Forward: L·y = b (unit diagonal).
+    let mut y = b.to_vec();
+    for j in 0..n {
+        let yj = y[j];
+        let col = lu.col(j);
+        for i in j + 1..n {
+            y[i] -= col[i] * yj;
+        }
+    }
+    // Backward: U·x = y.
+    let mut x = y;
+    for j in (0..n).rev() {
+        x[j] /= lu.get(j, j);
+        let xj = x[j];
+        let col = lu.col(j);
+        for (i, xi) in x.iter_mut().enumerate().take(j) {
+            *xi -= col[i] * xj;
+        }
+    }
+    x
+}
+
+// ----- blocked dense Cholesky kernels (Block Cholesky case study) -----
+
+/// Factor a dense `w×w` diagonal block in place (lower Cholesky).
+pub fn block_potrf(block: &mut [f64], w: usize) {
+    debug_assert_eq!(block.len(), w * w);
+    for k in 0..w {
+        let mut d = block[k * w + k];
+        for j in 0..k {
+            let v = block[j * w + k];
+            d -= v * v;
+        }
+        assert!(d > 0.0, "block not positive definite");
+        let d = d.sqrt();
+        block[k * w + k] = d;
+        for i in k + 1..w {
+            let mut v = block[k * w + i];
+            for j in 0..k {
+                v -= block[j * w + i] * block[j * w + k];
+            }
+            block[k * w + i] = v / d;
+        }
+        for i in 0..k {
+            block[k * w + i] = 0.0;
+        }
+    }
+    // Zero the strict upper triangle (column-major, so entry (i,j) with i<j).
+    for j in 1..w {
+        for i in 0..j {
+            block[j * w + i] = 0.0;
+        }
+    }
+}
+
+/// Triangular solve: `B ← B · L⁻ᵀ` where `L` is the factored diagonal block.
+/// Both blocks are `w×w` column-major; `B` is a subdiagonal block.
+pub fn block_trsm(b: &mut [f64], l: &[f64], w: usize) {
+    debug_assert_eq!(b.len(), w * w);
+    debug_assert_eq!(l.len(), w * w);
+    // Solve X · Lᵀ = B column by column of X (i.e. for each column j of X:
+    // X[:,j] = (B[:,j] - Σ_{k<j} X[:,k]·L[j,k]) / L[j,j]).
+    for j in 0..w {
+        for k in 0..j {
+            let ljk = l[k * w + j];
+            if ljk == 0.0 {
+                continue;
+            }
+            for i in 0..w {
+                b[j * w + i] -= b[k * w + i] * ljk;
+            }
+        }
+        let d = l[j * w + j];
+        for i in 0..w {
+            b[j * w + i] /= d;
+        }
+    }
+}
+
+/// Schur update: `C ← C - A·Bᵀ` for `w×w` column-major blocks.
+pub fn block_gemm_sub(c: &mut [f64], a: &[f64], b: &[f64], w: usize) {
+    debug_assert_eq!(c.len(), w * w);
+    for k in 0..w {
+        for j in 0..w {
+            let bjk = b[k * w + j];
+            if bjk == 0.0 {
+                continue;
+            }
+            let a_col = &a[k * w..(k + 1) * w];
+            let c_col = &mut c[j * w..(j + 1) * w];
+            for i in 0..w {
+                c_col[i] -= a_col[i] * bjk;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> DenseMatrix {
+        // Diagonally dominant symmetric → SPD.
+        DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                (n as f64) + 2.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        })
+    }
+
+    #[test]
+    fn dense_cholesky_reconstructs() {
+        let a = spd(8);
+        let l = dense_cholesky(&a);
+        let llt = l.mul_transpose(&l);
+        assert!(llt.max_diff(&a) < 1e-9, "diff {}", llt.max_diff(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_fn(2, 2, |i, j| if i == j { -1.0 } else { 0.0 });
+        dense_cholesky(&a);
+    }
+
+    #[test]
+    fn ge_factor_solves_systems() {
+        let n = 12;
+        let a = spd(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 3.5).collect();
+        let b = a.mul_vec(&x_true);
+        let mut lu = a.clone();
+        ge_factor(&mut lu);
+        let x = ge_solve(&lu, &b);
+        for (xa, xb) in x.iter().zip(&x_true) {
+            assert!((xa - xb).abs() < 1e-8, "{xa} vs {xb}");
+        }
+    }
+
+    #[test]
+    fn ge_column_kernels_match_ge_factor() {
+        let n = 6;
+        let a = spd(n);
+        let mut by_kernel = a.clone();
+        // Column-oriented dataflow: complete column k, then update all
+        // columns to its right — exactly the paper's Figure 3 schedule.
+        for k in 0..n {
+            ge_column_complete(by_kernel.col_mut(k), k);
+            for j in k + 1..n {
+                let (dest, src) = by_kernel.col_pair_mut(j, k);
+                let m = dest[k];
+                for i in k + 1..n {
+                    dest[i] -= m * src[i];
+                }
+            }
+        }
+        let mut by_factor = a.clone();
+        ge_factor(&mut by_factor);
+        assert!(by_kernel.max_diff(&by_factor) < 1e-12);
+    }
+
+    #[test]
+    fn ge_column_update_subtracts_below_pivot() {
+        let mut dest = vec![5.0, 3.0, 4.0, 2.0];
+        let src = vec![1.0, 1.0, 0.5, 0.25]; // normalised source column
+        let m = ge_column_update(&mut dest, &src, 1);
+        assert_eq!(m, 3.0);
+        assert_eq!(dest, vec![5.0, 3.0, 4.0 - 3.0 * 0.5, 2.0 - 3.0 * 0.25]);
+    }
+
+    #[test]
+    fn blocked_kernels_factor_a_2x2_block_matrix() {
+        let w = 4;
+        let n = 2 * w;
+        let a = spd(n);
+        // Extract blocks column-major.
+        let blk = |bi: usize, bj: usize| -> Vec<f64> {
+            let mut v = vec![0.0; w * w];
+            for j in 0..w {
+                for i in 0..w {
+                    v[j * w + i] = a.get(bi * w + i, bj * w + j);
+                }
+            }
+            v
+        };
+        let mut a00 = blk(0, 0);
+        let mut a10 = blk(1, 0);
+        let mut a11 = blk(1, 1);
+        block_potrf(&mut a00, w);
+        block_trsm(&mut a10, &a00, w);
+        let mut tmp = a11.clone();
+        block_gemm_sub(&mut tmp, &a10, &a10, w);
+        a11 = tmp;
+        block_potrf(&mut a11, w);
+        // Assemble L and compare to dense Cholesky.
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..w {
+            for i in 0..w {
+                l.set(i, j, a00[j * w + i]);
+                l.set(w + i, j, a10[j * w + i]);
+                l.set(w + i, w + j, a11[j * w + i]);
+            }
+        }
+        let lref = dense_cholesky(&a);
+        assert!(l.max_diff(&lref) < 1e-9, "diff {}", l.max_diff(&lref));
+    }
+
+    #[test]
+    fn col_pair_mut_returns_disjoint_columns() {
+        let mut m = DenseMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let (d, s) = m.col_pair_mut(2, 0);
+        assert_eq!(s, &[0.0, 3.0, 6.0]);
+        d[0] = 99.0;
+        assert_eq!(m.get(0, 2), 99.0);
+    }
+}

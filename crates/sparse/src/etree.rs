@@ -1,0 +1,219 @@
+//! Elimination tree (Liu's algorithm with path compression) and postorder.
+//!
+//! The elimination tree drives the symbolic factorization: the non-zero
+//! pattern of column `k` of `L` is the union of `A`'s column pattern with the
+//! patterns of `k`'s children in the tree.
+
+use crate::csc::CscMatrix;
+
+/// Marker for "no parent" (tree root).
+pub const NONE: usize = usize::MAX;
+
+/// The elimination tree of a symmetric matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EliminationTree {
+    parent: Vec<usize>,
+}
+
+impl EliminationTree {
+    /// Compute the elimination tree of `a` (lower-triangle CSC) using Liu's
+    /// algorithm with path compression: O(nnz·α(n)).
+    pub fn new(a: &CscMatrix) -> Self {
+        let n = a.n();
+        let mut parent = vec![NONE; n];
+        let mut ancestor = vec![NONE; n];
+        // Walk columns; for the lower-triangle storage, entry (i, k) with
+        // i > k appears in column k, meaning row i of column k — we need, for
+        // each k, the entries (k, j) with j < k, i.e. row k across earlier
+        // columns. Iterating columns j and their rows i > j gives exactly the
+        // pairs (i, j), j < i; process them keyed by i in increasing order of
+        // traversal — Liu's algorithm tolerates any order within a column
+        // provided columns are processed in order of the *row* index. The
+        // standard formulation iterates k = 0..n and for each nonzero
+        // A(k, j), j < k; with lower storage those are found by scanning
+        // column j's rows. We precompute row lists to keep it linear.
+        let mut row_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for j in 0..n {
+            for &i in a.col_rows(j) {
+                if i > j {
+                    row_lists[i].push(j);
+                }
+            }
+        }
+        for (k, js) in row_lists.iter().enumerate() {
+            for &j in js {
+                // Walk from j up to the root of its current subtree, path
+                // compressing onto k.
+                let mut r = j;
+                while ancestor[r] != NONE && ancestor[r] != k {
+                    let next = ancestor[r];
+                    ancestor[r] = k;
+                    r = next;
+                }
+                if ancestor[r] == NONE {
+                    ancestor[r] = k;
+                    parent[r] = k;
+                }
+            }
+        }
+        EliminationTree { parent }
+    }
+
+    /// Parent of column `j`, or [`NONE`] for roots.
+    pub fn parent(&self, j: usize) -> usize {
+        self.parent[j]
+    }
+
+    /// The parent array.
+    pub fn parents(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Children lists (index = parent).
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (j, &p) in self.parent.iter().enumerate() {
+            if p != NONE {
+                ch[p].push(j);
+            }
+        }
+        ch
+    }
+
+    /// A postorder of the forest: children before parents; within the same
+    /// parent, smaller-numbered subtrees first. Returns `post` such that
+    /// `post[k]` is the k-th column in postorder.
+    pub fn postorder(&self) -> Vec<usize> {
+        let n = self.parent.len();
+        let children = self.children();
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = Vec::new(); // (node, child cursor)
+        for root in 0..n {
+            if self.parent[root] != NONE {
+                continue;
+            }
+            stack.push((root, 0));
+            while let Some(&mut (node, ref mut cur)) = stack.last_mut() {
+                if *cur < children[node].len() {
+                    let c = children[node][*cur];
+                    *cur += 1;
+                    stack.push((c, 0));
+                } else {
+                    post.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        post
+    }
+
+    /// Number of roots (connected components after elimination ordering).
+    pub fn nroots(&self) -> usize {
+        self.parent.iter().filter(|&&p| p == NONE).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Arrowhead matrix: last row/col dense. Every column's first
+    /// off-diagonal connects to n-1, so parent(j) = n-1 ... except fill-in:
+    /// arrowhead has parent(j) = j+1? Let's use known small cases instead.
+    #[test]
+    fn tridiagonal_chain() {
+        // Tridiagonal: parent(j) = j+1, a chain.
+        let n = 6;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i + 1 < n {
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &t);
+        let e = EliminationTree::new(&a);
+        for j in 0..n - 1 {
+            assert_eq!(e.parent(j), j + 1);
+        }
+        assert_eq!(e.parent(n - 1), NONE);
+        assert_eq!(e.nroots(), 1);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_a_forest_of_singletons() {
+        let a = CscMatrix::from_triplets(4, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)]);
+        let e = EliminationTree::new(&a);
+        assert!(e.parents().iter().all(|&p| p == NONE));
+        assert_eq!(e.nroots(), 4);
+        assert_eq!(e.postorder(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn star_matrix_parents_point_at_hub() {
+        // Column 0..3 each connected only to 4 (the hub), hub last.
+        let mut t = vec![(4, 4, 8.0)];
+        for j in 0..4 {
+            t.push((j, j, 4.0));
+            t.push((4, j, 1.0));
+        }
+        let a = CscMatrix::from_triplets(5, &t);
+        let e = EliminationTree::new(&a);
+        for j in 0..4 {
+            assert_eq!(e.parent(j), 4);
+        }
+        assert_eq!(e.parent(4), NONE);
+    }
+
+    #[test]
+    fn postorder_lists_children_before_parents() {
+        let n = 7;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+        }
+        // A small tree: 0→2, 1→2, 2→6, 3→5, 4→5, 5→6.
+        for &(c, p) in &[(0, 2), (1, 2), (2, 6), (3, 5), (4, 5), (5, 6)] {
+            t.push((p, c, -1.0));
+        }
+        let a = CscMatrix::from_triplets(n, &t);
+        let e = EliminationTree::new(&a);
+        let post = e.postorder();
+        assert_eq!(post.len(), n);
+        let mut pos = vec![0; n];
+        for (k, &j) in post.iter().enumerate() {
+            pos[j] = k;
+        }
+        for j in 0..n {
+            if e.parent(j) != NONE {
+                assert!(
+                    pos[j] < pos[e.parent(j)],
+                    "child {j} after parent {}",
+                    e.parent(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_is_a_permutation() {
+        let n = 10;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 5.0));
+            if i + 2 < n {
+                t.push((i + 2, i, -1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &t);
+        let e = EliminationTree::new(&a);
+        let mut post = e.postorder();
+        post.sort_unstable();
+        assert_eq!(post, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,349 @@
+//! Numeric sparse Cholesky: the `cmod`/`cdiv` kernels, a sequential
+//! left-looking reference factorization, and the panel-level operations the
+//! parallel Panel Cholesky case study schedules as tasks.
+
+use std::sync::Arc;
+
+use crate::csc::CscMatrix;
+use crate::dense::DenseMatrix;
+use crate::symbolic::SymbolicFactor;
+
+/// A numeric Cholesky factor: values laid over a fixed symbolic pattern.
+#[derive(Clone, Debug)]
+pub struct Factor {
+    sym: Arc<SymbolicFactor>,
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// Scatter `A`'s lower triangle onto the pattern of `L`; fill-in
+    /// positions start at zero.
+    pub fn init(a: &CscMatrix, sym: Arc<SymbolicFactor>) -> Self {
+        assert_eq!(a.n(), sym.n());
+        let mut values = vec![0.0; sym.nnz()];
+        for j in 0..a.n() {
+            let lrows = sym.col_rows(j);
+            let base = sym.col_range(j).start;
+            for (pos, &i) in a.col_rows(j).iter().enumerate() {
+                let v = a.col_values(j)[pos];
+                let p = lrows
+                    .binary_search(&i)
+                    .unwrap_or_else(|_| panic!("A entry ({i},{j}) missing from L pattern"));
+                values[base + p] = v;
+            }
+        }
+        Factor { sym, values }
+    }
+
+    /// The symbolic pattern.
+    pub fn sym(&self) -> &SymbolicFactor {
+        &self.sym
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.sym.n()
+    }
+
+    /// Value of L(i, j) (0 if not in pattern).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.sym.col_rows(j).binary_search(&i) {
+            Ok(pos) => self.values[self.sym.col_range(j).start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `cdiv(j)`: complete column `j` — take the square root of the diagonal
+    /// and scale the subdiagonal. Panics if the reduced diagonal is not
+    /// positive (matrix not positive definite).
+    pub fn cdiv(&mut self, j: usize) {
+        let r = self.sym.col_range(j);
+        let col = &mut self.values[r];
+        let d = col[0];
+        assert!(d > 0.0, "not positive definite at column {j} (d = {d})");
+        let d = d.sqrt();
+        col[0] = d;
+        for v in &mut col[1..] {
+            *v /= d;
+        }
+    }
+
+    /// `cmod(j, k)`: update destination column `j` by completed source column
+    /// `k < j`: `L[j.., j] -= L[j, k] · L[j.., k]`. A no-op when L(j, k) is
+    /// not in the pattern. Returns the number of positions updated (used by
+    /// the case study to charge simulated work).
+    pub fn cmod(&mut self, j: usize, k: usize) -> usize {
+        assert!(k < j, "cmod source must be left of destination");
+        let krows = self.sym.col_rows(k);
+        let start = match krows.binary_search(&j) {
+            Ok(pos) => pos,
+            Err(_) => return 0,
+        };
+        let kr = self.sym.col_range(k);
+        let jr = self.sym.col_range(j);
+        // Split the value array so we can read col k while writing col j
+        // (k < j ⇒ kr ends at or before jr starts).
+        debug_assert!(kr.end <= jr.start);
+        let (left, right) = self.values.split_at_mut(jr.start);
+        let src = &left[kr.start..kr.end];
+        let dst = &mut right[..jr.end - jr.start];
+        let jrows = self.sym.col_rows(j);
+        let mult = src[start];
+        // Merge walk: pattern(L[j.., k]) ⊆ pattern(L[:, j]) by the subset
+        // property (j is an ancestor of k in the elimination tree), so every
+        // source row finds a destination slot.
+        let mut dpos = 0;
+        let mut updated = 0;
+        for (off, &row) in krows[start..].iter().enumerate() {
+            while jrows[dpos] < row {
+                dpos += 1;
+            }
+            debug_assert_eq!(jrows[dpos], row, "subset property violated");
+            dst[dpos] -= mult * src[start + off];
+            updated += 1;
+        }
+        updated
+    }
+
+    /// Factor the columns of `panel` (a contiguous range) against each other
+    /// and complete them: the *internal completion* step of `CompletePanel`
+    /// in Figure 13. All external updates to these columns must already have
+    /// been applied. Returns positions updated (simulated-work accounting).
+    pub fn panel_internal_factor(&mut self, panel: std::ops::Range<usize>) -> usize {
+        let mut updated = 0;
+        for k in panel.clone() {
+            self.cdiv(k);
+            updated += self.sym.col_rows(k).len();
+            for j in k + 1..panel.end {
+                // cmod is a no-op when L(j, k) ∉ pattern.
+                updated += self.cmod(j, k);
+            }
+        }
+        updated
+    }
+
+    /// Apply all updates from completed source panel `src` to destination
+    /// panel `dst` — the body of `UpdatePanel` (Figure 13). Returns positions
+    /// updated (for simulated work accounting).
+    pub fn panel_update(
+        &mut self,
+        dst: std::ops::Range<usize>,
+        src: std::ops::Range<usize>,
+    ) -> usize {
+        assert!(src.end <= dst.start, "source panel must be left of dest");
+        let mut updated = 0;
+        for j in dst {
+            for k in src.clone() {
+                updated += self.cmod(j, k);
+            }
+        }
+        updated
+    }
+
+    /// Sequential left-looking factorization (the serial baseline and
+    /// correctness reference). Consumes an initialised factor and completes
+    /// it in place.
+    pub fn factorize_left_looking(&mut self) {
+        let n = self.n();
+        // rowlist[i]: source columns whose next un-applied row is i.
+        let mut rowlist: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // next_ptr[k]: offset into column k's rows of the next row to apply.
+        let mut next_ptr = vec![0usize; n];
+        for j in 0..n {
+            let sources = std::mem::take(&mut rowlist[j]);
+            for k in sources {
+                self.cmod(j, k);
+                // Advance k to its next subdiagonal row.
+                next_ptr[k] += 1;
+                let krows = self.sym.col_rows(k);
+                if next_ptr[k] < krows.len() {
+                    let nr = krows[next_ptr[k]];
+                    rowlist[nr].push(k);
+                }
+            }
+            self.cdiv(j);
+            let jrows = self.sym.col_rows(j);
+            if jrows.len() > 1 {
+                next_ptr[j] = 1;
+                rowlist[jrows[1]].push(j);
+            }
+        }
+    }
+
+    /// Solve `A x = b` using the completed factor (`L Lᵀ x = b`).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(b.len(), n);
+        // Forward: L y = b.
+        let mut y = b.to_vec();
+        for j in 0..n {
+            let r = self.sym.col_range(j);
+            let rows = self.sym.col_rows(j);
+            let vals = &self.values[r];
+            y[j] /= vals[0];
+            let yj = y[j];
+            for (off, &i) in rows.iter().enumerate().skip(1) {
+                y[i] -= vals[off] * yj;
+            }
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = y;
+        for j in (0..n).rev() {
+            let r = self.sym.col_range(j);
+            let rows = self.sym.col_rows(j);
+            let vals = &self.values[r];
+            let mut s = x[j];
+            for (off, &i) in rows.iter().enumerate().skip(1) {
+                s -= vals[off] * x[i];
+            }
+            x[j] = s / vals[0];
+        }
+        x
+    }
+
+    /// Dense `L·Lᵀ` for verification on small problems.
+    pub fn product_dense(&self) -> DenseMatrix {
+        let n = self.n();
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let r = self.sym.col_range(j);
+            for (off, &i) in self.sym.col_rows(j).iter().enumerate() {
+                l.set(i, j, self.values[r.start + off]);
+            }
+        }
+        l.mul_transpose(&l)
+    }
+
+    /// Max |A - L·Lᵀ| over all entries (small problems only).
+    pub fn residual(&self, a: &CscMatrix) -> f64 {
+        self.product_dense().max_diff(&a.to_dense())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::EliminationTree;
+
+    fn grid_matrix(k: usize) -> CscMatrix {
+        let n = k * k;
+        let idx = |r: usize, c: usize| r * k + c;
+        let mut t = Vec::new();
+        for r in 0..k {
+            for c in 0..k {
+                t.push((idx(r, c), idx(r, c), 4.0));
+                if r + 1 < k {
+                    t.push((idx(r + 1, c), idx(r, c), -1.0));
+                }
+                if c + 1 < k {
+                    t.push((idx(r, c + 1), idx(r, c), -1.0));
+                }
+            }
+        }
+        CscMatrix::from_triplets(n, &t)
+    }
+
+    fn factor_of(a: &CscMatrix) -> Factor {
+        let e = EliminationTree::new(a);
+        let sym = Arc::new(SymbolicFactor::new(a, &e));
+        Factor::init(a, sym)
+    }
+
+    #[test]
+    fn left_looking_matches_dense_cholesky() {
+        let a = grid_matrix(4);
+        let mut f = factor_of(&a);
+        f.factorize_left_looking();
+        assert!(f.residual(&a) < 1e-10, "residual {}", f.residual(&a));
+        let lref = crate::dense::dense_cholesky(&a.to_dense());
+        for j in 0..a.n() {
+            for i in j..a.n() {
+                assert!(
+                    (f.get(i, j) - lref.get(i, j)).abs() < 1e-10,
+                    "L({i},{j}): {} vs {}",
+                    f.get(i, j),
+                    lref.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = grid_matrix(5);
+        let n = a.n();
+        let mut f = factor_of(&a);
+        f.factorize_left_looking();
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = f.solve(&b);
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn panelwise_right_looking_matches_left_looking() {
+        let a = grid_matrix(4);
+        let n = a.n();
+        // Reference.
+        let mut fref = factor_of(&a);
+        fref.factorize_left_looking();
+        // Panel-wise right-looking: fixed-width panels, sequential order.
+        let w = 3;
+        let panels: Vec<std::ops::Range<usize>> =
+            (0..n).step_by(w).map(|s| s..(s + w).min(n)).collect();
+        let mut f = factor_of(&a);
+        for (pi, p) in panels.iter().enumerate() {
+            // All earlier panels have updated p already (sequential order);
+            // factor internally, then push updates right.
+            f.panel_internal_factor(p.clone());
+            for q in panels.iter().skip(pi + 1) {
+                f.panel_update(q.clone(), p.clone());
+            }
+        }
+        for j in 0..n {
+            for i in j..n {
+                assert!(
+                    (f.get(i, j) - fref.get(i, j)).abs() < 1e-10,
+                    "L({i},{j}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cmod_is_noop_outside_pattern() {
+        // Tridiagonal: column 0 does not touch column 2.
+        let mut t = Vec::new();
+        for i in 0..4 {
+            t.push((i, i, 4.0));
+            if i + 1 < 4 {
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(4, &t);
+        let mut f = factor_of(&a);
+        f.cdiv(0);
+        assert_eq!(f.cmod(2, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn cdiv_rejects_nonpositive_diagonal() {
+        let a = CscMatrix::from_triplets(2, &[(0, 0, -1.0), (1, 1, 1.0)]);
+        let mut f = factor_of(&a);
+        f.cdiv(0);
+    }
+
+    #[test]
+    fn init_scatters_a_onto_pattern() {
+        let a = grid_matrix(3);
+        let f = factor_of(&a);
+        for j in 0..a.n() {
+            for &i in a.col_rows(j) {
+                assert_eq!(f.get(i, j), a.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Supernode detection and the panel partition (Rothberg & Gupta's
+//! representation used by the Panel Cholesky case study): columns with
+//! identical non-zero structure are organised into panels, and the update
+//! dependencies between panels form the task graph the runtime schedules.
+
+use crate::symbolic::SymbolicFactor;
+
+/// A partition of the columns `0..n` into contiguous panels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanelPartition {
+    /// Panel start columns, plus a final sentinel `n`.
+    starts: Vec<usize>,
+}
+
+impl PanelPartition {
+    /// Detect *fundamental supernodes* — maximal runs of consecutive columns
+    /// where column `j+1`'s pattern equals column `j`'s pattern minus row
+    /// `j` — and cap their width at `max_width` to keep panels schedulable.
+    pub fn fundamental(sym: &SymbolicFactor, max_width: usize) -> Self {
+        assert!(max_width >= 1);
+        let n = sym.n();
+        let mut starts = vec![0];
+        let mut width = 1;
+        for j in 1..n {
+            let prev = sym.col_rows(j - 1);
+            let cur = sym.col_rows(j);
+            // prev = [j-1, rest...]; mergeable iff rest == cur.
+            let mergeable = prev.len() == cur.len() + 1 && prev[1..] == *cur;
+            if mergeable && width < max_width {
+                width += 1;
+            } else {
+                starts.push(j);
+                width = 1;
+            }
+        }
+        starts.push(n);
+        PanelPartition { starts }
+    }
+
+    /// Fixed-width panels (no structure detection) — useful for tests and
+    /// for the dense Gaussian elimination example.
+    pub fn fixed(n: usize, width: usize) -> Self {
+        assert!(width >= 1);
+        let mut starts: Vec<usize> = (0..n).step_by(width).collect();
+        starts.push(n);
+        if n == 0 {
+            starts = vec![0, 0];
+        }
+        PanelPartition { starts }
+    }
+
+    /// Number of panels.
+    pub fn len(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0 || self.starts[self.starts.len() - 1] == 0
+    }
+
+    /// Column range of panel `p`.
+    pub fn range(&self, p: usize) -> std::ops::Range<usize> {
+        self.starts[p]..self.starts[p + 1]
+    }
+
+    /// The panel containing column `j`.
+    pub fn panel_of(&self, j: usize) -> usize {
+        match self.starts.binary_search(&j) {
+            Ok(p) => p.min(self.len() - 1),
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// Iterate panel ranges.
+    pub fn iter(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        (0..self.len()).map(|p| self.range(p))
+    }
+}
+
+/// The panel-level update dependency structure: which panels a given panel
+/// modifies once it is ready (the "panels `p` modified by this panel" loop of
+/// Figure 13), and how many updates each panel must receive before it can be
+/// completed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanelDeps {
+    /// `updates_to[p]`: sorted list of panels strictly right of `p` that `p`
+    /// updates (∃ column k ∈ p, row i ∈ q with L(i,k) ≠ 0).
+    updates_to: Vec<Vec<usize>>,
+    /// `pending[q]`: number of distinct source panels that update `q`.
+    pending: Vec<usize>,
+}
+
+impl PanelDeps {
+    /// Build the dependency structure from the symbolic factor.
+    pub fn new(sym: &SymbolicFactor, panels: &PanelPartition) -> Self {
+        let np = panels.len();
+        let mut updates_to = vec![Vec::new(); np];
+        for p in 0..np {
+            let mut touched: Vec<usize> = Vec::new();
+            for k in panels.range(p) {
+                for &i in sym.col_rows(k) {
+                    let q = panels.panel_of(i);
+                    if q > p {
+                        touched.push(q);
+                    }
+                }
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            updates_to[p] = touched;
+        }
+        let mut pending = vec![0usize; np];
+        for tos in &updates_to {
+            for &q in tos {
+                pending[q] += 1;
+            }
+        }
+        PanelDeps {
+            updates_to,
+            pending,
+        }
+    }
+
+    /// Panels updated by `p`.
+    pub fn updates_to(&self, p: usize) -> &[usize] {
+        &self.updates_to[p]
+    }
+
+    /// Updates panel `q` must receive before completion.
+    pub fn pending(&self, q: usize) -> usize {
+        self.pending[q]
+    }
+
+    /// Panels with no incoming updates — the initially-ready set that seeds
+    /// the computation in Figure 13's `main`.
+    pub fn initially_ready(&self) -> Vec<usize> {
+        (0..self.pending.len())
+            .filter(|&q| self.pending[q] == 0)
+            .collect()
+    }
+
+    /// Total panel-to-panel update tasks in the whole factorization.
+    pub fn total_updates(&self) -> usize {
+        self.updates_to.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::CscMatrix;
+    use crate::etree::EliminationTree;
+
+    fn sym_of(a: &CscMatrix) -> SymbolicFactor {
+        let e = EliminationTree::new(a);
+        SymbolicFactor::new(a, &e)
+    }
+
+    fn dense_first_col(n: usize) -> CscMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 10.0));
+            if i > 0 {
+                t.push((i, 0, 1.0));
+            }
+        }
+        CscMatrix::from_triplets(n, &t)
+    }
+
+    #[test]
+    fn dense_factor_is_one_supernode_capped_by_width() {
+        // Dense L ⇒ all columns have nested structure ⇒ one big supernode,
+        // split only by the cap.
+        let a = dense_first_col(8);
+        let sym = sym_of(&a);
+        let p = PanelPartition::fundamental(&sym, 8);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.range(0), 0..8);
+        let p3 = PanelPartition::fundamental(&sym, 3);
+        assert_eq!(p3.len(), 3);
+        assert_eq!(p3.range(0), 0..3);
+        assert_eq!(p3.range(2), 6..8);
+    }
+
+    #[test]
+    fn tridiagonal_columns_merge_pairwise_at_most() {
+        // Tridiagonal L: col j pattern {j, j+1}; col j+1 pattern {j+1, j+2}.
+        // prev minus head = {j+1} ≠ {j+1, j+2} ⇒ no merging except the last
+        // column, whose pattern {n-1} equals prev {n-2,n-1} minus head.
+        let n = 6;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i + 1 < n {
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &t);
+        let sym = sym_of(&a);
+        let p = PanelPartition::fundamental(&sym, 16);
+        // Panels: [0],[1],[2],[3],[4,5].
+        assert_eq!(p.len(), n - 1);
+        assert_eq!(p.range(p.len() - 1), n - 2..n);
+    }
+
+    #[test]
+    fn panel_of_is_inverse_of_range() {
+        let p = PanelPartition::fixed(10, 3); // [0..3),[3..6),[6..9),[9..10)
+        assert_eq!(p.len(), 4);
+        for q in 0..p.len() {
+            for j in p.range(q) {
+                assert_eq!(p.panel_of(j), q, "column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn deps_on_tridiagonal_form_a_chain() {
+        let n = 7;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i + 1 < n {
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &t);
+        let sym = sym_of(&a);
+        let p = PanelPartition::fixed(n, 1);
+        let d = PanelDeps::new(&sym, &p);
+        assert_eq!(d.initially_ready(), vec![0]);
+        for q in 0..n - 1 {
+            assert_eq!(d.updates_to(q), &[q + 1]);
+            assert_eq!(d.pending(q + 1), 1);
+        }
+        assert_eq!(d.total_updates(), n - 1);
+    }
+
+    #[test]
+    fn deps_counts_are_consistent_with_updates_to() {
+        let a = dense_first_col(9);
+        let sym = sym_of(&a);
+        let p = PanelPartition::fundamental(&sym, 2);
+        let d = PanelDeps::new(&sym, &p);
+        let mut pending = vec![0usize; p.len()];
+        for src in 0..p.len() {
+            for &q in d.updates_to(src) {
+                assert!(q > src, "updates must go right");
+                pending[q] += 1;
+            }
+        }
+        for q in 0..p.len() {
+            assert_eq!(d.pending(q), pending[q]);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_all_panels_initially_ready() {
+        let a = CscMatrix::from_triplets(
+            4,
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)],
+        );
+        let sym = sym_of(&a);
+        let p = PanelPartition::fixed(4, 1);
+        let d = PanelDeps::new(&sym, &p);
+        assert_eq!(d.initially_ready(), vec![0, 1, 2, 3]);
+        assert_eq!(d.total_updates(), 0);
+    }
+}

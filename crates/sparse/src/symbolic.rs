@@ -1,0 +1,221 @@
+//! Symbolic factorization: the non-zero pattern of the Cholesky factor `L`.
+//!
+//! Column `k` of `L` has pattern
+//! `pattern(A[k.., k]) ∪ (⋃_{c child of k} pattern(L[.., c]) \ {c})`,
+//! a classical result (Liu). We materialise the full pattern (sorted row
+//! indices per column), which the numeric factorization and the panel
+//! partition both consume.
+
+use crate::csc::CscMatrix;
+use crate::etree::EliminationTree;
+
+/// The symbolic Cholesky factor: pattern of `L` (lower triangle, diagonal
+/// included, rows sorted per column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymbolicFactor {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+}
+
+impl SymbolicFactor {
+    /// Compute the pattern of `L` for `a` using its elimination tree.
+    pub fn new(a: &CscMatrix, etree: &EliminationTree) -> Self {
+        let n = a.n();
+        assert_eq!(etree.n(), n);
+        let children = etree.children();
+        let mut cols: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut mark = vec![usize::MAX; n];
+        for k in 0..n {
+            let mut rows = Vec::new();
+            mark[k] = k;
+            rows.push(k);
+            // Original entries of A in column k (at or below the diagonal).
+            for &i in a.col_rows(k) {
+                if mark[i] != k {
+                    mark[i] = k;
+                    rows.push(i);
+                }
+            }
+            // Fill-in propagated from children.
+            for &c in &children[k] {
+                for &i in &cols[c] {
+                    if i > k && mark[i] != k {
+                        mark[i] = k;
+                        rows.push(i);
+                    }
+                }
+            }
+            rows.sort_unstable();
+            cols.push(rows);
+        }
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::new();
+        col_ptr.push(0);
+        for c in &cols {
+            row_idx.extend_from_slice(c);
+            col_ptr.push(row_idx.len());
+        }
+        SymbolicFactor {
+            n,
+            col_ptr,
+            row_idx,
+        }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Non-zeros in `L` (including the diagonal).
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Column pointers.
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// All row indices.
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Sorted rows of column `j` (first entry is always `j` itself).
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Position range of column `j` in the value array of a numeric factor.
+    pub fn col_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.col_ptr[j]..self.col_ptr[j + 1]
+    }
+
+    /// Fill-in: non-zeros of `L` not present in `A`'s lower triangle.
+    pub fn fill_in(&self, a: &CscMatrix) -> usize {
+        self.nnz().saturating_sub({
+            // A's pattern may lack explicit diagonal entries; count the
+            // union with the diagonal, since L always has the diagonal.
+            let mut cnt = 0;
+            for j in 0..self.n {
+                let rows = a.col_rows(j);
+                cnt += rows.len();
+                if rows.first() != Some(&j) {
+                    cnt += 1;
+                }
+            }
+            cnt
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_of(a: &CscMatrix) -> SymbolicFactor {
+        let e = EliminationTree::new(a);
+        SymbolicFactor::new(a, &e)
+    }
+
+    /// Brute-force symbolic factorization by running dense Cholesky on the
+    /// 0/1 pattern with magic values avoided: simulate fill by the update
+    /// rule pattern(col j) ∪= pattern(col k)\{k} whenever L[j,k] ≠ 0.
+    fn brute_force_pattern(a: &CscMatrix) -> Vec<Vec<usize>> {
+        let n = a.n();
+        let mut cols: Vec<std::collections::BTreeSet<usize>> =
+            (0..n).map(|j| a.col_rows(j).iter().copied().collect()).collect();
+        for j in 0..n {
+            cols[j].insert(j);
+        }
+        for k in 0..n {
+            let col_k: Vec<usize> = cols[k].iter().copied().filter(|&i| i > k).collect();
+            if let Some(&j) = col_k.first() {
+                // Fill propagates to the column of the first subdiagonal
+                // non-zero (the parent in the etree).
+                for &i in &col_k {
+                    if i > j {
+                        cols[j].insert(i);
+                    }
+                }
+            }
+        }
+        cols.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    #[test]
+    fn tridiagonal_has_no_fill() {
+        let n = 8;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i + 1 < n {
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &t);
+        let s = pattern_of(&a);
+        assert_eq!(s.fill_in(&a), 0);
+        for j in 0..n - 1 {
+            assert_eq!(s.col_rows(j), &[j, j + 1]);
+        }
+    }
+
+    #[test]
+    fn first_column_dense_fills_everything() {
+        // Column 0 dense ⇒ L is completely dense below the diagonal.
+        let n = 5;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 10.0));
+            if i > 0 {
+                t.push((i, 0, 1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &t);
+        let s = pattern_of(&a);
+        for j in 0..n {
+            let expect: Vec<usize> = (j..n).collect();
+            assert_eq!(s.col_rows(j), &expect[..], "column {j}");
+        }
+        assert_eq!(s.nnz(), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid_like_matrix() {
+        // 3x3 grid Laplacian (5-point stencil), natural order: known to fill.
+        let k = 3;
+        let n = k * k;
+        let idx = |r: usize, c: usize| r * k + c;
+        let mut t = Vec::new();
+        for r in 0..k {
+            for c in 0..k {
+                t.push((idx(r, c), idx(r, c), 4.0));
+                if r + 1 < k {
+                    t.push((idx(r + 1, c), idx(r, c), -1.0));
+                }
+                if c + 1 < k {
+                    t.push((idx(r, c + 1), idx(r, c), -1.0));
+                }
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &t);
+        let s = pattern_of(&a);
+        let brute = brute_force_pattern(&a);
+        for j in 0..n {
+            assert_eq!(s.col_rows(j), &brute[j][..], "column {j}");
+        }
+        assert!(s.fill_in(&a) > 0, "grid ordering must produce fill");
+    }
+
+    #[test]
+    fn diagonal_of_l_is_always_present() {
+        let a = CscMatrix::from_triplets(3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let s = pattern_of(&a);
+        for j in 0..3 {
+            assert_eq!(s.col_rows(j), &[j]);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the ordering module on random SPD matrices.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sparse::ordering::{minimum_degree, reverse_cuthill_mckee, Permutation};
+use sparse::{CscMatrix, EliminationTree, Factor, SymbolicFactor};
+
+fn random_spd(n: usize, edges: &[(usize, usize)]) -> CscMatrix {
+    let mut t = Vec::new();
+    let mut degree = vec![0.0f64; n];
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b) in edges {
+        let (i, j) = (a % n, b % n);
+        if i == j || !seen.insert((i.max(j), i.min(j))) {
+            continue;
+        }
+        t.push((i.max(j), i.min(j), -1.0));
+        degree[i] += 1.0;
+        degree[j] += 1.0;
+    }
+    for i in 0..n {
+        t.push((i, i, degree[i] + 1.5));
+    }
+    CscMatrix::from_triplets(n, &t)
+}
+
+fn fill_of(a: &CscMatrix) -> usize {
+    let e = EliminationTree::new(a);
+    SymbolicFactor::new(a, &e).fill_in(a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both orderings always produce permutations, the permuted matrix keeps
+    /// its nnz, and it still factors with a small residual.
+    #[test]
+    fn orderings_preserve_the_problem(
+        n in 2usize..24,
+        edges in prop::collection::vec((0usize..24, 0usize..24), 0..70),
+    ) {
+        let a = random_spd(n, &edges);
+        for p in [reverse_cuthill_mckee(&a), minimum_degree(&a)] {
+            let mut sorted = p.as_slice().to_vec();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+            let pa = a.permute_sym(&p);
+            pa.check().unwrap();
+            prop_assert_eq!(pa.nnz(), a.nnz());
+            let e = EliminationTree::new(&pa);
+            let sym = Arc::new(SymbolicFactor::new(&pa, &e));
+            let mut f = Factor::init(&pa, sym);
+            f.factorize_left_looking();
+            prop_assert!(f.residual(&pa) < 1e-7, "residual {}", f.residual(&pa));
+        }
+    }
+
+    /// Permutation algebra: inverse ∘ perm = identity; applying a
+    /// permutation then its inverse recovers any vector.
+    #[test]
+    fn permutation_inverse_roundtrip(perm_seed in prop::collection::vec(0..1000u32, 1..40)) {
+        // Build a permutation by sorting indices by the random keys.
+        let n = perm_seed.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (perm_seed[i], i));
+        let p = Permutation::from_vec(idx);
+        let inv = p.inverse();
+        for new in 0..n {
+            prop_assert_eq!(inv.old_of(p.old_of(new)), new);
+        }
+        let v: Vec<u32> = (0..n as u32).collect();
+        let vp = p.apply(&v);
+        let back = inv.apply(&vp);
+        prop_assert_eq!(back, v);
+    }
+
+    /// permute_sym is consistent: entry-wise (i,j) of P·A·Pᵀ equals
+    /// (perm[i], perm[j]) of A.
+    #[test]
+    fn permute_sym_entrywise(
+        n in 2usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12), 0..30),
+        keys in prop::collection::vec(0..1000u32, 12),
+    ) {
+        let a = random_spd(n, &edges);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (keys[i], i));
+        let p = Permutation::from_vec(idx);
+        let pa = a.permute_sym(&p);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(pa.get(i, j), a.get(p.old_of(i), p.old_of(j)));
+            }
+        }
+    }
+
+    /// Minimum degree never increases fill beyond the natural ordering by
+    /// more than a small factor on random sparse graphs (it is a heuristic,
+    /// but a sane one).
+    #[test]
+    fn minimum_degree_is_not_pathological(
+        n in 4usize..24,
+        edges in prop::collection::vec((0usize..24, 0usize..24), 4..70),
+    ) {
+        let a = random_spd(n, &edges);
+        let natural = fill_of(&a);
+        let md = fill_of(&a.permute_sym(&minimum_degree(&a)));
+        prop_assert!(
+            md <= natural.max(4) * 2,
+            "minimum degree exploded fill: {md} vs natural {natural}"
+        );
+    }
+}

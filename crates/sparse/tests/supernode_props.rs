@@ -1,0 +1,122 @@
+//! Property-based tests for the panel partition and its dependency graph.
+
+use proptest::prelude::*;
+use sparse::{CscMatrix, EliminationTree, PanelDeps, PanelPartition, SymbolicFactor};
+
+fn random_spd(n: usize, edges: &[(usize, usize)]) -> CscMatrix {
+    let mut t = Vec::new();
+    let mut degree = vec![0.0f64; n];
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b) in edges {
+        let (i, j) = (a % n, b % n);
+        if i == j || !seen.insert((i.max(j), i.min(j))) {
+            continue;
+        }
+        t.push((i.max(j), i.min(j), -1.0));
+        degree[i] += 1.0;
+        degree[j] += 1.0;
+    }
+    for i in 0..n {
+        t.push((i, i, degree[i] + 1.5));
+    }
+    CscMatrix::from_triplets(n, &t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fundamental partition is a contiguous cover of 0..n respecting
+    /// the width cap, and panel_of inverts range().
+    #[test]
+    fn partition_covers_columns(
+        n in 1usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30), 0..60),
+        width in 1usize..9,
+    ) {
+        let a = random_spd(n, &edges);
+        let e = EliminationTree::new(&a);
+        let sym = SymbolicFactor::new(&a, &e);
+        let p = PanelPartition::fundamental(&sym, width);
+        let mut next = 0;
+        for q in 0..p.len() {
+            let r = p.range(q);
+            prop_assert_eq!(r.start, next, "gap before panel {}", q);
+            prop_assert!(!r.is_empty());
+            prop_assert!(r.end - r.start <= width, "panel {} too wide", q);
+            for j in r.clone() {
+                prop_assert_eq!(p.panel_of(j), q);
+            }
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// Merged columns really have nested structure: within any fundamental
+    /// panel, each column's pattern equals the previous column's minus its
+    /// head.
+    #[test]
+    fn panels_have_nested_structure(
+        n in 2usize..24,
+        edges in prop::collection::vec((0usize..24, 0usize..24), 0..50),
+    ) {
+        let a = random_spd(n, &edges);
+        let e = EliminationTree::new(&a);
+        let sym = SymbolicFactor::new(&a, &e);
+        let p = PanelPartition::fundamental(&sym, usize::MAX >> 1);
+        for q in 0..p.len() {
+            let r = p.range(q);
+            for j in r.start + 1..r.end {
+                let prev = sym.col_rows(j - 1);
+                let cur = sym.col_rows(j);
+                prop_assert_eq!(&prev[1..], cur, "panel {} not nested at col {}", q, j);
+            }
+        }
+    }
+
+    /// The dependency DAG is topologically consistent: edges only point
+    /// right, pending counts equal in-degrees, and peeling initially-ready
+    /// panels completes every panel exactly once.
+    #[test]
+    fn dependency_dag_is_sound(
+        n in 1usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30), 0..70),
+        width in 1usize..6,
+    ) {
+        let a = random_spd(n, &edges);
+        let e = EliminationTree::new(&a);
+        let sym = SymbolicFactor::new(&a, &e);
+        let panels = PanelPartition::fundamental(&sym, width);
+        let deps = PanelDeps::new(&sym, &panels);
+        let np = panels.len();
+        let mut indeg = vec![0usize; np];
+        for p in 0..np {
+            let mut prev = None;
+            for &q in deps.updates_to(p) {
+                prop_assert!(q > p, "edge {p}→{q} points left");
+                prop_assert!(prev.is_none_or(|x| x < q), "targets not sorted/unique");
+                prev = Some(q);
+                indeg[q] += 1;
+            }
+        }
+        for q in 0..np {
+            prop_assert_eq!(deps.pending(q), indeg[q]);
+        }
+        // Kahn's algorithm completes everything.
+        let mut pend = indeg.clone();
+        let mut stack = deps.initially_ready();
+        let mut done = vec![false; np];
+        let mut count = 0;
+        while let Some(p) = stack.pop() {
+            prop_assert!(!done[p], "panel {p} completed twice");
+            done[p] = true;
+            count += 1;
+            for &q in deps.updates_to(p) {
+                pend[q] -= 1;
+                if pend[q] == 0 {
+                    stack.push(q);
+                }
+            }
+        }
+        prop_assert_eq!(count, np);
+    }
+}

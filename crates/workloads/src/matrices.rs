@@ -1,0 +1,151 @@
+//! Sparse SPD model problems for the Cholesky case studies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparse::CscMatrix;
+
+/// The 5-point 2-D grid Laplacian on a `k × k` grid (natural ordering),
+/// shifted to be strictly positive definite. This is the classic sparse
+/// Cholesky model problem: it produces substantial fill and a deep
+/// elimination tree, like the matrices used in the paper.
+pub fn grid_laplacian(k: usize) -> CscMatrix {
+    assert!(k >= 1);
+    let n = k * k;
+    let idx = |r: usize, c: usize| r * k + c;
+    let mut t = Vec::with_capacity(3 * n);
+    for r in 0..k {
+        for c in 0..k {
+            t.push((idx(r, c), idx(r, c), 4.0 + 0.5));
+            if r + 1 < k {
+                t.push((idx(r + 1, c), idx(r, c), -1.0));
+            }
+            if c + 1 < k {
+                t.push((idx(r, c + 1), idx(r, c), -1.0));
+            }
+        }
+    }
+    CscMatrix::from_triplets(n, &t)
+}
+
+/// A banded SPD matrix with the given half-bandwidth — produces wide
+/// supernodes/panels, the favourable case for panel-level parallelism.
+pub fn banded_spd(n: usize, half_bandwidth: usize, seed: u64) -> CscMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Vec::new();
+    let mut degree = vec![0.0f64; n];
+    for j in 0..n {
+        for i in j + 1..(j + 1 + half_bandwidth).min(n) {
+            let v: f64 = -rng.gen_range(0.2..1.0);
+            t.push((i, j, v));
+            degree[i] += v.abs();
+            degree[j] += v.abs();
+        }
+    }
+    for (i, d) in degree.iter().enumerate() {
+        t.push((i, i, d + 1.0));
+    }
+    CscMatrix::from_triplets(n, &t)
+}
+
+/// A random-pattern SPD matrix: `edges_per_node` random symmetric off-
+/// diagonals per column plus a diagonally-dominant diagonal. Irregular
+/// structure exercises the schedulers' load balancing.
+pub fn random_spd(n: usize, edges_per_node: usize, seed: u64) -> CscMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut t = Vec::new();
+    let mut degree = vec![0.0f64; n];
+    for j in 0..n {
+        for _ in 0..edges_per_node {
+            let i = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let (a, b) = (i.max(j), i.min(j));
+            if !seen.insert((a, b)) {
+                continue;
+            }
+            let v: f64 = -rng.gen_range(0.2..1.0);
+            t.push((a, b, v));
+            degree[a] += v.abs();
+            degree[b] += v.abs();
+        }
+    }
+    for (i, d) in degree.iter().enumerate() {
+        t.push((i, i, d + 1.0));
+    }
+    CscMatrix::from_triplets(n, &t)
+}
+
+/// A dense SPD matrix (as a dense column-major matrix) for the blocked
+/// Cholesky and Gaussian-elimination studies: `Aᵢⱼ = n·[i=j] + 1/(1+|i−j|)`.
+pub fn dense_spd(n: usize) -> sparse::DenseMatrix {
+    sparse::DenseMatrix::from_fn(n, n, |i, j| {
+        let base = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+        if i == j {
+            base + n as f64
+        } else {
+            base
+        }
+    })
+}
+
+/// A random diagonally-dominant (hence nonsingular, no pivoting needed)
+/// dense matrix for Gaussian elimination.
+pub fn dense_dd(n: usize, seed: u64) -> sparse::DenseMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = sparse::DenseMatrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| m.get(i, j).abs()).sum();
+        m.set(i, i, row_sum + 1.0);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::dense::dense_cholesky;
+
+    #[test]
+    fn grid_laplacian_is_spd() {
+        let a = grid_laplacian(5);
+        a.check().unwrap();
+        // SPD ⇔ dense Cholesky succeeds.
+        let _ = dense_cholesky(&a.to_dense());
+        assert_eq!(a.n(), 25);
+    }
+
+    #[test]
+    fn banded_matrix_is_spd_and_banded() {
+        let a = banded_spd(30, 3, 7);
+        a.check().unwrap();
+        let _ = dense_cholesky(&a.to_dense());
+        for j in 0..a.n() {
+            for &i in a.col_rows(j) {
+                assert!(i - j <= 3, "entry ({i},{j}) outside band");
+            }
+        }
+    }
+
+    #[test]
+    fn random_spd_is_spd_and_deterministic() {
+        let a = random_spd(24, 3, 42);
+        let b = random_spd(24, 3, 42);
+        assert_eq!(a, b, "same seed, same matrix");
+        let c = random_spd(24, 3, 43);
+        assert_ne!(a, c, "different seed should change the matrix");
+        let _ = dense_cholesky(&a.to_dense());
+    }
+
+    #[test]
+    fn dense_generators_are_factorable() {
+        let a = dense_spd(12);
+        let _ = dense_cholesky(&a);
+        let mut lu = dense_dd(12, 3);
+        sparse::dense::ge_factor(&mut lu);
+        for j in 0..12 {
+            assert!(lu.get(j, j).abs() > 1e-9, "pivot {j} vanished");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the workload generators: every generated input
+//! is structurally valid for any parameter combination the apps might use.
+
+use proptest::prelude::*;
+use workloads::circuit::{Circuit, CircuitParams};
+use workloads::matrices::{banded_spd, grid_laplacian, random_spd};
+use workloads::nbody::plummer;
+use workloads::ocean::{initial_grids, region_rows, OceanParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Circuits are in-bounds, complete, deterministic, and their nets are
+    /// sorted pin chains covering every wire.
+    #[test]
+    fn circuits_are_well_formed(
+        regions in 1usize..12,
+        wpr in 1usize..40,
+        crossing in 0.0f64..1.0,
+        multi in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let params = CircuitParams {
+            width: regions * 16,
+            height: 16,
+            regions,
+            wires_per_region: wpr,
+            crossing_fraction: crossing,
+            multi_pin_fraction: multi,
+            seed,
+        };
+        let c = Circuit::generate(params);
+        prop_assert_eq!(c.wires.len(), regions * wpr);
+        prop_assert_eq!(c.nets.len(), c.wires.len());
+        for w in &c.wires {
+            prop_assert!(w.from.0 < c.width && w.from.1 < c.height);
+            prop_assert!(w.to.0 < c.width && w.to.1 < c.height);
+            prop_assert!(c.region_of(w) < c.regions);
+        }
+        for n in &c.nets {
+            prop_assert!(n.pins.len() >= 2);
+            prop_assert!(n.pins.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(c.region_of_net(n) < c.regions);
+            for &(x, y) in &n.pins {
+                prop_assert!(x < c.width && y < c.height);
+            }
+        }
+        let again = Circuit::generate(params);
+        prop_assert_eq!(c.wires, again.wires);
+    }
+
+    /// SPD generators produce matrices that pass the structural check and
+    /// have strictly positive diagonals dominating their columns.
+    #[test]
+    fn spd_generators_are_diagonally_dominant(
+        n in 2usize..40,
+        k in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        for a in [banded_spd(n, k, seed), random_spd(n, k, seed)] {
+            a.check().unwrap();
+            for j in 0..a.n() {
+                let diag = a.get(j, j);
+                prop_assert!(diag > 0.0);
+                let off: f64 = (0..a.n())
+                    .filter(|&i| i != j)
+                    .map(|i| a.get(i, j).abs())
+                    .sum();
+                prop_assert!(diag > off, "column {j} not dominant: {diag} vs {off}");
+            }
+        }
+    }
+
+    /// Grid Laplacians have the exact 5-point stencil count.
+    #[test]
+    fn grid_laplacian_nnz(k in 1usize..12) {
+        let a = grid_laplacian(k);
+        // n diagonal + 2·k·(k-1) off-diagonal (lower triangle).
+        prop_assert_eq!(a.nnz(), k * k + 2 * k * (k - 1));
+    }
+
+    /// Plummer: unit mass, centred, and deterministic per seed.
+    #[test]
+    fn plummer_invariants(n in 1usize..300, seed in 0u64..100) {
+        let b = plummer(n, seed);
+        prop_assert_eq!(b.len(), n);
+        let m: f64 = b.iter().map(|x| x.mass).sum();
+        prop_assert!((m - 1.0).abs() < 1e-9);
+        for d in 0..3 {
+            let com: f64 = b.iter().map(|x| x.mass * x.pos[d]).sum();
+            prop_assert!(com.abs() < 1e-8);
+        }
+    }
+
+    /// Ocean regions partition the rows exactly for any (n, regions) with
+    /// regions ≤ n, and the grids match the requested geometry.
+    #[test]
+    fn ocean_regions_partition(n in 1usize..100, regions in 1usize..32) {
+        prop_assume!(regions <= n);
+        let mut covered = vec![0u8; n];
+        for r in 0..regions {
+            for row in region_rows(n, regions, r) {
+                covered[row] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+        let p = OceanParams {
+            n,
+            num_grids: 3,
+            regions,
+            sweeps: 1,
+            seed: 1,
+        };
+        let g = initial_grids(&p);
+        prop_assert_eq!(g.len(), 3);
+        prop_assert!(g.iter().all(|grid| grid.len() == n * n));
+        prop_assert!(g.iter().flatten().all(|v| v.is_finite()));
+    }
+}

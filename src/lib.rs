@@ -1,0 +1,23 @@
+//! # cool-repro
+//!
+//! A reproduction of *Data Locality and Load Balancing in COOL* (Chandra,
+//! Gupta & Hennessy, PPoPP 1993) as a Rust workspace. This umbrella crate
+//! re-exports the member crates so examples and integration tests can use a
+//! single dependency:
+//!
+//! * [`cool_core`] — affinity hints, task-queue structure, steal policies.
+//! * [`dash_sim`] — the DASH-like memory-hierarchy simulator.
+//! * [`cool_sim`] — the simulated COOL runtime (reproduces paper figures).
+//! * [`cool_rt`] — a real threaded work-stealing runtime with the same API.
+//! * [`sparse`] — sparse Cholesky substrate (etree, symbolic, panels, blocks).
+//! * [`workloads`] — deterministic SPLASH-style input generators.
+//! * [`apps`] — the case studies: Ocean, LocusRoute, Panel Cholesky,
+//!   Block Cholesky, Barnes-Hut, and Gaussian elimination.
+
+pub use apps;
+pub use cool_core;
+pub use cool_rt;
+pub use cool_sim;
+pub use dash_sim;
+pub use sparse;
+pub use workloads;

@@ -1,0 +1,70 @@
+//! Cross-backend agreement: the threaded runtime (`cool-rt`) and the
+//! simulated runtime (`cool-sim`) run the *same* Panel Cholesky task
+//! structure. Both must produce the same factor (up to fp rounding from
+//! update order), and both runtimes' statistics must balance.
+
+use cool_repro::apps::{panel_cholesky, threaded, Version};
+use cool_repro::cool_sim::{MachineConfig, SimConfig};
+use cool_repro::sparse::ordering::minimum_degree;
+use cool_repro::workloads::matrices::{grid_laplacian, random_spd};
+
+#[test]
+fn simulated_and_threaded_factorizations_agree() {
+    for matrix in [grid_laplacian(9), random_spd(100, 3, 17)] {
+        let prob = panel_cholesky::PanelProblem::analyse(&panel_cholesky::PanelParams {
+            matrix: matrix.clone(),
+            max_panel_width: 4,
+        });
+        let sim = panel_cholesky::run(
+            SimConfig::new(MachineConfig::dash_small(6)),
+            &prob,
+            Version::AffinityDistr,
+        );
+        assert!(sim.max_error < 1e-9, "sim diverged: {}", sim.max_error);
+
+        let thr = threaded::panel_cholesky_rt(&matrix, 4, 6);
+        assert!(thr.max_error < 1e-9, "threaded diverged: {}", thr.max_error);
+
+        // Both verified against the same sequential reference, so they agree
+        // with each other within 2× the individual tolerances.
+        assert!(sim.max_error + thr.max_error < 2e-9);
+    }
+}
+
+#[test]
+fn ordering_preprocessing_composes_with_both_backends() {
+    let a = grid_laplacian(8);
+    let p = minimum_degree(&a);
+    let pa = a.permute_sym(&p);
+
+    let prob = panel_cholesky::PanelProblem::analyse(&panel_cholesky::PanelParams {
+        matrix: pa.clone(),
+        max_panel_width: 4,
+    });
+    let sim = panel_cholesky::run(
+        SimConfig::new(MachineConfig::dash_small(4)),
+        &prob,
+        Version::AffinityDistrCluster,
+    );
+    assert!(sim.max_error < 1e-9);
+
+    let thr = threaded::panel_cholesky_rt(&pa, 4, 4);
+    assert!(thr.max_error < 1e-9);
+}
+
+#[test]
+fn threaded_statistics_balance() {
+    let a = grid_laplacian(10);
+    let res = threaded::panel_cholesky_rt(&a, 4, 8);
+    assert!(res.max_error < 1e-9);
+    assert_eq!(res.stats.spawned, res.stats.executed);
+    // The dataflow spawns one CompletePanel per panel reached via its last
+    // update plus one per initially-ready panel, plus one UpdatePanel per
+    // dependency edge — compare against the analysed DAG.
+    let prob = panel_cholesky::PanelProblem::analyse(&panel_cholesky::PanelParams {
+        matrix: a,
+        max_panel_width: 4,
+    });
+    let expected = prob.panels.len() + prob.deps.total_updates();
+    assert_eq!(res.stats.executed, expected as u64);
+}
