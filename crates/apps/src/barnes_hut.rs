@@ -20,7 +20,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cool_core::AffinitySpec;
-use cool_sim::{SimConfig, SimRuntime, Task, TaskCtx};
+use cool_sim::{FaultPlan, SimConfig, SimRuntime, Task, TaskCtx};
 use workloads::nbody::{plummer, Body};
 
 use crate::common::{AppReport, RoundRobin, Version};
@@ -332,7 +332,7 @@ fn costzones(cost: &[u64], groups: usize) -> Vec<(usize, usize)> {
         // Close the zone once it holds its share, keeping enough bodies for
         // the remaining zones to be non-empty.
         let remaining_zones = groups - zones.len();
-        if (acc >= per && n - i - 1 >= remaining_zones - 1) || n - i == remaining_zones {
+        if (acc >= per && n - i > remaining_zones - 1) || n - i == remaining_zones {
             zones.push((lo, i + 1));
             lo = i + 1;
             acc = 0;
@@ -352,7 +352,22 @@ fn costzones(cost: &[u64], groups: usize) -> Vec<(usize, usize)> {
 
 /// One full run.
 pub fn run(cfg: SimConfig, params: &BhParams, version: Version) -> AppReport {
+    run_with_faults(cfg, params, version, None)
+}
+
+/// One full run, optionally perturbed by a deterministic [`FaultPlan`]
+/// (stragglers, stalls, transient task failures). Injection moves only the
+/// schedule and timing; the force results are unaffected.
+pub fn run_with_faults(
+    cfg: SimConfig,
+    params: &BhParams,
+    version: Version,
+    faults: Option<FaultPlan>,
+) -> AppReport {
     let mut rt = SimRuntime::new(cfg);
+    if let Some(plan) = faults {
+        rt.set_fault_plan(plan);
+    }
     let nprocs = rt.nservers();
     let n = params.nbodies;
     let groups = params.groups.min(n);
@@ -549,10 +564,10 @@ fn verify(params: &BhParams, result: &[Body]) -> f64 {
         for (i, a) in acc.iter_mut().enumerate() {
             *a = tree.force(bodies[i].pos, i, params.theta, &bodies).0;
         }
-        for i in 0..n {
-            for d in 0..3 {
-                bodies[i].vel[d] += params.dt * acc[i][d];
-                bodies[i].pos[d] += params.dt * bodies[i].vel[d];
+        for (b, a) in bodies.iter_mut().zip(&acc) {
+            for (d, &ad) in a.iter().enumerate() {
+                b.vel[d] += params.dt * ad;
+                b.pos[d] += params.dt * b.vel[d];
             }
         }
     }

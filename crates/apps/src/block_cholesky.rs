@@ -25,7 +25,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cool_core::{AffinitySpec, ObjRef};
-use cool_sim::{SimConfig, SimRuntime, Task, TaskCtx};
+use cool_sim::{FaultPlan, SimConfig, SimRuntime, Task, TaskCtx};
 use sparse::dense::{block_gemm_sub, block_potrf, block_trsm, dense_cholesky};
 use sparse::DenseMatrix;
 
@@ -70,8 +70,23 @@ struct Env {
 
 /// One full run.
 pub fn run(cfg: SimConfig, params: &BlockParams, version: Version) -> AppReport {
+    run_with_faults(cfg, params, version, None)
+}
+
+/// One full run, optionally perturbed by a deterministic [`FaultPlan`]
+/// (stragglers, stalls, transient task failures). Injection moves only the
+/// schedule and timing; the factor is unaffected.
+pub fn run_with_faults(
+    cfg: SimConfig,
+    params: &BlockParams,
+    version: Version,
+    faults: Option<FaultPlan>,
+) -> AppReport {
     assert_eq!(params.n % params.block, 0, "n must be a multiple of block");
     let mut rt = SimRuntime::new(cfg);
+    if let Some(plan) = faults {
+        rt.set_fault_plan(plan);
+    }
     let nprocs = rt.nservers();
     let (n, w) = (params.n, params.block);
     let nb = n / w;

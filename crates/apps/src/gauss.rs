@@ -26,7 +26,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cool_core::{AffinitySpec, ObjRef};
-use cool_sim::{SimConfig, SimRuntime, Task, TaskCtx};
+use cool_sim::{FaultPlan, SimConfig, SimRuntime, Task, TaskCtx};
 use sparse::dense::{ge_column_complete, ge_factor};
 use sparse::DenseMatrix;
 
@@ -66,7 +66,22 @@ struct State {
 
 /// One full run.
 pub fn run(cfg: SimConfig, params: &GaussParams, version: Version) -> AppReport {
+    run_with_faults(cfg, params, version, None)
+}
+
+/// One full run, optionally perturbed by a deterministic [`FaultPlan`]
+/// (stragglers, stalls, transient task failures). Injection moves only the
+/// schedule and timing; the factorization result is unaffected.
+pub fn run_with_faults(
+    cfg: SimConfig,
+    params: &GaussParams,
+    version: Version,
+    faults: Option<FaultPlan>,
+) -> AppReport {
     let mut rt = SimRuntime::new(cfg);
+    if let Some(plan) = faults {
+        rt.set_fault_plan(plan);
+    }
     let nprocs = rt.nservers();
     let n = params.n;
     let col_bytes = (n * 8) as u64;

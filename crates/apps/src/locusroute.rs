@@ -24,7 +24,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cool_core::{AffinitySpec, ObjRef};
-use cool_sim::{SimConfig, SimRuntime, Task, TaskCtx};
+use cool_sim::{FaultPlan, SimConfig, SimRuntime, Task, TaskCtx};
 use workloads::circuit::{Circuit, Net, Wire};
 
 use crate::common::{AppReport, RoundRobin, Version};
@@ -67,7 +67,22 @@ impl LocusParams {
 
 /// One full run.
 pub fn run(cfg: SimConfig, params: &LocusParams, version: Version) -> AppReport {
+    run_with_faults(cfg, params, version, None)
+}
+
+/// One full run, optionally perturbed by a deterministic [`FaultPlan`]
+/// (stragglers, stalls, transient task failures). Injection moves only the
+/// schedule and timing; the routing result is unaffected.
+pub fn run_with_faults(
+    cfg: SimConfig,
+    params: &LocusParams,
+    version: Version,
+    faults: Option<FaultPlan>,
+) -> AppReport {
     let mut rt = SimRuntime::new(cfg);
+    if let Some(plan) = faults {
+        rt.set_fault_plan(plan);
+    }
     let nprocs = rt.nservers();
     let circ = &params.circuit;
     let (w, h, nregions) = (circ.width, circ.height, circ.regions);

@@ -23,7 +23,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cool_core::{AffinitySpec, ObjRef};
-use cool_sim::{SimConfig, SimRuntime, Task};
+use cool_sim::{FaultPlan, SimConfig, SimRuntime, Task};
 use workloads::ocean::{initial_grids, region_rows, OceanParams};
 
 use crate::common::{AppReport, RoundRobin, Version};
@@ -133,7 +133,40 @@ pub fn run_full(
     placement: PlacementPolicy,
     decomp: Decomposition,
 ) -> AppReport {
+    run_full_with_faults(cfg, params, version, placement, decomp, None)
+}
+
+/// One full Ocean run with the version's default placement, optionally
+/// perturbed by a deterministic [`FaultPlan`] (stragglers, stalls, transient
+/// task failures). Injection moves only the schedule and timing; the
+/// relaxation result is unaffected.
+pub fn run_with_faults(
+    cfg: SimConfig,
+    params: &OceanParams,
+    version: Version,
+    faults: Option<FaultPlan>,
+) -> AppReport {
+    let placement = if version.distributes() {
+        PlacementPolicy::Explicit
+    } else {
+        PlacementPolicy::Central
+    };
+    run_full_with_faults(cfg, params, version, placement, Decomposition::Rows, faults)
+}
+
+/// [`run_full`] plus an optional fault plan.
+pub fn run_full_with_faults(
+    cfg: SimConfig,
+    params: &OceanParams,
+    version: Version,
+    placement: PlacementPolicy,
+    decomp: Decomposition,
+    faults: Option<FaultPlan>,
+) -> AppReport {
     let mut rt = SimRuntime::new(cfg);
+    if let Some(plan) = faults {
+        rt.set_fault_plan(plan);
+    }
     let nprocs = rt.nservers();
     let n = params.n;
     let g = params.num_grids;

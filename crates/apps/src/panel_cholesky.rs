@@ -28,7 +28,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use cool_core::{AffinitySpec, ObjRef};
-use cool_sim::{SimConfig, SimRuntime, Task, TaskCtx};
+use cool_sim::{FaultPlan, SimConfig, SimRuntime, Task, TaskCtx};
 use sparse::{CscMatrix, EliminationTree, Factor, PanelDeps, PanelPartition, SymbolicFactor};
 
 use crate::common::{AppReport, RoundRobin, Version};
@@ -78,7 +78,22 @@ struct State {
 
 /// One full run.
 pub fn run(cfg: SimConfig, prob: &PanelProblem, version: Version) -> AppReport {
+    run_with_faults(cfg, prob, version, None)
+}
+
+/// One full run, optionally perturbed by a deterministic [`FaultPlan`]
+/// (stragglers, stalls, transient task failures). Injection moves only the
+/// schedule and timing; the factor is unaffected.
+pub fn run_with_faults(
+    cfg: SimConfig,
+    prob: &PanelProblem,
+    version: Version,
+    faults: Option<FaultPlan>,
+) -> AppReport {
     let mut rt = SimRuntime::new(cfg);
+    if let Some(plan) = faults {
+        rt.set_fault_plan(plan);
+    }
     let nprocs = rt.nservers();
     let np = prob.panels.len();
 

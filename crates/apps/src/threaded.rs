@@ -11,7 +11,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use cool_rt::{AffinitySpec, ObjRef, ProcId, RtConfig, RtCtx, RtTask, Runtime, SchedStats};
+use cool_rt::{
+    AffinitySpec, FaultPlan, ObjRef, ProcId, RtConfig, RtCtx, RtTask, Runtime, SchedStats,
+    ScopeError,
+};
 use parking_lot::RwLock;
 use sparse::{CscMatrix, EliminationTree, Factor, PanelDeps, PanelPartition, SymbolicFactor};
 
@@ -169,13 +172,31 @@ pub fn panel_cholesky_rt(
     max_panel_width: usize,
     threads: usize,
 ) -> ThreadedPanelResult {
+    panel_cholesky_rt_with_faults(matrix, max_panel_width, threads, None)
+        .expect("fault-free panel cholesky cannot fail")
+}
+
+/// [`panel_cholesky_rt`] under an optional deterministic [`FaultPlan`]
+/// (stragglers, stalls, transient task failures; one plan unit = 1 µs).
+/// Injection perturbs only the schedule — the factor must still verify.
+/// Returns `Err` only if a task panicked or the scope stalled.
+pub fn panel_cholesky_rt_with_faults(
+    matrix: &CscMatrix,
+    max_panel_width: usize,
+    threads: usize,
+    faults: Option<FaultPlan>,
+) -> Result<ThreadedPanelResult, ScopeError> {
     let e = EliminationTree::new(matrix);
     let sym = Arc::new(SymbolicFactor::new(matrix, &e));
     let panels = PanelPartition::fundamental(&sym, max_panel_width);
     let deps = Arc::new(PanelDeps::new(&sym, &panels));
     let np = panels.len();
 
-    let rt = Runtime::new(RtConfig::new(threads));
+    let cfg = RtConfig::new(threads);
+    let rt = match faults {
+        Some(plan) => Runtime::with_faults(cfg, plan),
+        None => Runtime::new(cfg),
+    };
     // migrate(panel + p, p): place the panels round-robin.
     let panel_objs: Arc<Vec<ObjRef>> = Arc::new(
         (0..np)
@@ -199,7 +220,7 @@ pub fn panel_cholesky_rt(
             for p in deps.initially_ready() {
                 spawn_complete(s, p, &factor, &deps, &pending, &panel_objs);
             }
-        });
+        })?;
     }
     let wall = t0.elapsed();
 
@@ -212,11 +233,11 @@ pub fn panel_cholesky_rt(
             max_error = max_error.max((factor.get(i, j) - fref.get(i, j)).abs());
         }
     }
-    ThreadedPanelResult {
+    Ok(ThreadedPanelResult {
         max_error,
         stats: rt.stats(),
         wall,
-    }
+    })
 }
 
 type Deps = Arc<PanelDeps>;

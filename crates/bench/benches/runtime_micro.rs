@@ -75,7 +75,8 @@ fn spawn_throughput(c: &mut Criterion) {
                             .with_affinity(aff),
                         );
                     }
-                });
+                })
+                .unwrap();
             });
         });
     }
@@ -123,7 +124,8 @@ fn back_to_back_reuse(c: &mut Criterion) {
                             );
                         }
                     }
-                });
+                })
+                .unwrap();
             });
         });
     }

@@ -242,8 +242,10 @@ pub fn steal_sets(nprocs: usize) -> Vec<AblationRow> {
     use std::rc::Rc;
     let mut rows = Vec::new();
     for (label, whole) in [("whole-set", true), ("single-task", false)] {
-        let mut policy = cool_core::StealPolicy::default();
-        policy.steal_whole_sets = whole;
+        let policy = cool_core::StealPolicy {
+            steal_whole_sets: whole,
+            ..Default::default()
+        };
         let cfg = SimConfig::new(MachineConfig::dash(nprocs)).with_policy(policy);
         let mut rt = SimRuntime::new(cfg);
         // More sets than thieves, all hoarded on server 0 (TASK affinity

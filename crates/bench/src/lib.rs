@@ -437,7 +437,7 @@ pub fn table1() -> Vec<[&'static str; 2]> {
 
 /// Figure 1: the modelled memory hierarchy (latency table).
 pub fn machine_table(scale: Scale) -> Vec<(String, u64)> {
-    let m = scale.machine(32.min(64));
+    let m = scale.machine(32);
     vec![
         ("L1 hit (cycles)".into(), m.lat.l1_hit),
         ("L2 hit (cycles)".into(), m.lat.l2_hit),

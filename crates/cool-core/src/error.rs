@@ -1,0 +1,57 @@
+//! Failure descriptions surfaced by the runtimes.
+//!
+//! A COOL task body that panics must not take the runtime down with it: the
+//! worker catches the unwind, releases whatever the task held (its scope
+//! slot, its mutex object) and records a [`TaskError`] against the enclosing
+//! scope, which reports every failure when it completes.
+
+use crate::ObjRef;
+
+/// One task body that panicked inside a scope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskError {
+    /// Server index the body was executing on when it panicked.
+    pub proc: usize,
+    /// The panic payload, stringified (`&str` / `String` payloads verbatim,
+    /// anything else as a placeholder).
+    pub message: String,
+    /// The mutex object the task held, if it was a `parallel mutex` function
+    /// (released by the runtime before this error was recorded).
+    pub mutex_on: Option<ObjRef>,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked on server {}: {}", self.proc, self.message)?;
+        if let Some(obj) = self.mutex_on {
+            write!(f, " (held mutex on {obj:?}, released)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_server_and_mutex() {
+        let e = TaskError {
+            proc: 3,
+            message: "boom".into(),
+            mutex_on: Some(ObjRef(0x40)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("server 3"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+        assert!(s.contains("released"), "{s}");
+        let e2 = TaskError {
+            proc: 0,
+            message: "x".into(),
+            mutex_on: None,
+        };
+        assert!(!e2.to_string().contains("mutex"));
+    }
+}

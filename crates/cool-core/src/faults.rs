@@ -1,0 +1,223 @@
+//! Deterministic fault-injection plans shared by both runtimes.
+//!
+//! The paper's load-balancing claims (affinity sets run back-to-back,
+//! stealing preserves locality, mutex tasks block the task and never the
+//! server) are only meaningful if they survive perturbation: stragglers,
+//! stalled processors, transient task failures. A [`FaultPlan`] describes
+//! such a perturbation *declaratively and deterministically*, so the same
+//! plan replayed against the simulator yields bit-identical schedules, and
+//! replayed against the threaded runtime yields the same set of injected
+//! events (real time varies, the events do not).
+//!
+//! Quantities are expressed in abstract **units**: the simulated runtime
+//! interprets one unit as one machine cycle, the threaded runtime as one
+//! microsecond of wall-clock delay. Injected task failures are *transient*:
+//! the task's first dispatch fails before the body runs and the untouched
+//! body is requeued, so a retried task still executes exactly once and
+//! application results stay correct and comparable.
+
+/// A one-shot processor stall: before `proc`'s `nth_dispatch`-th task
+/// dispatch (0-based), the server freezes for `units`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stall {
+    /// Server index the stall applies to.
+    pub proc: usize,
+    /// Which dispatch on that server triggers the stall (0 = the first).
+    pub nth_dispatch: u64,
+    /// Stall length in plan units.
+    pub units: u64,
+}
+
+/// A deterministic, seeded description of injected faults.
+///
+/// Built with the fluent methods below; queried by the runtimes via the
+/// `*_units` / [`FaultPlan::should_fail`] accessors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Extra units charged to every task dispatched on a server (straggler).
+    slow: Vec<(usize, u64)>,
+    /// One-shot freezes.
+    stalls: Vec<Stall>,
+    /// Global spawn indices whose first dispatch fails transiently (sorted).
+    fail_spawns: Vec<u64>,
+    /// Extra units charged each time a server goes idle / scans for steals.
+    wakeup: Vec<(usize, u64)>,
+}
+
+/// The xorshift* step used to derive pseudo-random injection points from the
+/// plan seed (no external RNG dependency; bit-stable across platforms).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (used only by the `*_random_*`
+    /// builders; two plans built identically from the same seed are equal).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slow.is_empty()
+            && self.stalls.is_empty()
+            && self.fail_spawns.is_empty()
+            && self.wakeup.is_empty()
+    }
+
+    /// Make `proc` a straggler: every task it dispatches costs `units` extra.
+    pub fn slow_server(mut self, proc: usize, units: u64) -> Self {
+        self.slow.push((proc, units));
+        self
+    }
+
+    /// Freeze `proc` for `units` just before its `nth_dispatch`-th dispatch.
+    pub fn stall_server(mut self, proc: usize, nth_dispatch: u64, units: u64) -> Self {
+        self.stalls.push(Stall {
+            proc,
+            nth_dispatch,
+            units,
+        });
+        self
+    }
+
+    /// Fail the `n`-th spawned task (0-based, counted across all servers) on
+    /// its first dispatch. The failure is transient: the body is requeued
+    /// untouched and runs on a later dispatch.
+    pub fn fail_task(mut self, n: u64) -> Self {
+        if let Err(pos) = self.fail_spawns.binary_search(&n) {
+            self.fail_spawns.insert(pos, n);
+        }
+        self
+    }
+
+    /// Fail `count` distinct spawn indices drawn deterministically from the
+    /// seed, uniform over `0..upto`.
+    pub fn fail_random_tasks(mut self, count: usize, upto: u64) -> Self {
+        assert!(upto > 0, "fail_random_tasks needs a non-empty range");
+        let mut state = self.seed | 1;
+        let mut added = 0;
+        // Bounded attempts so a near-full range cannot loop forever.
+        let mut attempts = 0usize;
+        while added < count && attempts < count * 64 {
+            attempts += 1;
+            let n = xorshift(&mut state) % upto;
+            if let Err(pos) = self.fail_spawns.binary_search(&n) {
+                self.fail_spawns.insert(pos, n);
+                added += 1;
+            }
+        }
+        self
+    }
+
+    /// Delay `proc` by `units` every time it wakes from idle or scans for
+    /// work to steal (models a processor slow to notice new work).
+    pub fn delay_wakeups(mut self, proc: usize, units: u64) -> Self {
+        self.wakeup.push((proc, units));
+        self
+    }
+
+    /// Total straggler surcharge per task dispatched on `proc`.
+    pub fn slow_units(&self, proc: usize) -> u64 {
+        self.slow
+            .iter()
+            .filter(|&&(p, _)| p == proc)
+            .map(|&(_, u)| u)
+            .sum()
+    }
+
+    /// Stall to apply before `proc`'s dispatch number `nth` (0 if none).
+    pub fn stall_units(&self, proc: usize, nth: u64) -> u64 {
+        self.stalls
+            .iter()
+            .filter(|s| s.proc == proc && s.nth_dispatch == nth)
+            .map(|s| s.units)
+            .sum()
+    }
+
+    /// Should the task with global spawn index `n` fail its first dispatch?
+    pub fn should_fail(&self, n: u64) -> bool {
+        self.fail_spawns.binary_search(&n).is_ok()
+    }
+
+    /// Number of injected task failures in the plan.
+    pub fn fail_count(&self) -> usize {
+        self.fail_spawns.len()
+    }
+
+    /// Wakeup/steal-scan surcharge for `proc`.
+    pub fn wakeup_units(&self, proc: usize) -> u64 {
+        self.wakeup
+            .iter()
+            .filter(|&&(p, _)| p == proc)
+            .map(|&(_, u)| u)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new(7);
+        assert!(p.is_empty());
+        assert_eq!(p.slow_units(0), 0);
+        assert_eq!(p.stall_units(3, 0), 0);
+        assert!(!p.should_fail(0));
+        assert_eq!(p.wakeup_units(1), 0);
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let p = FaultPlan::new(1)
+            .slow_server(2, 100)
+            .slow_server(2, 50)
+            .stall_server(1, 4, 9_999)
+            .fail_task(10)
+            .fail_task(3)
+            .fail_task(10)
+            .delay_wakeups(0, 25);
+        assert_eq!(p.slow_units(2), 150);
+        assert_eq!(p.slow_units(1), 0);
+        assert_eq!(p.stall_units(1, 4), 9_999);
+        assert_eq!(p.stall_units(1, 5), 0);
+        assert!(p.should_fail(3) && p.should_fail(10));
+        assert_eq!(p.fail_count(), 2, "fail_task must deduplicate");
+        assert_eq!(p.wakeup_units(0), 25);
+    }
+
+    #[test]
+    fn random_failures_are_seed_deterministic() {
+        let a = FaultPlan::new(42).fail_random_tasks(8, 1000);
+        let b = FaultPlan::new(42).fail_random_tasks(8, 1000);
+        let c = FaultPlan::new(43).fail_random_tasks(8, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should pick different tasks");
+        assert_eq!(a.fail_count(), 8);
+        for n in 0..1000 {
+            assert_eq!(a.should_fail(n), b.should_fail(n));
+        }
+    }
+
+    #[test]
+    fn random_failures_stay_in_range() {
+        let p = FaultPlan::new(5).fail_random_tasks(16, 64);
+        let hits: Vec<u64> = (0..64).filter(|&n| p.should_fail(n)).collect();
+        assert_eq!(hits.len(), p.fail_count());
+        assert!((64..4096).all(|n| !p.should_fail(n)));
+    }
+}

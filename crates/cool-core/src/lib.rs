@@ -20,18 +20,27 @@
 //!   cluster-first stealing.
 //! * [`stats`] — scheduling statistics (tasks executed, stolen, affinity
 //!   adherence) used by both runtimes and by the figure harnesses.
+//! * [`error`] — failure descriptions ([`TaskError`]) surfaced when a task
+//!   body panics and is isolated by the runtime.
+//! * [`faults`] — seeded, deterministic [`FaultPlan`] descriptions of
+//!   injected perturbations (stragglers, stalls, transient task failures)
+//!   consumed by both runtimes' chaos hooks.
 //!
 //! Both the simulated runtime (`cool-sim`, which reproduces the paper's DASH
 //! numbers) and the real threaded runtime (`cool-rt`) are built on these
 //! types, so the scheduling behaviour under test is literally the same code.
 
 pub mod affinity;
+pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod policy;
 pub mod queues;
 pub mod stats;
 
 pub use affinity::{AffinityKind, AffinitySpec};
+pub use error::TaskError;
+pub use faults::FaultPlan;
 pub use ids::{ClusterId, NodeId, ObjRef, ProcId};
 pub use policy::{StealPolicy, Topology};
 pub use queues::{ServerQueues, SlotClass, StolenBatch};

@@ -30,6 +30,17 @@ pub struct SchedStats {
     pub desperate_steals: u64,
     /// Tasks that blocked on a mutex object at least once.
     pub mutex_blocks: u64,
+    /// Additional re-blocks of tasks that had already blocked once
+    /// (requeue-and-retry churn beyond the first block).
+    pub mutex_retries: u64,
+    /// Times a server escalated from rotating blocked mutex tasks to a short
+    /// park (bounded backoff instead of a hot spin).
+    pub mutex_parks: u64,
+    /// Task bodies that panicked (caught and isolated by the runtime).
+    pub panics: u64,
+    /// Transient injected faults (a `FaultPlan` failing a task's first
+    /// dispatch; the task was requeued and completed later).
+    pub injected_faults: u64,
 }
 
 impl SchedStats {
@@ -65,6 +76,10 @@ impl AddAssign for SchedStats {
         self.remote_steals += o.remote_steals;
         self.desperate_steals += o.desperate_steals;
         self.mutex_blocks += o.mutex_blocks;
+        self.mutex_retries += o.mutex_retries;
+        self.mutex_parks += o.mutex_parks;
+        self.panics += o.panics;
+        self.injected_faults += o.injected_faults;
     }
 }
 

@@ -67,7 +67,7 @@ proptest! {
                     }
                 }
             }
-            q.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            q.check_invariants().map_err(TestCaseError::fail)?;
         }
 
         // Drain the remainder; everything pushed must come out exactly once.
@@ -86,10 +86,8 @@ proptest! {
         array_size in 8usize..64,
     ) {
         let mut q: ServerQueues<(u8, u64)> = ServerQueues::new(array_size);
-        let mut seq = 0u64;
-        for &tok in &tokens {
-            q.push_affinity(ObjRef(tok as u64), AffinityKind::Task, (tok, seq));
-            seq += 1;
+        for (seq, &tok) in tokens.iter().enumerate() {
+            q.push_affinity(ObjRef(tok as u64), AffinityKind::Task, (tok, seq as u64));
         }
         let mut last_seen: std::collections::HashMap<u8, u64> = Default::default();
         while let Some((_, (tok, s))) = q.pop_local() {

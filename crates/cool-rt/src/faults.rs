@@ -1,0 +1,84 @@
+//! Threaded-runtime side of fault injection: atomic counters that turn a
+//! declarative [`FaultPlan`] into concrete events on worker threads.
+//!
+//! One plan unit is interpreted as one microsecond of wall-clock delay. The
+//! injector never touches task bodies — an injected failure aborts a task's
+//! first dispatch *before* the body runs and requeues it untouched, so the
+//! task still executes exactly once and application results are unaffected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use cool_core::FaultPlan;
+
+/// Per-runtime injection state: the plan plus the counters that decide which
+/// spawn/dispatch an event lands on.
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    /// Global spawn counter (matches the plan's spawn indices).
+    spawns: AtomicU64,
+    /// Per-server dispatch counters (matches `Stall::nth_dispatch`).
+    dispatches: Vec<AtomicU64>,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan, nservers: usize) -> Self {
+        FaultInjector {
+            plan,
+            spawns: AtomicU64::new(0),
+            dispatches: (0..nservers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Claim the next global spawn index and report whether that task's
+    /// first dispatch should fail.
+    pub(crate) fn on_spawn(&self) -> bool {
+        let idx = self.spawns.fetch_add(1, Ordering::Relaxed);
+        self.plan.should_fail(idx)
+    }
+
+    /// Claim `proc`'s next dispatch number and return the straggler + stall
+    /// delay owed before the task body runs.
+    pub(crate) fn dispatch_delay(&self, proc: usize) -> Duration {
+        let nth = self.dispatches[proc].fetch_add(1, Ordering::Relaxed);
+        Duration::from_micros(self.plan.slow_units(proc) + self.plan.stall_units(proc, nth))
+    }
+
+    /// Delay owed each time `proc` comes back from idle.
+    pub(crate) fn wakeup_delay(&self, proc: usize) -> Duration {
+        Duration::from_micros(self.plan.wakeup_units(proc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_counter_matches_plan_indices() {
+        let inj = FaultInjector::new(FaultPlan::new(0).fail_task(0).fail_task(2), 2);
+        assert!(inj.on_spawn()); // spawn 0
+        assert!(!inj.on_spawn()); // spawn 1
+        assert!(inj.on_spawn()); // spawn 2
+        assert!(!inj.on_spawn()); // spawn 3
+    }
+
+    #[test]
+    fn dispatch_delay_combines_slow_and_stall() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(0).slow_server(1, 5).stall_server(1, 1, 100),
+            2,
+        );
+        assert_eq!(inj.dispatch_delay(0), Duration::ZERO);
+        assert_eq!(inj.dispatch_delay(1), Duration::from_micros(5));
+        assert_eq!(inj.dispatch_delay(1), Duration::from_micros(105));
+        assert_eq!(inj.dispatch_delay(1), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn wakeup_delay_is_per_proc() {
+        let inj = FaultInjector::new(FaultPlan::new(0).delay_wakeups(0, 30), 2);
+        assert_eq!(inj.wakeup_delay(0), Duration::from_micros(30));
+        assert_eq!(inj.wakeup_delay(1), Duration::ZERO);
+    }
+}

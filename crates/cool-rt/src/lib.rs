@@ -17,7 +17,14 @@
 //! * `parallel mutex` functions via per-object locks (`try_lock`; a blocked
 //!   task is set aside and the server keeps working, as in COOL);
 //! * `waitfor` scopes: [`Runtime::scope`] blocks until every task spawned
-//!   within the scope — including nested spawns — has completed.
+//!   within the scope — including nested spawns — has completed, and reports
+//!   task panics as a [`ScopeError`] instead of crashing the runtime;
+//! * failure isolation: panicking tasks release their scope slot and any
+//!   held `mutex` object via RAII guards, a stall watchdog
+//!   ([`RtConfig::with_stall_timeout`]) turns silent hangs into diagnostic
+//!   [`StallDump`]s, and deterministic fault plans
+//!   ([`Runtime::with_faults`]) inject stragglers, stalls and transient
+//!   task failures for chaos testing.
 //!
 //! The machine here is whatever you run on (UMA, most likely), so *memory*
 //! locality effects are not observable; what carries over from the paper is
@@ -44,14 +51,20 @@
 //!             .with_affinity(AffinitySpec::simple(obj)),
 //!         );
 //!     }
-//! });
+//! })
+//! .unwrap();                       // Err(ScopeError) if a task panicked
 //! assert_eq!(hits.load(Ordering::Relaxed), 16);
 //! ```
 
+mod faults;
 pub mod placement;
 pub mod runtime;
+pub mod watchdog;
 
 pub use placement::Placement;
-pub use runtime::{RtConfig, RtCtx, RtTask, Runtime};
+pub use runtime::{RtConfig, RtCtx, RtTask, Runtime, ScopeError, ScopeResult};
+pub use watchdog::StallDump;
 
-pub use cool_core::{AffinitySpec, ObjRef, ProcId, SchedStats, StealPolicy, Topology};
+pub use cool_core::{
+    AffinitySpec, FaultPlan, ObjRef, ProcId, SchedStats, StealPolicy, TaskError, Topology,
+};

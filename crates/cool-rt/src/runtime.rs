@@ -1,18 +1,45 @@
 //! The threaded runtime: worker threads, scopes, and the scheduling loop.
+//!
+//! ## Failure model
+//!
+//! A task body that panics does not take the runtime down with it. Execution
+//! is wrapped in `catch_unwind`, and the two pieces of scheduler state a task
+//! can hold — its slot in the enclosing `waitfor` scope and the `mutex_on`
+//! object it may have locked — are released by RAII guards ([`ScopeTicket`],
+//! [`HeldGuard`]) that run on the unwind path too. The worker thread then
+//! keeps scheduling; the failure is reported to the scope's waiter as a
+//! [`TaskError`] inside [`ScopeError::Panicked`], and counted in
+//! `SchedStats::panics`.
+//!
+//! Scopes that never finish are handled by the stall watchdog (see the
+//! [`watchdog`](crate::watchdog) module) and by
+//! [`Runtime::scope_with_timeout`].
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use cool_core::{
-    AffinityKind, AffinitySpec, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy, Topology,
+    AffinityKind, AffinitySpec, FaultPlan, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy,
+    TaskError, Topology,
 };
 
+use crate::faults::FaultInjector;
 use crate::placement::Placement;
+use crate::watchdog::StallDump;
+
+/// Consecutive failed mutex acquisitions on one server before it stops
+/// spin-requeueing and parks briefly instead.
+const MUTEX_PARK_AFTER: usize = 16;
+
+/// How long a server parks once mutex contention escalates past
+/// [`MUTEX_PARK_AFTER`] consecutive rotations.
+const MUTEX_PARK: Duration = Duration::from_micros(50);
 
 /// Configuration for the threaded runtime.
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +53,9 @@ pub struct RtConfig {
     pub policy: StealPolicy,
     /// Affinity-queue array size per server.
     pub affinity_slots: usize,
+    /// If set, run a watchdog thread that dumps diagnostics whenever a scope
+    /// is open but no task has completed for this long.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl RtConfig {
@@ -36,12 +66,21 @@ impl RtConfig {
             procs_per_cluster: 4,
             policy: StealPolicy::default(),
             affinity_slots: 64,
+            stall_timeout: None,
         }
     }
 
     /// Replace the steal policy.
     pub fn with_policy(mut self, policy: StealPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enable the stall watchdog. Pick an interval longer than the
+    /// longest-running single task: the liveness signal is task
+    /// *completions*, so one long body looks the same as a stall.
+    pub fn with_stall_timeout(mut self, interval: Duration) -> Self {
+        self.stall_timeout = Some(interval);
         self
     }
 }
@@ -84,13 +123,22 @@ struct Queued {
     task: RtTask,
     target: ProcId,
     hinted: bool,
-    scope: Arc<ScopeState>,
+    /// RAII membership in the enclosing scope: dropped (normally, on panic,
+    /// or if the task is discarded at shutdown) it signals completion.
+    ticket: ScopeTicket,
+    /// This task's first dispatch must fail (transient injected fault).
+    inject: bool,
+    /// The task has already been through a mutex rotation (stats tell first
+    /// blocks apart from retries).
+    blocked_before: bool,
 }
 
 /// Scope bookkeeping for `waitfor`.
 struct ScopeState {
     remaining: Mutex<usize>,
     done: Condvar,
+    /// Panics collected from tasks in this scope.
+    failures: Mutex<Vec<TaskError>>,
 }
 
 impl ScopeState {
@@ -98,6 +146,7 @@ impl ScopeState {
         Arc::new(ScopeState {
             remaining: Mutex::new(0),
             done: Condvar::new(),
+            failures: Mutex::new(Vec::new()),
         })
     }
 
@@ -113,11 +162,69 @@ impl ScopeState {
         }
     }
 
+    fn record_failure(&self, err: TaskError) {
+        self.failures.lock().push(err);
+    }
+
+    fn take_failures(&self) -> Vec<TaskError> {
+        std::mem::take(&mut *self.failures.lock())
+    }
+
     fn wait(&self) {
         let mut r = self.remaining.lock();
         while *r > 0 {
             self.done.wait(&mut r);
         }
+    }
+
+    /// Wait until the scope drains or `deadline` passes; true iff drained.
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut r = self.remaining.lock();
+        while *r > 0 {
+            if self.done.wait_until(&mut r, deadline).timed_out() {
+                return *r == 0;
+            }
+        }
+        true
+    }
+}
+
+/// RAII token for one task's membership in a scope. Created at spawn time;
+/// however the task ends — normal return, panic, or being dropped unrun when
+/// the runtime shuts down — the drop signals the scope, so `scope()` can
+/// never be left waiting on a task that no longer exists.
+struct ScopeTicket {
+    scope: Arc<ScopeState>,
+}
+
+impl ScopeTicket {
+    fn new(scope: Arc<ScopeState>) -> Self {
+        scope.enter();
+        ScopeTicket { scope }
+    }
+
+    fn scope(&self) -> &Arc<ScopeState> {
+        &self.scope
+    }
+}
+
+impl Drop for ScopeTicket {
+    fn drop(&mut self) {
+        self.scope.exit();
+    }
+}
+
+/// RAII ownership of one object's mutex in the global `held` set: released
+/// on drop, so a panicking mutex task cannot leak the lock and wedge every
+/// later task on the same object.
+struct HeldGuard<'a> {
+    held: &'a Mutex<HashSet<ObjRef>>,
+    obj: ObjRef,
+}
+
+impl Drop for HeldGuard<'_> {
+    fn drop(&mut self) {
+        self.held.lock().remove(&self.obj);
     }
 }
 
@@ -136,13 +243,85 @@ struct Inner {
     placement: Placement,
     /// Objects whose mutex is currently held.
     held: Mutex<HashSet<ObjRef>>,
+    /// Fault injection, if this runtime was built with a plan.
+    faults: Option<FaultInjector>,
+    /// Liveness counter for the watchdog: bumped on every task completion
+    /// and on scope open, so "unchanged for a while" means "stalled".
+    activity: AtomicU64,
+    /// `waitfor` scopes currently open.
+    open_scopes: AtomicUsize,
+    /// Diagnostic dumps produced by the watchdog thread.
+    dumps: Mutex<Vec<StallDump>>,
     shutdown: AtomicBool,
 }
+
+impl Inner {
+    fn total_stats(&self) -> SchedStats {
+        let mut total = SchedStats::default();
+        for s in &self.servers {
+            total += *s.stats.lock();
+        }
+        total
+    }
+
+    /// Snapshot the state a stall post-mortem needs.
+    fn dump(&self) -> StallDump {
+        let mut held: Vec<ObjRef> = self.held.lock().iter().copied().collect();
+        held.sort();
+        let stats = self.total_stats();
+        StallDump {
+            queue_depths: self.servers.iter().map(|s| s.queues.lock().len()).collect(),
+            held_mutexes: held,
+            tasks_executed: stats.executed,
+            stats,
+            open_scopes: self.open_scopes.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Why a `waitfor` scope did not complete cleanly.
+#[derive(Debug)]
+pub enum ScopeError {
+    /// One or more tasks panicked. The scope still ran to completion — every
+    /// non-panicking task executed — and the runtime remains usable.
+    Panicked(Vec<TaskError>),
+    /// The scope was still unfinished when the deadline passed. The dump
+    /// shows where the unrun work and held mutexes sit.
+    Stalled {
+        /// Diagnostic snapshot taken when the deadline expired.
+        dump: Box<StallDump>,
+        /// How long the scope was given.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for ScopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScopeError::Panicked(errs) => {
+                write!(f, "{} task(s) panicked in scope", errs.len())?;
+                for e in errs {
+                    write!(f, "; {e}")?;
+                }
+                Ok(())
+            }
+            ScopeError::Stalled { dump, waited } => {
+                write!(f, "scope stalled after {waited:?}: {dump}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScopeError {}
+
+/// Result of running a `waitfor` scope.
+pub type ScopeResult = Result<(), ScopeError>;
 
 /// The threaded COOL runtime. Dropping it shuts the workers down.
 pub struct Runtime {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 /// The context a threaded task body runs against.
@@ -152,9 +331,30 @@ pub struct RtCtx<'a> {
     scope: Arc<ScopeState>,
 }
 
+/// Decrements `open_scopes` when the scope call returns by any path.
+struct OpenScopeGuard<'a>(&'a Inner);
+
+impl Drop for OpenScopeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.open_scopes.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 impl Runtime {
     /// Start `cfg.nthreads` workers.
     pub fn new(cfg: RtConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Start a runtime whose scheduling is perturbed by `plan` (one plan
+    /// unit = one microsecond). Injected task failures are transient: the
+    /// task's first dispatch aborts before the body runs and the body is
+    /// requeued, so results are unaffected.
+    pub fn with_faults(cfg: RtConfig, plan: FaultPlan) -> Self {
+        Self::build(cfg, Some(plan))
+    }
+
+    fn build(cfg: RtConfig, plan: Option<FaultPlan>) -> Self {
         assert!(cfg.nthreads >= 1);
         let inner = Arc::new(Inner {
             servers: (0..cfg.nthreads)
@@ -169,6 +369,10 @@ impl Runtime {
             policy: cfg.policy,
             placement: Placement::new(),
             held: Mutex::new(HashSet::new()),
+            faults: plan.map(|p| FaultInjector::new(p, cfg.nthreads)),
+            activity: AtomicU64::new(0),
+            open_scopes: AtomicUsize::new(0),
+            dumps: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
         });
         let workers = (0..cfg.nthreads)
@@ -180,7 +384,18 @@ impl Runtime {
                     .expect("spawn worker")
             })
             .collect();
-        Runtime { inner, workers }
+        let watchdog = cfg.stall_timeout.map(|interval| {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("cool-watchdog".into())
+                .spawn(move || watchdog_loop(&inner, interval))
+                .expect("spawn watchdog")
+        });
+        Runtime {
+            inner,
+            workers,
+            watchdog,
+        }
     }
 
     /// The placement registry (`alloc_on` / `migrate` / `home`).
@@ -196,26 +411,89 @@ impl Runtime {
     /// Run a `waitfor` scope: execute `seed` (on the calling thread, as
     /// creator server 0), then block until every task transitively spawned
     /// inside the scope has completed.
-    pub fn scope(&self, seed: impl FnOnce(&RtCtx<'_>)) {
+    ///
+    /// Returns `Err(ScopeError::Panicked)` if any task body panicked; the
+    /// scope still drained (panicked tasks released their scope slot and any
+    /// held mutex via RAII) and the runtime stays usable. A panic in `seed`
+    /// itself is propagated to the caller — after the tasks it already
+    /// spawned have drained.
+    pub fn scope(&self, seed: impl FnOnce(&RtCtx<'_>)) -> ScopeResult {
+        self.run_scope(seed, None)
+    }
+
+    /// Like [`Runtime::scope`], but give up waiting after `timeout` and
+    /// return [`ScopeError::Stalled`] with a diagnostic dump instead of
+    /// blocking forever. Tasks of an abandoned scope may still run later;
+    /// their scope bookkeeping stays valid.
+    pub fn scope_with_timeout(
+        &self,
+        timeout: Duration,
+        seed: impl FnOnce(&RtCtx<'_>),
+    ) -> ScopeResult {
+        self.run_scope(seed, Some(timeout))
+    }
+
+    fn run_scope(&self, seed: impl FnOnce(&RtCtx<'_>), timeout: Option<Duration>) -> ScopeResult {
         let scope = ScopeState::new();
-        {
+        self.inner.open_scopes.fetch_add(1, Ordering::SeqCst);
+        // Restart the watchdog's quiet-period clock for this scope.
+        self.inner.activity.fetch_add(1, Ordering::SeqCst);
+        let _open = OpenScopeGuard(&self.inner);
+        let seed_result = {
             let ctx = RtCtx {
                 inner: &self.inner,
                 proc: ProcId(0),
                 scope: scope.clone(),
             };
-            seed(&ctx);
+            catch_unwind(AssertUnwindSafe(|| seed(&ctx)))
+        };
+        let completed = match timeout {
+            None => {
+                scope.wait();
+                true
+            }
+            Some(t) => scope.wait_until(Instant::now() + t),
+        };
+        if let Err(payload) = seed_result {
+            resume_unwind(payload);
         }
-        scope.wait();
+        if !completed {
+            return Err(ScopeError::Stalled {
+                dump: Box::new(self.inner.dump()),
+                waited: timeout.expect("timeout present when incomplete"),
+            });
+        }
+        let failures = scope.take_failures();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(ScopeError::Panicked(failures))
+        }
     }
 
     /// Aggregated scheduling statistics since startup.
     pub fn stats(&self) -> SchedStats {
-        let mut total = SchedStats::default();
-        for s in &self.inner.servers {
-            total += *s.stats.lock();
-        }
-        total
+        self.inner.total_stats()
+    }
+
+    /// Per-server scheduling statistics since startup, by server index.
+    pub fn server_stats(&self) -> Vec<SchedStats> {
+        self.inner.servers.iter().map(|s| *s.stats.lock()).collect()
+    }
+
+    /// Diagnostic dumps recorded by the stall watchdog (empty unless the
+    /// runtime was built with [`RtConfig::with_stall_timeout`] and a stall
+    /// was detected).
+    pub fn stall_dumps(&self) -> Vec<StallDump> {
+        self.inner.dumps.lock().clone()
+    }
+
+    /// Objects whose `mutex` is currently held (diagnostics; normally empty
+    /// when no scope is running).
+    pub fn held_mutexes(&self) -> Vec<ObjRef> {
+        let mut v: Vec<ObjRef> = self.inner.held.lock().iter().copied().collect();
+        v.sort();
+        v
     }
 }
 
@@ -227,6 +505,9 @@ impl Drop for Runtime {
             s.wake.notify_all();
         }
         for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watchdog.take() {
             let _ = w.join();
         }
     }
@@ -264,22 +545,25 @@ impl RtCtx<'_> {
 
     /// Spawn a task into the enclosing scope.
     pub fn spawn(&self, task: RtTask) {
-        self.scope.enter();
-        enqueue(self.inner, self.proc, task, self.scope.clone());
+        let ticket = ScopeTicket::new(self.scope.clone());
+        enqueue(self.inner, self.proc, task, ticket);
     }
 }
 
 /// Resolve affinity and enqueue, waking the target server.
-fn enqueue(inner: &Inner, creator: ProcId, task: RtTask, scope: Arc<ScopeState>) {
+fn enqueue(inner: &Inner, creator: ProcId, task: RtTask, ticket: ScopeTicket) {
     let spec = task.affinity;
     let target = spec.resolve_server(inner.servers.len(), creator, |o| inner.placement.home(o));
     let hinted = spec.is_hinted();
     let kind = spec.kind();
+    let inject = inner.faults.as_ref().is_some_and(|f| f.on_spawn());
     let queued = Queued {
         task,
         target,
         hinted,
-        scope,
+        ticket,
+        inject,
+        blocked_before: false,
     };
     let server = &inner.servers[target.index()];
     {
@@ -294,15 +578,45 @@ fn enqueue(inner: &Inner, creator: ProcId, task: RtTask, scope: Arc<ScopeState>)
     server.wake.notify_one();
 }
 
+/// Put a task back at the tail of its queue class on server `mi`.
+fn requeue(inner: &Inner, mi: usize, kind: AffinityKind, queued: Queued) {
+    let mut q = inner.servers[mi].queues.lock();
+    match queued.task.affinity.queue_token() {
+        Some(tok) => q.push_affinity(tok, kind, queued),
+        None => q.push_default(kind, queued),
+    }
+}
+
 fn worker_loop(inner: &Inner, me: ProcId) {
     let mi = me.index();
     let mut failed_scans = 0usize;
+    // Consecutive mutex rotations with no task executed: drives the bounded
+    // backoff that replaces a hot requeue/yield spin under contention.
+    let mut mutex_rotations = 0usize;
     loop {
+        // 0. Shutdown: leave promptly even with work still queued, so a
+        // dropped Runtime joins. Discarded tasks notify their scopes via
+        // their ScopeTicket when the queues are dropped.
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         // 1. Local work.
         let popped = inner.servers[mi].queues.lock().pop_local();
         if let Some((kind, queued)) = popped {
             failed_scans = 0;
-            run_or_rotate(inner, me, kind, queued);
+            if run_or_rotate(inner, me, kind, queued) {
+                mutex_rotations = 0;
+            } else {
+                mutex_rotations += 1;
+                if mutex_rotations >= MUTEX_PARK_AFTER {
+                    // The only runnable work is blocked on a mutex another
+                    // server holds: stop burning the core, nap briefly.
+                    inner.servers[mi].stats.lock().mutex_parks += 1;
+                    std::thread::sleep(MUTEX_PARK);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
             continue;
         }
         // 2. Steal.
@@ -364,42 +678,87 @@ fn worker_loop(inner: &Inner, me: ProcId) {
             let mut guard = server.sleep_lock.lock();
             // Re-check under the lock to avoid missed wakeups.
             if server.queues.lock().is_empty() && !inner.shutdown.load(Ordering::SeqCst) {
-                server
-                    .wake
-                    .wait_for(&mut guard, Duration::from_millis(1));
+                server.wake.wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+        // Injected fault: a processor slow to notice new work.
+        if let Some(inj) = &inner.faults {
+            let d = inj.wakeup_delay(mi);
+            if !d.is_zero() {
+                std::thread::sleep(d);
             }
         }
     }
 }
 
 /// Execute a task, or set it aside if its mutex object is busy.
-fn run_or_rotate(inner: &Inner, me: ProcId, kind: AffinityKind, queued: Queued) {
+///
+/// Returns true if the task made progress (ran, or consumed its injected
+/// fault); false if it was rotated because its mutex is held — the signal
+/// the worker's bounded backoff keys off.
+fn run_or_rotate(inner: &Inner, me: ProcId, kind: AffinityKind, mut queued: Queued) -> bool {
     let mi = me.index();
+    if queued.inject {
+        // Transient injected failure: consume it before the body runs and
+        // requeue the task untouched, so it still executes exactly once.
+        queued.inject = false;
+        inner.servers[mi].stats.lock().injected_faults += 1;
+        requeue(inner, mi, kind, queued);
+        return true;
+    }
     if let Some(lock_obj) = queued.task.mutex_on {
         let acquired = inner.held.lock().insert(lock_obj);
         if !acquired {
             // Blocked: back of the queue; the server moves on (COOL blocks
             // the task, never the server).
-            inner.servers[mi].stats.lock().mutex_blocks += 1;
-            let mut q = inner.servers[mi].queues.lock();
-            match queued.task.affinity.queue_token() {
-                Some(tok) => q.push_affinity(tok, kind, queued),
-                None => q.push_default(kind, queued),
+            {
+                let mut st = inner.servers[mi].stats.lock();
+                if queued.blocked_before {
+                    st.mutex_retries += 1;
+                } else {
+                    st.mutex_blocks += 1;
+                }
             }
-            drop(q);
-            std::thread::yield_now();
-            return;
+            queued.blocked_before = true;
+            requeue(inner, mi, kind, queued);
+            return false;
         }
-        execute(inner, me, queued);
-        inner.held.lock().remove(&lock_obj);
+        // Held until end of execution — including the unwind path, so a
+        // panicking mutex task cannot leak the lock.
+        let held = HeldGuard {
+            held: &inner.held,
+            obj: lock_obj,
+        };
+        execute(inner, me, queued, Some(held));
     } else {
-        execute(inner, me, queued);
+        execute(inner, me, queued, None);
+    }
+    true
+}
+
+/// Turn a panic payload into something printable for `TaskError`.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
-fn execute(inner: &Inner, me: ProcId, queued: Queued) {
+fn execute(inner: &Inner, me: ProcId, queued: Queued, held: Option<HeldGuard<'_>>) {
+    let mi = me.index();
+    if let Some(inj) = &inner.faults {
+        // Straggler / stall injection charges wall-clock time before the
+        // body, where the simulator charges cycles.
+        let d = inj.dispatch_delay(mi);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
     {
-        let mut st = inner.servers[me.index()].stats.lock();
+        let mut st = inner.servers[mi].stats.lock();
         st.executed += 1;
         if queued.hinted {
             st.hinted += 1;
@@ -408,14 +767,54 @@ fn execute(inner: &Inner, me: ProcId, queued: Queued) {
             }
         }
     }
-    let scope = queued.scope.clone();
+    let Queued { task, ticket, .. } = queued;
+    let mutex_on = task.mutex_on;
     let ctx = RtCtx {
         inner,
         proc: me,
-        scope: queued.scope.clone(),
+        scope: ticket.scope().clone(),
     };
-    (queued.task.body)(&ctx);
-    scope.exit();
+    let body = task.body;
+    let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+    inner.activity.fetch_add(1, Ordering::Relaxed);
+    // Release the object's mutex BEFORE the scope ticket fires below: a
+    // waiter that observes scope completion must find the lock free.
+    drop(held);
+    if let Err(payload) = result {
+        inner.servers[mi].stats.lock().panics += 1;
+        // Record before the ticket drops: the scope waiter must observe the
+        // failure once `remaining` reaches zero.
+        ticket.scope().record_failure(TaskError {
+            proc: mi,
+            message: panic_message(payload.as_ref()),
+            mutex_on,
+        });
+    }
+    // `ticket` drops here: scope slot released on success and failure alike.
+}
+
+/// Background stall detector: while a scope is open, no task completing for
+/// a full `interval` produces a diagnostic dump on stderr and in
+/// `Runtime::stall_dumps()` (one per quiet interval, not a flood).
+fn watchdog_loop(inner: &Inner, interval: Duration) {
+    let poll = (interval / 4).max(Duration::from_millis(1));
+    let mut last_seen = inner.activity.load(Ordering::SeqCst);
+    let mut last_change = Instant::now();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(poll);
+        let act = inner.activity.load(Ordering::SeqCst);
+        if act != last_seen {
+            last_seen = act;
+            last_change = Instant::now();
+            continue;
+        }
+        if inner.open_scopes.load(Ordering::SeqCst) > 0 && last_change.elapsed() >= interval {
+            let dump = inner.dump();
+            eprintln!("cool-rt watchdog: {dump}");
+            inner.dumps.lock().push(dump);
+            last_change = Instant::now();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -435,7 +834,8 @@ mod tests {
                     c.fetch_add(1, Ordering::Relaxed);
                 }));
             }
-        });
+        })
+        .unwrap();
         assert_eq!(count.load(Ordering::Relaxed), 100);
     }
 
@@ -456,7 +856,8 @@ mod tests {
                     }
                 }));
             }
-        });
+        })
+        .unwrap();
         assert_eq!(count.load(Ordering::Relaxed), 64);
     }
 
@@ -473,7 +874,8 @@ mod tests {
                         log.lock().push(phase);
                     }));
                 }
-            });
+            })
+            .unwrap();
         }
         let v = log.lock();
         assert_eq!(v.len(), 48);
@@ -495,7 +897,8 @@ mod tests {
                     .with_affinity(AffinitySpec::processor(i % 4)),
                 );
             }
-        });
+        })
+        .unwrap();
         for &(i, p) in seen.lock().iter() {
             assert_eq!(p, i % 4, "task {i} ran on wrong server");
         }
@@ -525,7 +928,8 @@ mod tests {
                 })
                 .with_affinity(AffinitySpec::object(obj)),
             );
-        });
+        })
+        .unwrap();
         assert_eq!(*seen.lock(), vec![2, 1]);
     }
 
@@ -549,8 +953,42 @@ mod tests {
                     .with_mutex(obj),
                 );
             }
-        });
+        })
+        .unwrap();
         assert_eq!(max_seen.load(Ordering::SeqCst), 1, "mutex violated");
+    }
+
+    #[test]
+    fn mutex_contention_escalates_to_parking() {
+        // One long mutex holder + many blocked tasks on a second server:
+        // the retry counter must tick, and with enough rotations the server
+        // parks instead of spinning.
+        let rt = Runtime::new(RtConfig::new(2).with_policy(StealPolicy::disabled()));
+        let obj = rt.placement().alloc_on(ProcId(0));
+        rt.scope(|s| {
+            s.spawn(
+                RtTask::new(|_| {
+                    std::thread::sleep(Duration::from_millis(20));
+                })
+                .with_mutex(obj)
+                .with_affinity(AffinitySpec::processor(0)),
+            );
+            // Give the holder a head start so the rest always collide.
+            std::thread::sleep(Duration::from_millis(2));
+            for _ in 0..4 {
+                s.spawn(
+                    RtTask::new(|_| {})
+                        .with_mutex(obj)
+                        .with_affinity(AffinitySpec::processor(1)),
+                );
+            }
+        })
+        .unwrap();
+        let st = rt.stats();
+        assert!(st.mutex_blocks >= 1, "no first-time blocks: {st:?}");
+        assert!(st.mutex_retries > 0, "no retries counted: {st:?}");
+        assert!(st.mutex_parks > 0, "contention never parked: {st:?}");
+        assert!(rt.held_mutexes().is_empty());
     }
 
     #[test]
@@ -571,7 +1009,8 @@ mod tests {
                     .with_affinity(AffinitySpec::processor(0)),
                 );
             }
-        });
+        })
+        .unwrap();
         assert!(
             seen.lock().len() > 1,
             "no stealing happened: {:?}",
@@ -607,11 +1046,34 @@ mod tests {
                 }
                 s.spawn(t);
             }
-        });
+        })
+        .unwrap();
         for (i, f) in flags.iter().enumerate() {
             assert_eq!(f.load(Ordering::SeqCst), 1, "task {i} ran wrong # times");
         }
         let st = rt.stats();
         assert_eq!(st.executed, n as u64);
+    }
+
+    #[test]
+    fn injected_faults_are_transient_and_counted() {
+        let plan = FaultPlan::new(9).fail_task(0).fail_task(5).fail_task(31);
+        let rt = Runtime::with_faults(RtConfig::new(4), plan);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        rt.scope(move |s| {
+            for _ in 0..32 {
+                let c = c.clone();
+                s.spawn(RtTask::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        })
+        .unwrap();
+        // Every task still ran exactly once despite the failed dispatches.
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+        let st = rt.stats();
+        assert_eq!(st.injected_faults, 3);
+        assert_eq!(st.executed, 32);
     }
 }

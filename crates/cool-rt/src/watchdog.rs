@@ -1,0 +1,109 @@
+//! Stall detection: turn a silent hang into a diagnostic dump.
+//!
+//! A `waitfor` scope that never finishes — a deadlocked mutex chain, a task
+//! blocked on an external event, a logic error that spawned work nobody can
+//! run — used to hang `scope()` forever with no output. The watchdog gives
+//! the runtime two escape hatches:
+//!
+//! * a background thread (enabled via [`RtConfig::with_stall_timeout`]) that
+//!   notices when a scope is open but no task has executed for the
+//!   configured interval, prints a [`StallDump`] to stderr and records it
+//!   for inspection via `Runtime::stall_dumps()`;
+//! * `Runtime::scope_with_timeout`, which gives up waiting after a deadline
+//!   and returns the dump in `ScopeError::Stalled` instead of blocking.
+//!
+//! The interval should exceed the longest-running single task: the liveness
+//! signal is "a task finished recently", so one long-running body with no
+//! completions in between is indistinguishable from a stall.
+//!
+//! [`RtConfig::with_stall_timeout`]: crate::RtConfig::with_stall_timeout
+
+use std::fmt;
+
+use cool_core::{ObjRef, SchedStats};
+
+/// Snapshot of runtime state at the moment a stall was detected.
+///
+/// Everything a post-mortem needs: where the unrun work sits, which mutex
+/// objects are held (the usual suspects in a deadlock), and the scheduling
+/// counters up to the stall.
+#[derive(Clone, Debug)]
+pub struct StallDump {
+    /// Tasks sitting in each server's queues, by server index.
+    pub queue_depths: Vec<usize>,
+    /// Objects whose `mutex` is currently held, sorted.
+    pub held_mutexes: Vec<ObjRef>,
+    /// Aggregated scheduling statistics at dump time.
+    pub stats: SchedStats,
+    /// `waitfor` scopes open at dump time.
+    pub open_scopes: usize,
+    /// Tasks executed since startup (the liveness counter that went quiet).
+    pub tasks_executed: u64,
+}
+
+impl fmt::Display for StallDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "runtime stalled: {} scope(s) open, no task completed recently \
+             ({} executed since startup)",
+            self.open_scopes, self.tasks_executed
+        )?;
+        write!(f, "  queue depths:")?;
+        for (p, d) in self.queue_depths.iter().enumerate() {
+            write!(f, " s{p}={d}")?;
+        }
+        writeln!(f)?;
+        if self.held_mutexes.is_empty() {
+            writeln!(f, "  held mutexes: none")?;
+        } else {
+            write!(f, "  held mutexes:")?;
+            for o in &self.held_mutexes {
+                write!(f, " {o:?}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "  stats: spawned={} executed={} stolen={} failed_steals={} \
+             mutex_blocks={} mutex_retries={} mutex_parks={} panics={}",
+            self.stats.spawned,
+            self.stats.executed,
+            self.stats.tasks_stolen,
+            self.stats.failed_steals,
+            self.stats.mutex_blocks,
+            self.stats.mutex_retries,
+            self.stats.mutex_parks,
+            self.stats.panics,
+        )
+    }
+}
+
+impl StallDump {
+    /// Total queued-but-unrun tasks across all servers.
+    pub fn total_queued(&self) -> usize {
+        self.queue_depths.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_queues_and_mutexes() {
+        let d = StallDump {
+            queue_depths: vec![3, 0, 1],
+            held_mutexes: vec![ObjRef(7)],
+            stats: SchedStats::default(),
+            open_scopes: 1,
+            tasks_executed: 42,
+        };
+        let s = d.to_string();
+        assert!(s.contains("s0=3"), "{s}");
+        assert!(s.contains("s2=1"), "{s}");
+        assert!(s.contains("ObjRef(7)"), "{s}");
+        assert!(s.contains("1 scope(s) open"), "{s}");
+        assert_eq!(d.total_queued(), 4);
+    }
+}

@@ -1,0 +1,327 @@
+//! Chaos tests: the threaded runtime under panics, deadlocks and injected
+//! stragglers. The contract being exercised is the failure model of
+//! DESIGN.md — a panicking task never takes a worker, a scope, or a mutex
+//! down with it; a stalled scope produces a diagnostic dump instead of a
+//! silent hang; injected faults perturb only the schedule, never the
+//! results.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cool_rt::{
+    AffinitySpec, FaultPlan, ProcId, RtConfig, RtTask, Runtime, ScopeError, StealPolicy,
+};
+
+#[test]
+fn panic_in_task_surfaces_as_scope_error_and_runtime_survives() {
+    let rt = Runtime::new(RtConfig::new(4));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r2 = ran.clone();
+    let res = rt.scope(move |s| {
+        for i in 0..100 {
+            let ran = r2.clone();
+            s.spawn(RtTask::new(move |_| {
+                if i == 37 {
+                    panic!("task 37 exploded");
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+    });
+    let Err(ScopeError::Panicked(errs)) = res else {
+        panic!("expected Panicked, got {res:?}");
+    };
+    assert_eq!(errs.len(), 1);
+    assert!(errs[0].message.contains("exploded"), "{}", errs[0].message);
+    assert_eq!(errs[0].mutex_on, None);
+    // Every other task still ran: the panic cost one task, not the scope.
+    assert_eq!(ran.load(Ordering::SeqCst), 99);
+    assert_eq!(rt.stats().panics, 1);
+
+    // The workers are all still alive and the runtime is reusable.
+    let ran2 = Arc::new(AtomicUsize::new(0));
+    let r3 = ran2.clone();
+    rt.scope(move |s| {
+        for _ in 0..200 {
+            let ran = r3.clone();
+            s.spawn(RtTask::new(move |_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+    })
+    .unwrap();
+    assert_eq!(ran2.load(Ordering::SeqCst), 200);
+}
+
+#[test]
+fn panic_while_holding_mutex_releases_the_lock() {
+    let rt = Runtime::new(RtConfig::new(2));
+    let obj = rt.placement().alloc_on(ProcId(0));
+    let after = Arc::new(AtomicUsize::new(0));
+    let a2 = after.clone();
+    let res = rt.scope(move |s| {
+        // The first mutex task on `obj` panics while holding it.
+        s.spawn(
+            RtTask::new(move |_| panic!("died holding the mutex"))
+                .with_affinity(AffinitySpec::simple(obj))
+                .with_mutex(obj),
+        );
+        // Eight more mutex tasks on the same object: they can only run if
+        // the panicking task's RAII guard released the lock.
+        for _ in 0..8 {
+            let after = a2.clone();
+            s.spawn(
+                RtTask::new(move |_| {
+                    after.fetch_add(1, Ordering::SeqCst);
+                })
+                .with_affinity(AffinitySpec::simple(obj))
+                .with_mutex(obj),
+            );
+        }
+    });
+    let Err(ScopeError::Panicked(errs)) = res else {
+        panic!("expected Panicked, got {res:?}");
+    };
+    assert_eq!(errs.len(), 1);
+    assert_eq!(
+        errs[0].mutex_on,
+        Some(obj),
+        "the error must record which mutex the task held"
+    );
+    assert_eq!(after.load(Ordering::SeqCst), 8);
+    assert!(
+        rt.held_mutexes().is_empty(),
+        "leaked mutexes: {:?}",
+        rt.held_mutexes()
+    );
+}
+
+#[test]
+fn multiple_panics_are_all_collected() {
+    let rt = Runtime::new(RtConfig::new(4));
+    let res = rt.scope(|s| {
+        for i in 0..50 {
+            s.spawn(RtTask::new(move |_| {
+                if i % 10 == 0 {
+                    panic!("boom {i}");
+                }
+            }));
+        }
+    });
+    let Err(ScopeError::Panicked(errs)) = res else {
+        panic!("expected Panicked, got {res:?}");
+    };
+    assert_eq!(errs.len(), 5);
+    let display = ScopeError::Panicked(errs).to_string();
+    assert!(display.contains("5 task(s) panicked"), "{display}");
+    assert_eq!(rt.stats().panics, 5);
+}
+
+#[test]
+fn panic_in_scope_seed_propagates_after_spawned_tasks_drain() {
+    let rt = Runtime::new(RtConfig::new(2));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r2 = ran.clone();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = rt.scope(move |s| {
+            for _ in 0..20 {
+                let ran = r2.clone();
+                s.spawn(RtTask::new(move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            panic!("seed panicked after spawning");
+        });
+    }));
+    assert!(caught.is_err(), "the seed panic must reach the caller");
+    // The scope drained before re-raising: no task was abandoned mid-air.
+    assert_eq!(ran.load(Ordering::SeqCst), 20);
+    // And the runtime is still fine.
+    rt.scope(|s| s.spawn(RtTask::new(|_| {}))).unwrap();
+}
+
+#[test]
+fn watchdog_dumps_on_constructed_deadlock() {
+    // A genuine dependency cycle: task A holds `obj`'s runtime mutex while
+    // spinning on a flag that only the test sets; task B needs `obj`'s
+    // mutex, so it rotates forever. No task completes, the scope cannot
+    // finish — the watchdog must notice and dump, and scope_with_timeout
+    // must give up with the same diagnostics instead of hanging.
+    let rt = Runtime::new(
+        RtConfig::new(2)
+            .with_policy(StealPolicy::disabled())
+            .with_stall_timeout(Duration::from_millis(40)),
+    );
+    let obj = rt.placement().alloc_on(ProcId(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let rel2 = release.clone();
+    let b_ran = Arc::new(AtomicBool::new(false));
+    let b2 = b_ran.clone();
+    let res = rt.scope_with_timeout(Duration::from_millis(400), move |s| {
+        let rel = rel2.clone();
+        s.spawn(
+            RtTask::new(move |_| {
+                while !rel.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+            .with_affinity(AffinitySpec::processor(0))
+            .with_mutex(obj),
+        );
+        s.spawn(
+            RtTask::new(move |_| {
+                b2.store(true, Ordering::SeqCst);
+            })
+            .with_affinity(AffinitySpec::processor(1))
+            .with_mutex(obj),
+        );
+    });
+
+    // The scope gave up and handed back a dump describing the stall.
+    let Err(ScopeError::Stalled { dump, waited }) = res else {
+        panic!("expected Stalled, got {res:?}");
+    };
+    assert_eq!(waited, Duration::from_millis(400));
+    assert_eq!(
+        dump.held_mutexes,
+        vec![obj],
+        "the dump must name the held mutex"
+    );
+    assert!(
+        dump.open_scopes >= 1,
+        "the stalled scope was open at dump time"
+    );
+    let text = dump.to_string();
+    assert!(text.contains("held mutexes"), "{text}");
+    assert!(text.contains("queue depths"), "{text}");
+
+    // The background watchdog fired too (stall_timeout < scope timeout).
+    let dumps = rt.stall_dumps();
+    assert!(!dumps.is_empty(), "watchdog produced no dump");
+    assert_eq!(dumps[0].held_mutexes, vec![obj]);
+
+    // Break the cycle; the abandoned tasks drain in the background and the
+    // runtime shuts down cleanly.
+    release.store(true, Ordering::SeqCst);
+    let t0 = std::time::Instant::now();
+    while !b_ran.load(Ordering::SeqCst) || !rt.held_mutexes().is_empty() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "blocked task never ran / mutex never released after the cycle \
+             broke (held: {:?})",
+            rt.held_mutexes()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn injected_straggler_is_absorbed_by_stealing() {
+    // Server 0 is made 2 ms slower per dispatch. All work starts on its
+    // queue (spawned from the scope seed, which runs as processor 0); the
+    // other three servers must steal the bulk of it, keeping the imbalance
+    // bounded and the results complete.
+    let n = 120u64;
+    let plan = FaultPlan::new(7).slow_server(0, 2_000);
+    let rt = Runtime::with_faults(RtConfig::new(4), plan);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r2 = ran.clone();
+    rt.scope(move |s| {
+        for _ in 0..n {
+            let ran = r2.clone();
+            s.spawn(RtTask::new(move |_| {
+                std::hint::black_box((0..500).sum::<u64>());
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+    })
+    .unwrap();
+    assert_eq!(ran.load(Ordering::SeqCst), n as usize);
+    let per = rt.server_stats();
+    let total: u64 = per.iter().map(|s| s.executed).sum();
+    assert_eq!(total, n);
+    assert!(
+        per[0].executed < n / 2,
+        "straggler executed {} of {} tasks — stealing failed to absorb it",
+        per[0].executed,
+        n
+    );
+    assert!(rt.stats().tasks_stolen > 0);
+}
+
+#[test]
+fn panics_and_faults_together_still_account_for_every_task() {
+    // Transient injected failures AND real panics in one scope: the panics
+    // surface in the error, the injected failures stay invisible except in
+    // stats, and every non-panicking task runs exactly once.
+    let n = 64u64;
+    let plan = FaultPlan::new(3).fail_task(5).fail_task(20).fail_task(21);
+    let rt = Runtime::with_faults(RtConfig::new(4), plan);
+    let counts: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..n as usize).map(|_| AtomicUsize::new(0)).collect());
+    let c2 = counts.clone();
+    let res = rt.scope(move |s| {
+        for i in 0..n as usize {
+            let counts = c2.clone();
+            s.spawn(RtTask::new(move |_| {
+                if i == 40 {
+                    panic!("real failure");
+                }
+                counts[i].fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+    });
+    let Err(ScopeError::Panicked(errs)) = res else {
+        panic!("expected Panicked, got {res:?}");
+    };
+    assert_eq!(errs.len(), 1);
+    for (i, c) in counts.iter().enumerate() {
+        let want = usize::from(i != 40);
+        assert_eq!(c.load(Ordering::SeqCst), want, "task {i}");
+    }
+    let st = rt.stats();
+    assert_eq!(st.injected_faults, 3);
+    assert_eq!(st.panics, 1);
+    assert_eq!(st.executed, n);
+}
+
+#[test]
+fn same_object_mutex_chain_survives_interleaved_panics() {
+    // A long serialised chain on one mutex object where every fourth task
+    // panics: exclusion must hold throughout (checked with an "inside"
+    // flag) and the lock must never leak.
+    let rt = Runtime::new(RtConfig::new(4));
+    let obj = rt.placement().alloc_on(ProcId(0));
+    let inside = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicUsize::new(0));
+    let (i2, o2) = (inside.clone(), ok.clone());
+    let res = rt.scope(move |s| {
+        for i in 0..40 {
+            let (inside, ok) = (i2.clone(), o2.clone());
+            s.spawn(
+                RtTask::new(move |_| {
+                    assert!(
+                        !inside.swap(true, Ordering::SeqCst),
+                        "mutual exclusion violated"
+                    );
+                    if i % 4 == 0 {
+                        inside.store(false, Ordering::SeqCst);
+                        panic!("chain task {i} panicked");
+                    }
+                    ok.fetch_add(1, Ordering::SeqCst);
+                    inside.store(false, Ordering::SeqCst);
+                })
+                .with_mutex(obj),
+            );
+        }
+    });
+    let Err(ScopeError::Panicked(errs)) = res else {
+        panic!("expected Panicked, got {res:?}");
+    };
+    assert_eq!(errs.len(), 10);
+    assert!(errs.iter().all(|e| e.mutex_on == Some(obj)));
+    assert_eq!(ok.load(Ordering::SeqCst), 30);
+    assert!(rt.held_mutexes().is_empty());
+    assert_eq!(rt.stats().panics, 10);
+}

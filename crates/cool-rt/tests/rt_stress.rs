@@ -45,12 +45,13 @@ fn randomized_mixes_execute_exactly_once() {
                     counts[i].fetch_add(1, Ordering::SeqCst);
                 })
                 .with_affinity(aff);
-                if r % 7 == 0 {
+                if r.is_multiple_of(7) {
                     t = t.with_mutex(obj);
                 }
                 s.spawn(t);
             }
-        });
+        })
+        .unwrap();
         for (i, c) in counts.iter().enumerate() {
             assert_eq!(c.load(Ordering::SeqCst), 1, "seed {seed}: task {i}");
         }
@@ -80,7 +81,8 @@ fn deep_nesting_completes() {
     rt.scope(move |s| {
         let c3 = c2.clone();
         s.spawn(RtTask::new(move |c| recurse(c, 8, c3)));
-    });
+    })
+    .unwrap();
     // A complete binary spawn tree of depth 8: 2^9 - 1 nodes.
     assert_eq!(count.load(Ordering::SeqCst), (1 << 9) - 1);
 }
@@ -104,7 +106,8 @@ fn mutexes_on_distinct_objects_do_not_serialize_everything() {
                 .with_mutex(objs[i % 4]),
             );
         }
-    });
+    })
+    .unwrap();
     let wall = start.elapsed();
     assert_eq!(done.load(Ordering::SeqCst), 64);
     // Fully serialised would be ≥ 64 × 200 µs = 12.8 ms; four independent
@@ -134,7 +137,8 @@ fn cluster_only_policy_never_crosses_clusters() {
                 .with_affinity(AffinitySpec::processor(i % 2)),
             );
         }
-    });
+    })
+    .unwrap();
     assert_eq!(count.load(Ordering::SeqCst), 256);
     assert_eq!(
         rt.stats().remote_steals,
@@ -152,7 +156,8 @@ fn stats_spawn_and_execute_balance_across_many_scopes() {
             for _ in 0..n {
                 s.spawn(RtTask::new(|_| {}));
             }
-        });
+        })
+        .unwrap();
     }
     let st = rt.stats();
     assert_eq!(st.spawned, st.executed);
@@ -178,7 +183,8 @@ fn scopes_from_multiple_host_threads() {
                             t3.fetch_add(1, Ordering::SeqCst);
                         }));
                     }
-                });
+                })
+                .unwrap();
             }
         }));
     }
@@ -186,4 +192,94 @@ fn scopes_from_multiple_host_threads() {
         h.join().unwrap();
     }
     assert_eq!(total.load(Ordering::SeqCst), 4 * 10 * 25);
+}
+
+#[test]
+fn drop_idle_runtime_joins_promptly() {
+    // Workers parked in their sleep loop must notice shutdown and join;
+    // a lost wake notification would hang this test forever.
+    let t0 = std::time::Instant::now();
+    {
+        let rt = Runtime::new(RtConfig::new(8));
+        // Let every worker run dry and go to sleep.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rt);
+    }
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn drop_with_tasks_still_queued_joins_and_discards() {
+    // An abandoned (timed-out) scope leaves tasks queued behind a long
+    // straggler on the single worker. Dropping the runtime must still join:
+    // the worker checks the shutdown flag before dequeuing, and the
+    // discarded tasks' scope tickets fire on queue drop rather than being
+    // lost.
+    let mut cfg = RtConfig::new(1);
+    cfg.policy = StealPolicy::disabled();
+    let rt = Runtime::new(cfg);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r2 = ran.clone();
+    let res = rt.scope_with_timeout(std::time::Duration::from_millis(30), move |s| {
+        for i in 0..64 {
+            let ran = r2.clone();
+            s.spawn(RtTask::new(move |_| {
+                if i == 0 {
+                    // Straggler: pins the lone worker past the timeout.
+                    std::thread::sleep(std::time::Duration::from_millis(300));
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+    });
+    assert!(res.is_err(), "the straggler must outlive the scope timeout");
+    let t0 = std::time::Instant::now();
+    drop(rt);
+    // Join waits for the in-flight straggler but must not drain the queue.
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown took {:?}",
+        t0.elapsed()
+    );
+    let executed = ran.load(Ordering::SeqCst);
+    assert!(executed >= 1, "the straggler itself finished");
+    assert!(
+        executed < 64,
+        "queued tasks should be discarded at shutdown, yet all {executed} ran"
+    );
+}
+
+#[test]
+fn runtime_survives_abandoned_scope_and_stays_usable() {
+    // After scope_with_timeout gives up, the runtime (and its scope
+    // bookkeeping) must stay consistent: the straggler finishes in the
+    // background and a fresh scope on the same runtime works normally.
+    let mut cfg = RtConfig::new(2);
+    cfg.policy = StealPolicy::disabled();
+    let rt = Runtime::new(cfg);
+    let res = rt.scope_with_timeout(std::time::Duration::from_millis(20), |s| {
+        s.spawn(RtTask::new(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(120));
+        }));
+    });
+    assert!(matches!(res, Err(cool_rt::ScopeError::Stalled { .. })));
+    // Let the abandoned straggler drain so the counts below are stable.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let count = Arc::new(AtomicUsize::new(0));
+    let c2 = count.clone();
+    rt.scope(move |s| {
+        for _ in 0..100 {
+            let c = c2.clone();
+            s.spawn(RtTask::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+    })
+    .unwrap();
+    assert_eq!(count.load(Ordering::SeqCst), 100);
+    assert_eq!(rt.stats().spawned, rt.stats().executed);
 }

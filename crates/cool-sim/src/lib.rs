@@ -64,8 +64,8 @@ pub mod runtime;
 pub mod task;
 
 pub use report::RunReport;
-pub use runtime::{SimConfig, SimRuntime, TraceEvent};
+pub use runtime::{SimConfig, SimError, SimRuntime, TraceEvent};
 pub use task::{Task, TaskCtx};
 
-pub use cool_core::{AffinitySpec, ObjRef, ProcId, StealPolicy};
+pub use cool_core::{AffinitySpec, FaultPlan, ObjRef, ProcId, StealPolicy};
 pub use dash_sim::{MachineConfig, MissBreakdown};

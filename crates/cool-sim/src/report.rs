@@ -99,8 +99,8 @@ mod tests {
         let p = SeriesPoint {
             series: "Base",
             nprocs: 8,
-            value: 3.14159,
+            value: 4.125,
         };
-        assert_eq!(p.to_string(), "Base\t8\t3.142");
+        assert_eq!(p.to_string(), "Base\t8\t4.125");
     }
 }

@@ -3,12 +3,54 @@
 use std::collections::HashMap;
 
 use cool_core::{
-    AffinityKind, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy, Topology,
+    AffinityKind, FaultPlan, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy, Topology,
 };
 use dash_sim::{Machine, MachineConfig};
 
 use crate::report::RunReport;
 use crate::task::{Task, TaskCtx};
+
+/// An internal scheduling invariant was violated (the simulator tried to
+/// dispatch from an empty queue). Carries enough state for a post-mortem:
+/// which server, what was still pending, and where the clocks stood.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimError {
+    /// Server whose dispatch failed.
+    pub proc: ProcId,
+    /// Tasks the scheduler still believed were queued somewhere.
+    pub pending: usize,
+    /// Actual queue depth per server at failure time.
+    pub queue_depths: Vec<usize>,
+    /// Virtual clock per server at failure time.
+    pub clocks: Vec<u64>,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dispatch on empty queue at server {} (pending={}; depths=",
+            self.proc.index(),
+            self.pending
+        )?;
+        for (p, d) in self.queue_depths.iter().enumerate() {
+            if p > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "s{p}={d}")?;
+        }
+        write!(f, "; clocks=")?;
+        for (p, c) in self.clocks.iter().enumerate() {
+            if p > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "s{p}={c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Runtime configuration: the machine plus scheduler knobs.
 #[derive(Clone, Copy, Debug)]
@@ -59,6 +101,11 @@ struct SimTask {
     target: ProcId,
     /// Whether any hint was supplied.
     hinted: bool,
+    /// This task's first dispatch must fail (transient injected fault).
+    inject: bool,
+    /// Already rotated at least once on a held mutex (stats tell first
+    /// blocks apart from retries).
+    blocked_before: bool,
 }
 
 /// One executed task in the schedule trace.
@@ -96,6 +143,12 @@ pub struct SimRuntime {
     rotations: Vec<(usize, u64)>,
     /// Schedule trace, when enabled.
     trace: Option<Vec<TraceEvent>>,
+    /// Fault-injection plan (one plan unit = one cycle), if set.
+    faults: Option<FaultPlan>,
+    /// Global spawn counter for the plan's fail-spawn indices.
+    fault_spawns: u64,
+    /// Per-server executed-dispatch counters for the plan's stalls.
+    fault_dispatches: Vec<u64>,
 }
 
 impl SimRuntime {
@@ -113,8 +166,20 @@ impl SimRuntime {
             failed_scans: vec![0; n],
             rotations: vec![(0, u64::MAX); n],
             trace: None,
+            faults: None,
+            fault_spawns: 0,
+            fault_dispatches: vec![0; n],
             cfg,
         }
+    }
+
+    /// Perturb subsequent scheduling with a deterministic fault plan (one
+    /// plan unit = one simulated cycle). Straggler and stall delays advance
+    /// the victim's virtual clock as idle time; injected task failures abort
+    /// the task's first dispatch before the body runs and requeue it, so
+    /// results stay correct and two same-seed runs are bit-identical.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Start recording a schedule trace: every executed task is logged with
@@ -205,10 +270,20 @@ impl SimRuntime {
             machine.home_proc(o)
         });
         let kind = spec.kind();
+        let inject = match &self.faults {
+            Some(plan) => {
+                let idx = self.fault_spawns;
+                self.fault_spawns += 1;
+                plan.should_fail(idx)
+            }
+            None => false,
+        };
         let st = SimTask {
             task,
             target,
             hinted,
+            inject,
+            blocked_before: false,
         };
         match spec.queue_token() {
             Some(tok) => self.queues[target.index()].push_affinity(tok, kind, st),
@@ -225,21 +300,38 @@ impl SimRuntime {
     /// then keep scheduling until every transitively-spawned task has
     /// completed. This is the `waitfor { ... }` construct: control returns
     /// only when the phase's task tree is done.
+    ///
+    /// Panics if the scheduler violates an internal invariant; use
+    /// [`SimRuntime::try_run_phase`] to get the diagnostic [`SimError`]
+    /// instead.
     pub fn run_phase(&mut self, seed: impl FnOnce(&mut TaskCtx<'_>) + 'static) {
+        if let Err(e) = self.try_run_phase(seed) {
+            panic!("simulator scheduling failed: {e}");
+        }
+    }
+
+    /// Fallible form of [`SimRuntime::run_phase`]: scheduling invariant
+    /// violations come back as a structured [`SimError`] carrying queue
+    /// depths and clocks instead of a panic.
+    pub fn try_run_phase(
+        &mut self,
+        seed: impl FnOnce(&mut TaskCtx<'_>) + 'static,
+    ) -> Result<(), SimError> {
         self.spawn(Task::new(seed));
-        self.drain();
+        self.drain()
     }
 
     /// The event loop: repeatedly act on the earliest-clock server.
-    fn drain(&mut self) {
+    fn drain(&mut self) -> Result<(), SimError> {
         while self.pending > 0 {
             let p = self.min_clock_server();
             if !self.queues[p.index()].is_empty() {
-                self.dispatch(p);
+                self.dispatch(p)?;
             } else {
-                self.try_steal_or_idle(p);
+                self.try_steal_or_idle(p)?;
             }
         }
+        Ok(())
     }
 
     /// The server with the earliest clock (ties broken by id) — the next one
@@ -255,14 +347,34 @@ impl SimRuntime {
     }
 
     /// Pop and run (or rotate) the next local task on `p`.
-    fn dispatch(&mut self, p: ProcId) {
+    fn dispatch(&mut self, p: ProcId) -> Result<(), SimError> {
         let pi = p.index();
-        let (kind, st) = self.queues[pi]
-            .pop_local()
-            .expect("dispatch on empty queue");
+        let (kind, mut st) = match self.queues[pi].pop_local() {
+            Some(popped) => popped,
+            None => {
+                return Err(SimError {
+                    proc: p,
+                    pending: self.pending,
+                    queue_depths: self.queues.iter().map(|q| q.len()).collect(),
+                    clocks: self.clocks.clone(),
+                })
+            }
+        };
         self.clocks[pi] += self.cfg.machine.dispatch_overhead;
         self.machine.monitor_mut().proc_mut(pi).overhead_cycles +=
             self.cfg.machine.dispatch_overhead;
+
+        // Transient injected failure: consume it before the body runs and
+        // requeue the task untouched, so it still executes exactly once.
+        if st.inject {
+            st.inject = false;
+            self.stats.injected_faults += 1;
+            match st.task.affinity.queue_token() {
+                Some(tok) => self.queues[pi].push_affinity(tok, kind, st),
+                None => self.queues[pi].push_default(kind, st),
+            }
+            return Ok(());
+        }
 
         // Mutex parallel function: check the object lock.
         if let Some(lock_obj) = st.task.mutex_on {
@@ -271,7 +383,12 @@ impl SimRuntime {
                 // Blocked: set the task aside (back of its queue) and let the
                 // server pick other work. COOL blocks the task, not the
                 // server.
-                self.stats.mutex_blocks += 1;
+                if st.blocked_before {
+                    self.stats.mutex_retries += 1;
+                } else {
+                    self.stats.mutex_blocks += 1;
+                }
+                st.blocked_before = true;
                 self.clocks[pi] += self.cfg.mutex_retry_cost;
                 let (rot, earliest) = &mut self.rotations[pi];
                 *rot += 1;
@@ -290,17 +407,29 @@ impl SimRuntime {
                     Some(tok) => self.queues[pi].push_affinity(tok, kind, st),
                     None => self.queues[pi].push_default(kind, st),
                 }
-                return;
+                return Ok(());
             }
         }
         self.rotations[pi] = (0, u64::MAX);
         self.failed_scans[pi] = 0;
         self.execute(p, st);
+        Ok(())
     }
 
     /// Run a task body to completion on `p`, advancing its clock.
     fn execute(&mut self, p: ProcId, mut st: SimTask) {
         let pi = p.index();
+        if let Some(plan) = &self.faults {
+            // Straggler surcharge plus any one-shot stall scheduled for this
+            // dispatch number, charged as idle time before the body.
+            let nth = self.fault_dispatches[pi];
+            self.fault_dispatches[pi] += 1;
+            let delay = plan.slow_units(pi) + plan.stall_units(pi, nth);
+            if delay > 0 {
+                self.clocks[pi] += delay;
+                self.machine.monitor_mut().proc_mut(pi).idle_cycles += delay;
+            }
+        }
         self.pending -= 1;
         self.stats.executed += 1;
         if st.hinted {
@@ -348,8 +477,16 @@ impl SimRuntime {
 
     /// Steal scan for an idle server, or advance its clock past the next
     /// event if nothing is stealable.
-    fn try_steal_or_idle(&mut self, p: ProcId) {
+    fn try_steal_or_idle(&mut self, p: ProcId) -> Result<(), SimError> {
         let pi = p.index();
+        if let Some(plan) = &self.faults {
+            // Injected fault: a processor slow to notice new work.
+            let delay = plan.wakeup_units(pi);
+            if delay > 0 {
+                self.clocks[pi] += delay;
+                self.machine.monitor_mut().proc_mut(pi).idle_cycles += delay;
+            }
+        }
         let policy = self.cfg.policy;
         if policy.enabled {
             let desperate = self.failed_scans[pi] >= policy.last_resort_after;
@@ -399,8 +536,7 @@ impl SimRuntime {
                     // steal always executes at least one task, so whole-set
                     // steals cannot ping-pong a set between idle servers
                     // indefinitely.
-                    self.dispatch(p);
-                    return;
+                    return self.dispatch(p);
                 }
             }
             let cost = probes * self.cfg.steal_probe_cost;
@@ -427,6 +563,7 @@ impl SimRuntime {
         // If no queue anywhere has work, pending must be 0 and the phase
         // ends; `drain` checks on the next iteration.
         debug_assert!(next.is_some() || self.pending == 0);
+        Ok(())
     }
 }
 
@@ -732,6 +869,69 @@ mod tests {
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
         assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn injected_faults_are_transient_and_deterministic() {
+        let run = |with_plan: bool| {
+            let mut rt = rt(4);
+            if with_plan {
+                rt.set_fault_plan(
+                    FaultPlan::new(11)
+                        .slow_server(1, 500)
+                        .stall_server(0, 2, 10_000)
+                        .fail_random_tasks(4, 20),
+                );
+            }
+            let count = Rc::new(RefCell::new(0u32));
+            let c = count.clone();
+            rt.run_phase(move |ctx| {
+                for _ in 0..20 {
+                    let c = c.clone();
+                    ctx.spawn(Task::new(move |cx| {
+                        cx.compute(1000);
+                        *c.borrow_mut() += 1;
+                    }));
+                }
+            });
+            let ran = *count.borrow();
+            (ran, rt.elapsed(), rt.stats())
+        };
+        let (clean_count, clean_elapsed, clean_stats) = run(false);
+        let (a_count, a_elapsed, a_stats) = run(true);
+        let (b_count, b_elapsed, b_stats) = run(true);
+        // Every task still runs exactly once under injection...
+        assert_eq!(clean_count, 20);
+        assert_eq!(a_count, 20);
+        assert_eq!(a_stats.executed, clean_stats.executed);
+        assert_eq!(a_stats.injected_faults, 4);
+        // ...the perturbation costs virtual time...
+        assert!(a_elapsed > clean_elapsed, "{a_elapsed} vs {clean_elapsed}");
+        // ...and same-seed replays are bit-identical.
+        assert_eq!((a_count, a_elapsed, a_stats), (b_count, b_elapsed, b_stats));
+    }
+
+    #[test]
+    fn mutex_retries_counted_separately_from_first_blocks() {
+        let mut rt = rt(4);
+        let obj = rt.machine_mut().alloc_on_node(cool_core::NodeId(0), 64);
+        rt.run_phase(move |ctx| {
+            for i in 0..4 {
+                ctx.spawn(
+                    Task::new(move |c| c.compute(50_000))
+                        .with_affinity(AffinitySpec::processor(i))
+                        .with_mutex(obj),
+                );
+            }
+        });
+        let s = rt.stats();
+        // Long critical sections force repeat rotations of the same task.
+        assert!(s.mutex_blocks > 0, "{s:?}");
+        assert!(
+            s.mutex_blocks <= 3,
+            "first blocks over-counted (must be per task): {s:?}"
+        );
+        assert!(s.mutex_retries > 0, "{s:?}");
     }
 
     #[test]

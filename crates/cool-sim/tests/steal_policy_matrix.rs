@@ -118,11 +118,15 @@ fn cluster_only_never_crosses_but_still_helps() {
 
 #[test]
 fn whole_set_policy_moves_sets_single_policy_moves_tasks() {
-    let mut whole = StealPolicy::default();
-    whole.steal_whole_sets = true;
+    let whole = StealPolicy {
+        steal_whole_sets: true,
+        ..Default::default()
+    };
     let (s_whole, _, _) = run(whole);
-    let mut single = StealPolicy::default();
-    single.steal_whole_sets = false;
+    let single = StealPolicy {
+        steal_whole_sets: false,
+        ..Default::default()
+    };
     let (s_single, _, _) = run(single);
     // Whole-set mode records set steals; single mode never does.
     assert_eq!(s_single.sets_stolen, 0);

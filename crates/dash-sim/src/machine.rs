@@ -204,10 +204,11 @@ impl Machine {
             }
             // Fill both levels; handle inclusion victims and coherence like
             // a read miss, but charge only the issue cost.
-            if let crate::cache::Level::Memory { l2_victim } = self.caches[pi].access(line) {
-                if let Some(v) = l2_victim {
-                    self.dir.evict(v, pi);
-                }
+            if let crate::cache::Level::Memory {
+                l2_victim: Some(v),
+            } = self.caches[pi].access(line)
+            {
+                self.dir.evict(v, pi);
             }
             self.dir.read_miss(line, pi);
             // Bandwidth: the servicing module is still occupied.
@@ -284,10 +285,11 @@ impl Machine {
         let pi = p.index();
         let was_exclusive = self.dir.is_exclusive(line, pi);
         let level = self.caches[pi].access(line);
-        if let Level::Memory { l2_victim } = level {
-            if let Some(v) = l2_victim {
-                self.dir.evict(v, pi);
-            }
+        if let Level::Memory {
+            l2_victim: Some(v),
+        } = level
+        {
+            self.dir.evict(v, pi);
         }
         let outcome = self.dir.write(line, pi);
         // Invalidate the line out of every other sharer's caches.

@@ -82,9 +82,8 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for j in 0..self.cols {
+        for (j, &xj) in x.iter().enumerate() {
             let c = self.col(j);
-            let xj = x[j];
             for i in 0..self.rows {
                 y[i] += c[i] * xj;
             }

@@ -96,7 +96,7 @@ impl PanelDeps {
     pub fn new(sym: &SymbolicFactor, panels: &PanelPartition) -> Self {
         let np = panels.len();
         let mut updates_to = vec![Vec::new(); np];
-        for p in 0..np {
+        for (p, tos) in updates_to.iter_mut().enumerate() {
             let mut touched: Vec<usize> = Vec::new();
             for k in panels.range(p) {
                 for &i in sym.col_rows(k) {
@@ -108,7 +108,7 @@ impl PanelDeps {
             }
             touched.sort_unstable();
             touched.dedup();
-            updates_to[p] = touched;
+            *tos = touched;
         }
         let mut pending = vec![0usize; np];
         for tos in &updates_to {
@@ -250,8 +250,8 @@ mod tests {
                 pending[q] += 1;
             }
         }
-        for q in 0..p.len() {
-            assert_eq!(d.pending(q), pending[q]);
+        for (q, &want) in pending.iter().enumerate() {
+            assert_eq!(d.pending(q), want);
         }
     }
 

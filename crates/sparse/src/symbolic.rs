@@ -127,8 +127,8 @@ mod tests {
         let n = a.n();
         let mut cols: Vec<std::collections::BTreeSet<usize>> =
             (0..n).map(|j| a.col_rows(j).iter().copied().collect()).collect();
-        for j in 0..n {
-            cols[j].insert(j);
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.insert(j);
         }
         for k in 0..n {
             let col_k: Vec<usize> = cols[k].iter().copied().filter(|&i| i > k).collect();
@@ -204,8 +204,8 @@ mod tests {
         let a = CscMatrix::from_triplets(n, &t);
         let s = pattern_of(&a);
         let brute = brute_force_pattern(&a);
-        for j in 0..n {
-            assert_eq!(s.col_rows(j), &brute[j][..], "column {j}");
+        for (j, bj) in brute.iter().enumerate() {
+            assert_eq!(s.col_rows(j), &bj[..], "column {j}");
         }
         assert!(s.fill_in(&a) > 0, "grid ordering must produce fill");
     }

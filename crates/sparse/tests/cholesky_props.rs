@@ -21,8 +21,8 @@ fn random_spd(n: usize, edges: &[(usize, usize)]) -> CscMatrix {
         degree[i] += 1.0;
         degree[j] += 1.0;
     }
-    for i in 0..n {
-        t.push((i, i, degree[i] + 1.5));
+    for (i, &d) in degree.iter().enumerate() {
+        t.push((i, i, d + 1.5));
     }
     CscMatrix::from_triplets(n, &t)
 }

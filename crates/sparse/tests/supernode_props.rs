@@ -16,8 +16,8 @@ fn random_spd(n: usize, edges: &[(usize, usize)]) -> CscMatrix {
         degree[i] += 1.0;
         degree[j] += 1.0;
     }
-    for i in 0..n {
-        t.push((i, i, degree[i] + 1.5));
+    for (i, &d) in degree.iter().enumerate() {
+        t.push((i, i, d + 1.5));
     }
     CscMatrix::from_triplets(n, &t)
 }
@@ -98,8 +98,8 @@ proptest! {
                 indeg[q] += 1;
             }
         }
-        for q in 0..np {
-            prop_assert_eq!(deps.pending(q), indeg[q]);
+        for (q, &want) in indeg.iter().enumerate() {
+            prop_assert_eq!(deps.pending(q), want);
         }
         // Kahn's algorithm completes everything.
         let mut pend = indeg.clone();

@@ -55,7 +55,8 @@ fn main() {
         let cols = cols.clone();
         rt.scope(move |s| {
             complete_column(s, 0, &state, &cols, n);
-        });
+        })
+        .expect("a factorization task panicked");
     }
     let wall = t0.elapsed();
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, lint — all offline, all under a global
+# timeout so a deadlocked test turns into a failure instead of a hung job.
+#
+#   scripts/ci.sh [timeout-seconds]
+#
+# Exits non-zero if any step fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LIMIT="${1:-1200}"
+
+run() {
+    echo "==> $*"
+    timeout --signal=KILL "$LIMIT" "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,217 @@
+//! Chaos under a seeded [`FaultPlan`], across every case study: a slowed
+//! server, a mid-run stall, transient task failures and delayed wakeups
+//! must (a) leave the computed results correct, (b) cost virtual time, and
+//! (c) stay bit-for-bit deterministic — two runs with the same plan produce
+//! identical reports, which is what makes an injected failure debuggable.
+
+use cool_repro::apps::{self, Version};
+use cool_repro::cool_sim::{FaultPlan, MachineConfig, SimConfig};
+
+fn cfg(nprocs: usize, v: Version) -> SimConfig {
+    SimConfig::new(MachineConfig::dash_small(nprocs)).with_policy(v.policy())
+}
+
+/// The standard chaos mix: processor 1 is a straggler, processor 0 freezes
+/// for a while at its 3rd dispatch, four tasks among the first `upto`
+/// spawned fail transiently, and processor 2 is slow to notice new work.
+/// (`upto` must not exceed the app's spawn count, or some victims never
+/// exist and the injected-fault count comes up short.)
+fn plan(seed: u64, upto: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .slow_server(1, 400)
+        .stall_server(0, 3, 20_000)
+        .fail_random_tasks(4, upto)
+        .delay_wakeups(2, 150)
+}
+
+fn fingerprint(rep: &apps::AppReport) -> String {
+    format!(
+        "{}|{:?}|{:?}|{}",
+        rep.run.elapsed, rep.run.stats, rep.run.mem, rep.max_error
+    )
+}
+
+/// Shared assertions: same-plan determinism, unchanged work accounting,
+/// injected faults visible in stats, slower than the clean run, and a
+/// correct result.
+fn check(
+    name: &str,
+    clean: &apps::AppReport,
+    faulted: impl Fn() -> apps::AppReport,
+    max_error: f64,
+) {
+    let a = faulted();
+    let b = faulted();
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "{name}: same fault plan, different outcome"
+    );
+    assert!(
+        a.max_error < max_error,
+        "{name}: result diverged under faults: {}",
+        a.max_error
+    );
+    assert_eq!(
+        a.run.stats.executed, clean.run.stats.executed,
+        "{name}: injected faults must not change how much work runs"
+    );
+    assert_eq!(
+        a.run.stats.injected_faults, 4,
+        "{name}: all four transient failures fire"
+    );
+    assert_eq!(clean.run.stats.injected_faults, 0);
+    assert!(
+        a.run.elapsed > clean.run.elapsed,
+        "{name}: a straggler and a stall must cost virtual time \
+         (clean {}, faulted {})",
+        clean.run.elapsed,
+        a.run.elapsed
+    );
+}
+
+#[test]
+fn ocean_under_faults() {
+    let p = cool_repro::workloads::ocean::OceanParams {
+        n: 24,
+        num_grids: 4,
+        regions: 8,
+        sweeps: 2,
+        seed: 3,
+    };
+    let v = Version::AffinityDistr;
+    let clean = apps::ocean::run(cfg(6, v), &p, v);
+    check(
+        "ocean",
+        &clean,
+        || apps::ocean::run_with_faults(cfg(6, v), &p, v, Some(plan(21, 40))),
+        1e-12,
+    );
+}
+
+#[test]
+fn locusroute_under_faults() {
+    let p = apps::locusroute::LocusParams {
+        circuit: cool_repro::workloads::circuit::Circuit::generate(
+            cool_repro::workloads::circuit::CircuitParams {
+                width: 64,
+                height: 16,
+                regions: 4,
+                wires_per_region: 16,
+                crossing_fraction: 0.2,
+                multi_pin_fraction: 0.3,
+                seed: 11,
+            },
+        ),
+        iterations: 2,
+    };
+    let v = Version::Affinity;
+    let clean = apps::locusroute::run(cfg(6, v), &p, v);
+    check(
+        "locusroute",
+        &clean,
+        || apps::locusroute::run_with_faults(cfg(6, v), &p, v, Some(plan(22, 40))),
+        1e-9,
+    );
+}
+
+#[test]
+fn panel_cholesky_under_faults() {
+    let prob = apps::panel_cholesky::PanelProblem::analyse(&apps::panel_cholesky::PanelParams {
+        matrix: cool_repro::workloads::matrices::grid_laplacian(8),
+        max_panel_width: 4,
+    });
+    let v = Version::AffinityDistrCluster;
+    let clean = apps::panel_cholesky::run(cfg(6, v), &prob, v);
+    check(
+        "panel_cholesky",
+        &clean,
+        || apps::panel_cholesky::run_with_faults(cfg(6, v), &prob, v, Some(plan(23, 40))),
+        1e-9,
+    );
+}
+
+#[test]
+fn block_cholesky_under_faults() {
+    let p = apps::block_cholesky::BlockParams { n: 32, block: 8 };
+    let v = Version::AffinityDistr;
+    let clean = apps::block_cholesky::run(cfg(6, v), &p, v);
+    check(
+        "block_cholesky",
+        &clean,
+        || apps::block_cholesky::run_with_faults(cfg(6, v), &p, v, Some(plan(24, 10))),
+        1e-8,
+    );
+}
+
+#[test]
+fn barnes_hut_under_faults() {
+    let p = apps::barnes_hut::BhParams {
+        nbodies: 96,
+        groups: 12,
+        timesteps: 2,
+        theta: 0.6,
+        dt: 0.01,
+        seed: 4,
+    };
+    let v = Version::Affinity;
+    let clean = apps::barnes_hut::run(cfg(6, v), &p, v);
+    check(
+        "barnes_hut",
+        &clean,
+        || apps::barnes_hut::run_with_faults(cfg(6, v), &p, v, Some(plan(25, 40))),
+        1e-12,
+    );
+}
+
+#[test]
+fn gauss_under_faults() {
+    let p = apps::gauss::GaussParams { n: 24, seed: 7 };
+    let v = Version::AffinityDistr;
+    let clean = apps::gauss::run(cfg(6, v), &p, v);
+    check(
+        "gauss",
+        &clean,
+        || apps::gauss::run_with_faults(cfg(6, v), &p, v, Some(plan(26, 40))),
+        1e-9,
+    );
+}
+
+#[test]
+fn different_fault_seeds_pick_different_victims() {
+    // fail_random_tasks is seed-driven; two different seeds should fail a
+    // different set of spawn indices for at least one of these plans, which
+    // shows up as a different schedule fingerprint.
+    let p = apps::gauss::GaussParams { n: 24, seed: 7 };
+    let v = Version::AffinityDistr;
+    let run = |s: u64| {
+        fingerprint(&apps::gauss::run_with_faults(
+            cfg(6, v),
+            &p,
+            v,
+            Some(FaultPlan::new(s).fail_random_tasks(4, 40)),
+        ))
+    };
+    assert!(
+        (1..=8u64).any(|s| run(s) != run(100 + s)),
+        "eight seed pairs all produced identical schedules"
+    );
+}
+
+#[test]
+fn threaded_panel_cholesky_under_faults_still_verifies() {
+    // The real threaded runtime under the same kind of plan (units are µs
+    // here): a straggler worker plus transient failures must not change the
+    // factorization. Wall-clock determinism is not expected on threads —
+    // only correctness and complete accounting.
+    let a = cool_repro::workloads::matrices::grid_laplacian(10);
+    let plan = FaultPlan::new(5)
+        .slow_server(0, 300)
+        .fail_random_tasks(3, 30)
+        .delay_wakeups(1, 100);
+    let res =
+        apps::threaded::panel_cholesky_rt_with_faults(&a, 4, 4, Some(plan)).expect("no panics");
+    assert!(res.max_error < 1e-9, "error {}", res.max_error);
+    assert_eq!(res.stats.injected_faults, 3);
+    assert_eq!(res.stats.spawned, res.stats.executed);
+}
