@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/affinity_props-8ed17c0fdfd08028.d: crates/cool-core/tests/affinity_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaffinity_props-8ed17c0fdfd08028.rmeta: crates/cool-core/tests/affinity_props.rs Cargo.toml
+
+crates/cool-core/tests/affinity_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/affinity_props-9c4b08f954a892e6.d: crates/cool-core/tests/affinity_props.rs
+
+/root/repo/target/debug/deps/affinity_props-9c4b08f954a892e6: crates/cool-core/tests/affinity_props.rs
+
+crates/cool-core/tests/affinity_props.rs:

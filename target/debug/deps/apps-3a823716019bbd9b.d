@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/apps-3a823716019bbd9b.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-3a823716019bbd9b.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/block_cholesky.rs:
+crates/apps/src/common.rs:
+crates/apps/src/gauss.rs:
+crates/apps/src/locusroute.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/panel_cholesky.rs:
+crates/apps/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

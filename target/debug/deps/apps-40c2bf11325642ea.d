@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/apps-40c2bf11325642ea.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs
+
+/root/repo/target/debug/deps/libapps-40c2bf11325642ea.rlib: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs
+
+/root/repo/target/debug/deps/libapps-40c2bf11325642ea.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/block_cholesky.rs:
+crates/apps/src/common.rs:
+crates/apps/src/gauss.rs:
+crates/apps/src/locusroute.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/panel_cholesky.rs:
+crates/apps/src/threaded.rs:

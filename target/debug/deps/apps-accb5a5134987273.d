@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/apps-accb5a5134987273.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs
+
+/root/repo/target/debug/deps/apps-accb5a5134987273: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/block_cholesky.rs:
+crates/apps/src/common.rs:
+crates/apps/src/gauss.rs:
+crates/apps/src/locusroute.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/panel_cholesky.rs:
+crates/apps/src/threaded.rs:

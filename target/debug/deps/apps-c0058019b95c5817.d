@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/apps-c0058019b95c5817.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-c0058019b95c5817.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/block_cholesky.rs:
+crates/apps/src/common.rs:
+crates/apps/src/gauss.rs:
+crates/apps/src/locusroute.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/panel_cholesky.rs:
+crates/apps/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

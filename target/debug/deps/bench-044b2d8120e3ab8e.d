@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-044b2d8120e3ab8e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-044b2d8120e3ab8e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

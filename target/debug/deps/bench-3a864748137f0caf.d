@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-3a864748137f0caf.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-3a864748137f0caf.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-6857eba55eabe922.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/bench-6857eba55eabe922: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

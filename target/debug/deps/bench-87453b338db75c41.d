@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-87453b338db75c41.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/libbench-87453b338db75c41.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/libbench-87453b338db75c41.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

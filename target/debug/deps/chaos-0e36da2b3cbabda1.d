@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-0e36da2b3cbabda1.d: crates/cool-rt/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-0e36da2b3cbabda1.rmeta: crates/cool-rt/tests/chaos.rs Cargo.toml
+
+crates/cool-rt/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

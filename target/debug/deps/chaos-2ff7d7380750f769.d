@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-2ff7d7380750f769.d: crates/cool-rt/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-2ff7d7380750f769: crates/cool-rt/tests/chaos.rs
+
+crates/cool-rt/tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cholesky_props-49f03386941ac01a.d: crates/sparse/tests/cholesky_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcholesky_props-49f03386941ac01a.rmeta: crates/sparse/tests/cholesky_props.rs Cargo.toml
+
+crates/sparse/tests/cholesky_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cholesky_props-8291ca23ebeccf9b.d: crates/sparse/tests/cholesky_props.rs
+
+/root/repo/target/debug/deps/cholesky_props-8291ca23ebeccf9b: crates/sparse/tests/cholesky_props.rs
+
+crates/sparse/tests/cholesky_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contention_props-8995a5410466890a.d: crates/dash-sim/tests/contention_props.rs
+
+/root/repo/target/debug/deps/contention_props-8995a5410466890a: crates/dash-sim/tests/contention_props.rs
+
+crates/dash-sim/tests/contention_props.rs:

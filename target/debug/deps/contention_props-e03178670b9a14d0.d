@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/contention_props-e03178670b9a14d0.d: crates/dash-sim/tests/contention_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontention_props-e03178670b9a14d0.rmeta: crates/dash-sim/tests/contention_props.rs Cargo.toml
+
+crates/dash-sim/tests/contention_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

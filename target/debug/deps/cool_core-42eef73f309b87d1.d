@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cool_core-42eef73f309b87d1.d: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcool_core-42eef73f309b87d1.rmeta: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs Cargo.toml
+
+crates/cool-core/src/lib.rs:
+crates/cool-core/src/affinity.rs:
+crates/cool-core/src/error.rs:
+crates/cool-core/src/faults.rs:
+crates/cool-core/src/ids.rs:
+crates/cool-core/src/policy.rs:
+crates/cool-core/src/queues.rs:
+crates/cool-core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cool_core-a3191d4940c2db66.d: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs
+
+/root/repo/target/debug/deps/libcool_core-a3191d4940c2db66.rlib: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs
+
+/root/repo/target/debug/deps/libcool_core-a3191d4940c2db66.rmeta: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs
+
+crates/cool-core/src/lib.rs:
+crates/cool-core/src/affinity.rs:
+crates/cool-core/src/error.rs:
+crates/cool-core/src/faults.rs:
+crates/cool-core/src/ids.rs:
+crates/cool-core/src/policy.rs:
+crates/cool-core/src/queues.rs:
+crates/cool-core/src/stats.rs:

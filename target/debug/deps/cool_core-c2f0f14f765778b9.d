@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cool_core-c2f0f14f765778b9.d: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs
+
+/root/repo/target/debug/deps/cool_core-c2f0f14f765778b9: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs
+
+crates/cool-core/src/lib.rs:
+crates/cool-core/src/affinity.rs:
+crates/cool-core/src/error.rs:
+crates/cool-core/src/faults.rs:
+crates/cool-core/src/ids.rs:
+crates/cool-core/src/policy.rs:
+crates/cool-core/src/queues.rs:
+crates/cool-core/src/stats.rs:

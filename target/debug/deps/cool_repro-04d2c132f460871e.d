@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cool_repro-04d2c132f460871e.d: src/lib.rs
+
+/root/repo/target/debug/deps/cool_repro-04d2c132f460871e: src/lib.rs
+
+src/lib.rs:

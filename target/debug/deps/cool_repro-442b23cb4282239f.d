@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cool_repro-442b23cb4282239f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcool_repro-442b23cb4282239f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cool_repro-e151d9509d25099a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcool_repro-e151d9509d25099a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcool_repro-e151d9509d25099a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cool_rt-7365d7d74fe7c7b9.d: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs
+
+/root/repo/target/debug/deps/cool_rt-7365d7d74fe7c7b9: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs
+
+crates/cool-rt/src/lib.rs:
+crates/cool-rt/src/faults.rs:
+crates/cool-rt/src/placement.rs:
+crates/cool-rt/src/runtime.rs:
+crates/cool-rt/src/watchdog.rs:

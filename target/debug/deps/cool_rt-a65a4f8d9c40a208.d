@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cool_rt-a65a4f8d9c40a208.d: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcool_rt-a65a4f8d9c40a208.rmeta: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs Cargo.toml
+
+crates/cool-rt/src/lib.rs:
+crates/cool-rt/src/faults.rs:
+crates/cool-rt/src/placement.rs:
+crates/cool-rt/src/runtime.rs:
+crates/cool-rt/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cool_rt-fa4f1fd0bca043a1.d: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs
+
+/root/repo/target/debug/deps/libcool_rt-fa4f1fd0bca043a1.rlib: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs
+
+/root/repo/target/debug/deps/libcool_rt-fa4f1fd0bca043a1.rmeta: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs
+
+crates/cool-rt/src/lib.rs:
+crates/cool-rt/src/faults.rs:
+crates/cool-rt/src/placement.rs:
+crates/cool-rt/src/runtime.rs:
+crates/cool-rt/src/watchdog.rs:

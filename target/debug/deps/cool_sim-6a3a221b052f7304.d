@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cool_sim-6a3a221b052f7304.d: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcool_sim-6a3a221b052f7304.rmeta: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs Cargo.toml
+
+crates/cool-sim/src/lib.rs:
+crates/cool-sim/src/report.rs:
+crates/cool-sim/src/runtime.rs:
+crates/cool-sim/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

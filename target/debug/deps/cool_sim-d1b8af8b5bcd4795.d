@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cool_sim-d1b8af8b5bcd4795.d: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs
+
+/root/repo/target/debug/deps/libcool_sim-d1b8af8b5bcd4795.rlib: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs
+
+/root/repo/target/debug/deps/libcool_sim-d1b8af8b5bcd4795.rmeta: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs
+
+crates/cool-sim/src/lib.rs:
+crates/cool-sim/src/report.rs:
+crates/cool-sim/src/runtime.rs:
+crates/cool-sim/src/task.rs:

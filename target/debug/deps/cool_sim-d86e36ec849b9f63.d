@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cool_sim-d86e36ec849b9f63.d: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs
+
+/root/repo/target/debug/deps/cool_sim-d86e36ec849b9f63: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs
+
+crates/cool-sim/src/lib.rs:
+crates/cool-sim/src/report.rs:
+crates/cool-sim/src/runtime.rs:
+crates/cool-sim/src/task.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dash_sim-0126faf349b3da8f.d: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs
+
+/root/repo/target/debug/deps/libdash_sim-0126faf349b3da8f.rlib: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs
+
+/root/repo/target/debug/deps/libdash_sim-0126faf349b3da8f.rmeta: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs
+
+crates/dash-sim/src/lib.rs:
+crates/dash-sim/src/cache.rs:
+crates/dash-sim/src/config.rs:
+crates/dash-sim/src/directory.rs:
+crates/dash-sim/src/machine.rs:
+crates/dash-sim/src/monitor.rs:
+crates/dash-sim/src/space.rs:

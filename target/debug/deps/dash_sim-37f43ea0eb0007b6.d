@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dash_sim-37f43ea0eb0007b6.d: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdash_sim-37f43ea0eb0007b6.rmeta: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs Cargo.toml
+
+crates/dash-sim/src/lib.rs:
+crates/dash-sim/src/cache.rs:
+crates/dash-sim/src/config.rs:
+crates/dash-sim/src/directory.rs:
+crates/dash-sim/src/machine.rs:
+crates/dash-sim/src/monitor.rs:
+crates/dash-sim/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dash_sim-8c1f8c86e08c2d3c.d: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs
+
+/root/repo/target/debug/deps/dash_sim-8c1f8c86e08c2d3c: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs
+
+crates/dash-sim/src/lib.rs:
+crates/dash-sim/src/cache.rs:
+crates/dash-sim/src/config.rs:
+crates/dash-sim/src/directory.rs:
+crates/dash-sim/src/machine.rs:
+crates/dash-sim/src/monitor.rs:
+crates/dash-sim/src/space.rs:

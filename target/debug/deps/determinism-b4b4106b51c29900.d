@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b4b4106b51c29900.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b4b4106b51c29900: tests/determinism.rs
+
+tests/determinism.rs:

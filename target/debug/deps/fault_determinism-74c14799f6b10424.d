@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-74c14799f6b10424.d: tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/fault_determinism-74c14799f6b10424: tests/fault_determinism.rs
+
+tests/fault_determinism.rs:

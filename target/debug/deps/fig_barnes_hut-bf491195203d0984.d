@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_barnes_hut-bf491195203d0984.d: crates/bench/benches/fig_barnes_hut.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_barnes_hut-bf491195203d0984.rmeta: crates/bench/benches/fig_barnes_hut.rs Cargo.toml
+
+crates/bench/benches/fig_barnes_hut.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

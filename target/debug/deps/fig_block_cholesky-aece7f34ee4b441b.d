@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_block_cholesky-aece7f34ee4b441b.d: crates/bench/benches/fig_block_cholesky.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_block_cholesky-aece7f34ee4b441b.rmeta: crates/bench/benches/fig_block_cholesky.rs Cargo.toml
+
+crates/bench/benches/fig_block_cholesky.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_gauss-8195c0378e19fbac.d: crates/bench/benches/fig_gauss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_gauss-8195c0378e19fbac.rmeta: crates/bench/benches/fig_gauss.rs Cargo.toml
+
+crates/bench/benches/fig_gauss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_locusroute-695ae77637532cba.d: crates/bench/benches/fig_locusroute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_locusroute-695ae77637532cba.rmeta: crates/bench/benches/fig_locusroute.rs Cargo.toml
+
+crates/bench/benches/fig_locusroute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_ocean-c708ffe8ae2cb9ce.d: crates/bench/benches/fig_ocean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_ocean-c708ffe8ae2cb9ce.rmeta: crates/bench/benches/fig_ocean.rs Cargo.toml
+
+crates/bench/benches/fig_ocean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_panel_cholesky-da8a669ad55e77a6.d: crates/bench/benches/fig_panel_cholesky.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_panel_cholesky-da8a669ad55e77a6.rmeta: crates/bench/benches/fig_panel_cholesky.rs Cargo.toml
+
+crates/bench/benches/fig_panel_cholesky.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-fdddd81261975be9.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-fdddd81261975be9: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

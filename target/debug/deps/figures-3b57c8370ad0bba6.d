@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3b57c8370ad0bba6.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3b57c8370ad0bba6: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

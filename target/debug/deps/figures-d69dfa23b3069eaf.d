@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-d69dfa23b3069eaf.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-d69dfa23b3069eaf.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

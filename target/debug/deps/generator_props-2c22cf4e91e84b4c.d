@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_props-2c22cf4e91e84b4c.d: crates/workloads/tests/generator_props.rs
+
+/root/repo/target/debug/deps/generator_props-2c22cf4e91e84b4c: crates/workloads/tests/generator_props.rs
+
+crates/workloads/tests/generator_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator_props-cff064b4a2fa8837.d: crates/workloads/tests/generator_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator_props-cff064b4a2fa8837.rmeta: crates/workloads/tests/generator_props.rs Cargo.toml
+
+crates/workloads/tests/generator_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering_props-b932c64affc62e6d.d: crates/sparse/tests/ordering_props.rs
+
+/root/repo/target/debug/deps/ordering_props-b932c64affc62e6d: crates/sparse/tests/ordering_props.rs
+
+crates/sparse/tests/ordering_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ordering_props-b9e0f5d5fc02350e.d: crates/sparse/tests/ordering_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libordering_props-b9e0f5d5fc02350e.rmeta: crates/sparse/tests/ordering_props.rs Cargo.toml
+
+crates/sparse/tests/ordering_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_and_trace-ceef6a0486deb01f.d: crates/cool-sim/tests/prefetch_and_trace.rs
+
+/root/repo/target/debug/deps/prefetch_and_trace-ceef6a0486deb01f: crates/cool-sim/tests/prefetch_and_trace.rs
+
+crates/cool-sim/tests/prefetch_and_trace.rs:

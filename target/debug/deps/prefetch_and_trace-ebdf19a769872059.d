@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetch_and_trace-ebdf19a769872059.d: crates/cool-sim/tests/prefetch_and_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetch_and_trace-ebdf19a769872059.rmeta: crates/cool-sim/tests/prefetch_and_trace.rs Cargo.toml
+
+crates/cool-sim/tests/prefetch_and_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

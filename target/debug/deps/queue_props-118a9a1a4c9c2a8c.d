@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_props-118a9a1a4c9c2a8c.d: crates/cool-core/tests/queue_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueue_props-118a9a1a4c9c2a8c.rmeta: crates/cool-core/tests/queue_props.rs Cargo.toml
+
+crates/cool-core/tests/queue_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queue_props-977433fe6f9247ce.d: crates/cool-core/tests/queue_props.rs
+
+/root/repo/target/debug/deps/queue_props-977433fe6f9247ce: crates/cool-core/tests/queue_props.rs
+
+crates/cool-core/tests/queue_props.rs:

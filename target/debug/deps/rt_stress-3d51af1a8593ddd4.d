@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rt_stress-3d51af1a8593ddd4.d: crates/cool-rt/tests/rt_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/librt_stress-3d51af1a8593ddd4.rmeta: crates/cool-rt/tests/rt_stress.rs Cargo.toml
+
+crates/cool-rt/tests/rt_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rt_stress-9f53087829aa07a2.d: crates/cool-rt/tests/rt_stress.rs
+
+/root/repo/target/debug/deps/rt_stress-9f53087829aa07a2: crates/cool-rt/tests/rt_stress.rs
+
+crates/cool-rt/tests/rt_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_micro-76e00f5f0afe6495.d: crates/bench/benches/runtime_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_micro-76e00f5f0afe6495.rmeta: crates/bench/benches/runtime_micro.rs Cargo.toml
+
+crates/bench/benches/runtime_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_props-11b984668de31d9a.d: crates/cool-sim/tests/sched_props.rs
+
+/root/repo/target/debug/deps/sched_props-11b984668de31d9a: crates/cool-sim/tests/sched_props.rs
+
+crates/cool-sim/tests/sched_props.rs:

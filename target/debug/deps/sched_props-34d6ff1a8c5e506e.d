@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_props-34d6ff1a8c5e506e.d: crates/cool-sim/tests/sched_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_props-34d6ff1a8c5e506e.rmeta: crates/cool-sim/tests/sched_props.rs Cargo.toml
+
+crates/cool-sim/tests/sched_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_props-613cdd2adc49bfff.d: crates/dash-sim/tests/sim_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_props-613cdd2adc49bfff.rmeta: crates/dash-sim/tests/sim_props.rs Cargo.toml
+
+crates/dash-sim/tests/sim_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

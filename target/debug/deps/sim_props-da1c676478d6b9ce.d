@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-da1c676478d6b9ce.d: crates/dash-sim/tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-da1c676478d6b9ce: crates/dash-sim/tests/sim_props.rs
+
+crates/dash-sim/tests/sim_props.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sparse-52b269b0056e2ad4.d: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs
+
+/root/repo/target/debug/deps/libsparse-52b269b0056e2ad4.rlib: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs
+
+/root/repo/target/debug/deps/libsparse-52b269b0056e2ad4.rmeta: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/etree.rs:
+crates/sparse/src/numeric.rs:
+crates/sparse/src/ordering.rs:
+crates/sparse/src/supernodes.rs:
+crates/sparse/src/symbolic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sparse-92d96680ed53c7d5.d: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs
+
+/root/repo/target/debug/deps/sparse-92d96680ed53c7d5: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/etree.rs:
+crates/sparse/src/numeric.rs:
+crates/sparse/src/ordering.rs:
+crates/sparse/src/supernodes.rs:
+crates/sparse/src/symbolic.rs:

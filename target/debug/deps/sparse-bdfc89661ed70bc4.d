@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sparse-bdfc89661ed70bc4.d: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparse-bdfc89661ed70bc4.rmeta: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/etree.rs:
+crates/sparse/src/numeric.rs:
+crates/sparse/src/ordering.rs:
+crates/sparse/src/supernodes.rs:
+crates/sparse/src/symbolic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sparse_kernels-e55feecc643fb692.d: crates/bench/benches/sparse_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsparse_kernels-e55feecc643fb692.rmeta: crates/bench/benches/sparse_kernels.rs Cargo.toml
+
+crates/bench/benches/sparse_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

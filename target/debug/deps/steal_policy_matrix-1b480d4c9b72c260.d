@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/steal_policy_matrix-1b480d4c9b72c260.d: crates/cool-sim/tests/steal_policy_matrix.rs
+
+/root/repo/target/debug/deps/steal_policy_matrix-1b480d4c9b72c260: crates/cool-sim/tests/steal_policy_matrix.rs
+
+crates/cool-sim/tests/steal_policy_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steal_policy_matrix-d9c4241f5426315c.d: crates/cool-sim/tests/steal_policy_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteal_policy_matrix-d9c4241f5426315c.rmeta: crates/cool-sim/tests/steal_policy_matrix.rs Cargo.toml
+
+crates/cool-sim/tests/steal_policy_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

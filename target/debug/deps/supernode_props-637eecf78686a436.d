@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/supernode_props-637eecf78686a436.d: crates/sparse/tests/supernode_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsupernode_props-637eecf78686a436.rmeta: crates/sparse/tests/supernode_props.rs Cargo.toml
+
+crates/sparse/tests/supernode_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

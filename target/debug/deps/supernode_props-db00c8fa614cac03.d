@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/supernode_props-db00c8fa614cac03.d: crates/sparse/tests/supernode_props.rs
+
+/root/repo/target/debug/deps/supernode_props-db00c8fa614cac03: crates/sparse/tests/supernode_props.rs
+
+crates/sparse/tests/supernode_props.rs:

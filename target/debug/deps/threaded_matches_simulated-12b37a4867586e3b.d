@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_matches_simulated-12b37a4867586e3b.d: tests/threaded_matches_simulated.rs
+
+/root/repo/target/debug/deps/threaded_matches_simulated-12b37a4867586e3b: tests/threaded_matches_simulated.rs
+
+tests/threaded_matches_simulated.rs:

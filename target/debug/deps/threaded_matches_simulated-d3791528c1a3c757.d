@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threaded_matches_simulated-d3791528c1a3c757.d: tests/threaded_matches_simulated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreaded_matches_simulated-d3791528c1a3c757.rmeta: tests/threaded_matches_simulated.rs Cargo.toml
+
+tests/threaded_matches_simulated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-5b433e70bbdfe413.d: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs
+
+/root/repo/target/debug/deps/workloads-5b433e70bbdfe413: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/circuit.rs:
+crates/workloads/src/matrices.rs:
+crates/workloads/src/nbody.rs:
+crates/workloads/src/ocean.rs:

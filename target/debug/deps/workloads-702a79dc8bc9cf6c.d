@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-702a79dc8bc9cf6c.d: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs
+
+/root/repo/target/debug/deps/libworkloads-702a79dc8bc9cf6c.rlib: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs
+
+/root/repo/target/debug/deps/libworkloads-702a79dc8bc9cf6c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/circuit.rs:
+crates/workloads/src/matrices.rs:
+crates/workloads/src/nbody.rs:
+crates/workloads/src/ocean.rs:

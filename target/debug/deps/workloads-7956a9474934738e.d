@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-7956a9474934738e.d: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-7956a9474934738e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/circuit.rs:
+crates/workloads/src/matrices.rs:
+crates/workloads/src/nbody.rs:
+crates/workloads/src/ocean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_verify_scratch-10155a051ec754fe.d: examples/_verify_scratch.rs
+
+/root/repo/target/debug/examples/_verify_scratch-10155a051ec754fe: examples/_verify_scratch.rs
+
+examples/_verify_scratch.rs:

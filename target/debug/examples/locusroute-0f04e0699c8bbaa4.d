@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/locusroute-0f04e0699c8bbaa4.d: examples/locusroute.rs
+
+/root/repo/target/debug/examples/locusroute-0f04e0699c8bbaa4: examples/locusroute.rs
+
+examples/locusroute.rs:

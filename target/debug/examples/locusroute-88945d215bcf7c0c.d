@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/locusroute-88945d215bcf7c0c.d: examples/locusroute.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblocusroute-88945d215bcf7c0c.rmeta: examples/locusroute.rs Cargo.toml
+
+examples/locusroute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

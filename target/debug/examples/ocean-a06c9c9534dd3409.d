@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ocean-a06c9c9534dd3409.d: examples/ocean.rs Cargo.toml
+
+/root/repo/target/debug/examples/libocean-a06c9c9534dd3409.rmeta: examples/ocean.rs Cargo.toml
+
+examples/ocean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

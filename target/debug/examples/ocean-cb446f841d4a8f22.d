@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ocean-cb446f841d4a8f22.d: examples/ocean.rs
+
+/root/repo/target/debug/examples/ocean-cb446f841d4a8f22: examples/ocean.rs
+
+examples/ocean.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/panel_cholesky-3c9b3e79adb81ebd.d: examples/panel_cholesky.rs
+
+/root/repo/target/debug/examples/panel_cholesky-3c9b3e79adb81ebd: examples/panel_cholesky.rs
+
+examples/panel_cholesky.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/panel_cholesky-4dac03624c3528b1.d: examples/panel_cholesky.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpanel_cholesky-4dac03624c3528b1.rmeta: examples/panel_cholesky.rs Cargo.toml
+
+examples/panel_cholesky.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

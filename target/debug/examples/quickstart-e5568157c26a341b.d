@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e5568157c26a341b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e5568157c26a341b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_trace-d1d96c30c97ca5c9.d: examples/schedule_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_trace-d1d96c30c97ca5c9.rmeta: examples/schedule_trace.rs Cargo.toml
+
+examples/schedule_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_trace-d6a3ab1ca5fd6e7e.d: examples/schedule_trace.rs
+
+/root/repo/target/debug/examples/schedule_trace-d6a3ab1ca5fd6e7e: examples/schedule_trace.rs
+
+examples/schedule_trace.rs:

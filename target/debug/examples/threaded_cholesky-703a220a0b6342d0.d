@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threaded_cholesky-703a220a0b6342d0.d: examples/threaded_cholesky.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreaded_cholesky-703a220a0b6342d0.rmeta: examples/threaded_cholesky.rs Cargo.toml
+
+examples/threaded_cholesky.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_cholesky-b4289dba78c3be65.d: examples/threaded_cholesky.rs
+
+/root/repo/target/debug/examples/threaded_cholesky-b4289dba78c3be65: examples/threaded_cholesky.rs
+
+examples/threaded_cholesky.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threaded_gauss-785e8bd5bf90214b.d: examples/threaded_gauss.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreaded_gauss-785e8bd5bf90214b.rmeta: examples/threaded_gauss.rs Cargo.toml
+
+examples/threaded_gauss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_gauss-c88ed33be0aeec9d.d: examples/threaded_gauss.rs
+
+/root/repo/target/debug/examples/threaded_gauss-c88ed33be0aeec9d: examples/threaded_gauss.rs
+
+examples/threaded_gauss.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/apps-c6ba847751ee8a1e.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs
+
+/root/repo/target/release/deps/libapps-c6ba847751ee8a1e.rlib: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs
+
+/root/repo/target/release/deps/libapps-c6ba847751ee8a1e.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/block_cholesky.rs crates/apps/src/common.rs crates/apps/src/gauss.rs crates/apps/src/locusroute.rs crates/apps/src/ocean.rs crates/apps/src/panel_cholesky.rs crates/apps/src/threaded.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/block_cholesky.rs:
+crates/apps/src/common.rs:
+crates/apps/src/gauss.rs:
+crates/apps/src/locusroute.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/panel_cholesky.rs:
+crates/apps/src/threaded.rs:

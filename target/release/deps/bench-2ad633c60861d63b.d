@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-2ad633c60861d63b.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/release/deps/libbench-2ad633c60861d63b.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/release/deps/libbench-2ad633c60861d63b.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cool_core-bad128f966f22342.d: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs
+
+/root/repo/target/release/deps/libcool_core-bad128f966f22342.rlib: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs
+
+/root/repo/target/release/deps/libcool_core-bad128f966f22342.rmeta: crates/cool-core/src/lib.rs crates/cool-core/src/affinity.rs crates/cool-core/src/error.rs crates/cool-core/src/faults.rs crates/cool-core/src/ids.rs crates/cool-core/src/policy.rs crates/cool-core/src/queues.rs crates/cool-core/src/stats.rs
+
+crates/cool-core/src/lib.rs:
+crates/cool-core/src/affinity.rs:
+crates/cool-core/src/error.rs:
+crates/cool-core/src/faults.rs:
+crates/cool-core/src/ids.rs:
+crates/cool-core/src/policy.rs:
+crates/cool-core/src/queues.rs:
+crates/cool-core/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cool_repro-fe514a4779535af7.d: src/lib.rs
+
+/root/repo/target/release/deps/libcool_repro-fe514a4779535af7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcool_repro-fe514a4779535af7.rmeta: src/lib.rs
+
+src/lib.rs:

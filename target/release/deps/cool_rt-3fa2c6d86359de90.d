@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cool_rt-3fa2c6d86359de90.d: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs
+
+/root/repo/target/release/deps/libcool_rt-3fa2c6d86359de90.rlib: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs
+
+/root/repo/target/release/deps/libcool_rt-3fa2c6d86359de90.rmeta: crates/cool-rt/src/lib.rs crates/cool-rt/src/faults.rs crates/cool-rt/src/placement.rs crates/cool-rt/src/runtime.rs crates/cool-rt/src/watchdog.rs
+
+crates/cool-rt/src/lib.rs:
+crates/cool-rt/src/faults.rs:
+crates/cool-rt/src/placement.rs:
+crates/cool-rt/src/runtime.rs:
+crates/cool-rt/src/watchdog.rs:

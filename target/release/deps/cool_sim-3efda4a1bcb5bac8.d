@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cool_sim-3efda4a1bcb5bac8.d: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs
+
+/root/repo/target/release/deps/libcool_sim-3efda4a1bcb5bac8.rlib: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs
+
+/root/repo/target/release/deps/libcool_sim-3efda4a1bcb5bac8.rmeta: crates/cool-sim/src/lib.rs crates/cool-sim/src/report.rs crates/cool-sim/src/runtime.rs crates/cool-sim/src/task.rs
+
+crates/cool-sim/src/lib.rs:
+crates/cool-sim/src/report.rs:
+crates/cool-sim/src/runtime.rs:
+crates/cool-sim/src/task.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-caa4e5ddc2b0802e.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-caa4e5ddc2b0802e.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-caa4e5ddc2b0802e.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

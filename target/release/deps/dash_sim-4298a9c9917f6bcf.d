@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dash_sim-4298a9c9917f6bcf.d: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs
+
+/root/repo/target/release/deps/libdash_sim-4298a9c9917f6bcf.rlib: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs
+
+/root/repo/target/release/deps/libdash_sim-4298a9c9917f6bcf.rmeta: crates/dash-sim/src/lib.rs crates/dash-sim/src/cache.rs crates/dash-sim/src/config.rs crates/dash-sim/src/directory.rs crates/dash-sim/src/machine.rs crates/dash-sim/src/monitor.rs crates/dash-sim/src/space.rs
+
+crates/dash-sim/src/lib.rs:
+crates/dash-sim/src/cache.rs:
+crates/dash-sim/src/config.rs:
+crates/dash-sim/src/directory.rs:
+crates/dash-sim/src/machine.rs:
+crates/dash-sim/src/monitor.rs:
+crates/dash-sim/src/space.rs:

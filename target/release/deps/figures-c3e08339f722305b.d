@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-c3e08339f722305b.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-c3e08339f722305b: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

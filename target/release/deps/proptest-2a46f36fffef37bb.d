@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2a46f36fffef37bb.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2a46f36fffef37bb.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2a46f36fffef37bb.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a5d031fae7d76e63.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a5d031fae7d76e63.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a5d031fae7d76e63.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sparse-2097106b3be511d0.d: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs
+
+/root/repo/target/release/deps/libsparse-2097106b3be511d0.rlib: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs
+
+/root/repo/target/release/deps/libsparse-2097106b3be511d0.rmeta: crates/sparse/src/lib.rs crates/sparse/src/csc.rs crates/sparse/src/dense.rs crates/sparse/src/etree.rs crates/sparse/src/numeric.rs crates/sparse/src/ordering.rs crates/sparse/src/supernodes.rs crates/sparse/src/symbolic.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/etree.rs:
+crates/sparse/src/numeric.rs:
+crates/sparse/src/ordering.rs:
+crates/sparse/src/supernodes.rs:
+crates/sparse/src/symbolic.rs:

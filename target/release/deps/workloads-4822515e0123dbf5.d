@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/workloads-4822515e0123dbf5.d: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs
+
+/root/repo/target/release/deps/libworkloads-4822515e0123dbf5.rlib: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs
+
+/root/repo/target/release/deps/libworkloads-4822515e0123dbf5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/circuit.rs crates/workloads/src/matrices.rs crates/workloads/src/nbody.rs crates/workloads/src/ocean.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/circuit.rs:
+crates/workloads/src/matrices.rs:
+crates/workloads/src/nbody.rs:
+crates/workloads/src/ocean.rs:

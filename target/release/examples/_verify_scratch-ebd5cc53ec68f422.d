@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_scratch-ebd5cc53ec68f422.d: examples/_verify_scratch.rs
+
+/root/repo/target/release/examples/_verify_scratch-ebd5cc53ec68f422: examples/_verify_scratch.rs
+
+examples/_verify_scratch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threaded_cholesky-f0a602e792b57469.d: examples/threaded_cholesky.rs
+
+/root/repo/target/release/examples/threaded_cholesky-f0a602e792b57469: examples/threaded_cholesky.rs
+
+examples/threaded_cholesky.rs:

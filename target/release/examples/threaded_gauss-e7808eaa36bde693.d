@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threaded_gauss-e7808eaa36bde693.d: examples/threaded_gauss.rs
+
+/root/repo/target/release/examples/threaded_gauss-e7808eaa36bde693: examples/threaded_gauss.rs
+
+examples/threaded_gauss.rs:
