@@ -531,11 +531,13 @@ pub fn run_with_faults(
     }
 
     let run = rt.report();
+    let events = rt.take_events();
     let max_error = verify(params, &state.borrow().bodies);
     AppReport {
         version,
         run,
         max_error,
+        events,
     }
 }
 

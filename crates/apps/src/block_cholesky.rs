@@ -143,6 +143,7 @@ pub fn run_with_faults(
     }
 
     let run = rt.report();
+    let events = rt.take_events();
     // Verify: assemble L and compare against dense Cholesky of A.
     let mut l = DenseMatrix::zeros(n, n);
     {
@@ -162,6 +163,7 @@ pub fn run_with_faults(
         version,
         run,
         max_error: l.max_diff(&lref),
+        events,
     }
 }
 
@@ -188,6 +190,9 @@ fn spawn_potrf(ctx: &mut TaskCtx<'_>, j: usize, env: &Rc<Env>) {
         c.read(env2.objs[j][j], env2.block_bytes);
         c.write(env2.objs[j][j], env2.block_bytes);
         c.compute((w * w * w / 3) as u64 * FLOP_CYCLES);
+        // Release: publish L(j,j) on its sync token for trsms released
+        // later through the `done[j][j]` flag rather than spawned by us.
+        c.sync(env2.objs[j][j]);
         // potrf(j) done: release trsm(i,j) for fully-updated blocks below.
         let mut ready = Vec::new();
         {
@@ -225,6 +230,8 @@ fn spawn_trsm(ctx: &mut TaskCtx<'_>, i: usize, k: usize, env: &Rc<Env>) {
         c.read(dst, env2.block_bytes);
         c.write(dst, env2.block_bytes);
         c.compute((w * w * w) as u64 * FLOP_CYCLES);
+        // Release: publish L(i,k) for the partner trsm that spawns the gemm.
+        c.sync(dst);
         // trsm(i,k) done: spawn gemms with every finished partner column k
         // block, including the symmetric-diagonal gemm(i,i,k).
         let mut partners = Vec::new();
@@ -241,6 +248,9 @@ fn spawn_trsm(ctx: &mut TaskCtx<'_>, i: usize, k: usize, env: &Rc<Env>) {
             }
         }
         for m in partners {
+            // Acquire: `done[m][k]` said the partner trsm finished; pick up
+            // its sync release so the gemm is ordered after both inputs.
+            c.sync(env2.objs[m][k]);
             let (di, dj) = (i.max(m), i.min(m));
             spawn_gemm(c, di, dj, k, &env2);
         }
@@ -276,6 +286,8 @@ fn spawn_gemm(ctx: &mut TaskCtx<'_>, i: usize, j: usize, k: usize, env: &Rc<Env>
             } else {
                 let potrf_done = env2.state.borrow().done[j][j];
                 if potrf_done {
+                    // Acquire potrf(j)'s release before reading L(j,j).
+                    c.sync(env2.objs[j][j]);
                     spawn_trsm(c, i, j, &env2);
                 }
                 // Otherwise potrf(j)'s completion will release it.

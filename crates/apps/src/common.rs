@@ -1,6 +1,6 @@
 //! Conventions shared by the case studies.
 
-use cool_core::StealPolicy;
+use cool_core::{RtEvent, StealPolicy};
 use cool_sim::{MachineConfig, RunReport, SimConfig};
 
 /// The scheduling versions the paper's figures compare. Not every app uses
@@ -82,6 +82,9 @@ pub struct AppReport {
     /// Maximum numeric deviation from the sequential reference (each app
     /// defines the metric; must be small).
     pub max_error: f64,
+    /// Analyzer event stream (empty unless the run was configured with
+    /// [`SimConfig::record_events`] / `with_events()`).
+    pub events: Vec<RtEvent>,
 }
 
 impl AppReport {

@@ -121,6 +121,7 @@ pub fn run_with_faults(
     }
 
     let run = rt.report();
+    let events = rt.take_events();
     // Verify against the sequential factorization.
     let mut reference = workloads::matrices::dense_dd(n, params.seed);
     ge_factor(&mut reference);
@@ -129,6 +130,7 @@ pub fn run_with_faults(
         version,
         run,
         max_error,
+        events,
     }
 }
 
@@ -153,6 +155,9 @@ fn complete_column(
         ge_column_complete(st.m.col_mut(k), k);
         st.completed[k] = true;
     }
+    // Release: publish column k (and everything ordered before us) on its
+    // sync token. Consumers of `completed[k]` re-acquire it before reading.
+    ctx.sync(col_objs[k]);
     for j in k + 1..n {
         try_spawn_update(ctx, j, state, col_objs, version, rr, n);
     }
@@ -219,6 +224,10 @@ fn try_spawn_update(
             .with_affinity(AffinitySpec::processor(rr.next()))
             .with_mutex(dst_obj)
     };
+    // Acquire: `st.completed[k]` told us column k is finished; pick up the
+    // completer's sync release so the spawned reader is ordered after the
+    // column's writers (the dst chain alone is serialised by its mutex).
+    ctx.sync(src_obj);
     ctx.spawn(task);
 }
 

@@ -138,11 +138,13 @@ pub fn run_with_faults(
     }
 
     let run = rt.report();
+    let events = rt.take_events();
     let max_error = verify(circ, &state.borrow()) as f64;
     AppReport {
         version,
         run,
         max_error,
+        events,
     }
 }
 
@@ -162,11 +164,15 @@ fn route_net(
 ) {
     let mut st = state.borrow_mut();
     let st = &mut *st;
-    // Rip out the previous route.
+    // Rip out the previous route. CostArray updates are relaxed atomics: the
+    // real LocusRoute lets concurrent wire tasks read slightly stale
+    // occupancy counts by design (a SPLASH "benign race"), so the accesses
+    // are race-exempt against each other for the analyzer while costing the
+    // same machine traffic.
     let old = std::mem::take(&mut st.routes[wi]);
     for &(x, y) in &old.cells {
         st.cost[x * h + y] -= 1;
-        c.write(cost_obj.offset((x * h + y) as u64 * cell_bytes), cell_bytes);
+        c.write_atomic(cost_obj.offset((x * h + y) as u64 * cell_bytes), cell_bytes);
     }
     // Route each segment of the pin chain; the net's route is the union.
     let mut cells: Vec<(usize, usize)> = Vec::new();
@@ -178,7 +184,7 @@ fn route_net(
             let mut total = 0u64;
             for &(x, y) in &cand.cells {
                 total += st.cost[x * h + y] as u64;
-                c.read(cost_obj.offset((x * h + y) as u64 * cell_bytes), cell_bytes);
+                c.read_atomic(cost_obj.offset((x * h + y) as u64 * cell_bytes), cell_bytes);
                 examined += 1;
             }
             // Penalise length so ties prefer shorter routes.
@@ -196,7 +202,7 @@ fn route_net(
     let chosen = Route { cells };
     for &(x, y) in &chosen.cells {
         st.cost[x * h + y] += 1;
-        c.write(cost_obj.offset((x * h + y) as u64 * cell_bytes), cell_bytes);
+        c.write_atomic(cost_obj.offset((x * h + y) as u64 * cell_bytes), cell_bytes);
     }
     st.routes[wi] = chosen;
 }

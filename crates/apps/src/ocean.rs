@@ -301,11 +301,13 @@ pub fn run_full_with_faults(
     }
 
     let run = rt.report();
+    let events = rt.take_events();
     let max_error = verify(params, &state.borrow().cur);
     AppReport {
         version,
         run,
         max_error,
+        events,
     }
 }
 

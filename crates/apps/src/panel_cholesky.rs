@@ -154,6 +154,7 @@ pub fn run_with_faults(
     }
 
     let run = rt.report();
+    let events = rt.take_events();
     // Verify against the sequential left-looking reference.
     let mut fref = Factor::init(&prob.a, prob.sym.clone());
     fref.factorize_left_looking();
@@ -171,6 +172,7 @@ pub fn run_with_faults(
         version,
         run,
         max_error,
+        events,
     }
 }
 

@@ -1,0 +1,163 @@
+//! Run the six case-study applications with event recording and analyze
+//! each run — the workspace's "analyze mode".
+//!
+//! Every app runs at its fast-test scale under every scheduling version on
+//! the default schedule, plus one fault-injected schedule (stragglers,
+//! stalls, transient task failures and delayed wakeups) to shake out
+//! ordering bugs that only appear under perturbed interleavings. The
+//! resulting [`RunFindings`] feed both the test suite (which asserts zero
+//! races and lock cycles everywhere) and the committed
+//! `analyze_findings.json` CI gate.
+
+use apps::common::sim_config_small;
+use apps::Version;
+use cool_core::FaultPlan;
+use cool_sim::SimConfig;
+
+use crate::report::{Analysis, RunFindings};
+use crate::{detect_races, analyze_locks, run_lints};
+
+/// Analyze one recorded event stream with all three passes.
+pub fn analyze_events(events: &[cool_core::RtEvent]) -> Analysis {
+    Analysis {
+        races: detect_races(events),
+        locks: analyze_locks(events),
+        lints: run_lints(events),
+    }
+}
+
+/// Processor count used for the analyzer runs.
+const NPROCS: usize = 8;
+
+/// The fault plan used for the perturbed schedules: a straggler, a long
+/// one-shot stall, a few transient task failures and delayed idle wakeups.
+/// Deterministic, so the findings file is stable.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::new(29)
+        .slow_server(1, 200)
+        .stall_server(0, 3, 5_000)
+        .fail_random_tasks(3, 40)
+        .delay_wakeups(2, 50)
+}
+
+fn cfg(version: Version) -> SimConfig {
+    sim_config_small(NPROCS, version).with_events()
+}
+
+/// Short stable key for a version (used in the findings file).
+pub fn version_key(v: Version) -> &'static str {
+    match v {
+        Version::Base => "base",
+        Version::Distr => "distr",
+        Version::Affinity => "affinity",
+        Version::AffinityDistr => "affinity+distr",
+        Version::AffinityDistrCluster => "affinity+distr+cluster",
+    }
+}
+
+/// The version each app's fault-injected schedule runs under: the full
+/// affinity + distribution configuration, where placement, stealing and
+/// mutex retry paths are all active.
+const FAULTED_VERSION: Version = Version::AffinityDistr;
+
+fn gauss(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
+    let params = apps::gauss::GaussParams { n: 32, seed: 7 };
+    apps::gauss::run_with_faults(cfg(version), &params, version, faults).events
+}
+
+fn ocean(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
+    let params = workloads::ocean::OceanParams {
+        n: 24,
+        num_grids: 4,
+        regions: 8,
+        sweeps: 2,
+        seed: 3,
+    };
+    apps::ocean::run_with_faults(cfg(version), &params, version, faults).events
+}
+
+fn locusroute(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
+    use workloads::circuit::{Circuit, CircuitParams};
+    let params = apps::locusroute::LocusParams {
+        circuit: Circuit::generate(CircuitParams {
+            width: 64,
+            height: 16,
+            regions: 4,
+            wires_per_region: 24,
+            crossing_fraction: 0.1,
+            multi_pin_fraction: 0.15,
+            seed: 11,
+        }),
+        iterations: 2,
+    };
+    apps::locusroute::run_with_faults(cfg(version), &params, version, faults).events
+}
+
+fn panel_cholesky(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
+    use apps::panel_cholesky::{PanelParams, PanelProblem};
+    let prob = PanelProblem::analyse(&PanelParams {
+        matrix: workloads::matrices::grid_laplacian(8),
+        max_panel_width: 4,
+    });
+    apps::panel_cholesky::run_with_faults(cfg(version), &prob, version, faults).events
+}
+
+fn block_cholesky(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
+    let params = apps::block_cholesky::BlockParams { n: 48, block: 8 };
+    apps::block_cholesky::run_with_faults(cfg(version), &params, version, faults).events
+}
+
+fn barnes_hut(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
+    let params = apps::barnes_hut::BhParams {
+        nbodies: 128,
+        groups: 16,
+        timesteps: 2,
+        theta: 0.6,
+        dt: 0.01,
+        seed: 4,
+    };
+    apps::barnes_hut::run_with_faults(cfg(version), &params, version, faults).events
+}
+
+type AppRunner = fn(Version, Option<FaultPlan>) -> Vec<cool_core::RtEvent>;
+
+/// The six apps, in report order.
+pub const APPS: [(&str, AppRunner); 6] = [
+    ("barnes_hut", barnes_hut),
+    ("block_cholesky", block_cholesky),
+    ("gauss", gauss),
+    ("locusroute", locusroute),
+    ("ocean", ocean),
+    ("panel_cholesky", panel_cholesky),
+];
+
+/// Analyze one app under one version and schedule.
+pub fn analyze_app(app: &str, version: Version, faulted: bool) -> RunFindings {
+    let runner = APPS
+        .iter()
+        .find(|(name, _)| *name == app)
+        .unwrap_or_else(|| panic!("unknown app {app:?}"))
+        .1;
+    let faults = faulted.then(fault_plan);
+    let events = runner(version, faults);
+    RunFindings {
+        app: app.to_string(),
+        version: version_key(version).to_string(),
+        schedule: if faulted { "faulted" } else { "default" }.to_string(),
+        analysis: analyze_events(&events),
+    }
+}
+
+/// Analyze every app: all five scheduling versions on the default schedule
+/// plus one fault-injected run each. Output order is stable (apps
+/// alphabetical, versions in `Version::ALL` order, faulted last).
+pub fn analyze_all() -> Vec<RunFindings> {
+    let mut out = Vec::new();
+    for (app, _) in APPS {
+        for v in Version::ALL {
+            out.push(analyze_app(app, v, false));
+        }
+        out.push(analyze_app(app, FAULTED_VERSION, true));
+    }
+    out
+}

@@ -1,0 +1,58 @@
+//! Analyze-mode driver: run every app with event recording, analyze the
+//! streams, and write `analyze_findings.json`.
+//!
+//! Usage: `cool-analyze [OUTPUT_PATH]` (default `analyze_findings.json`).
+//! Exit status 1 if any race or lock-order cycle was found, so CI can gate
+//! on it; lint findings are reported but only fail CI via the committed
+//! findings file diff.
+
+use std::process::ExitCode;
+
+use cool_analyze::{analyze_all, findings_to_json};
+
+fn main() -> ExitCode {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "analyze_findings.json".to_string());
+
+    let findings = analyze_all();
+    let mut errors = 0usize;
+    for f in &findings {
+        let a = &f.analysis;
+        let lint_count = a.lints.len();
+        println!(
+            "{:<16} {:<24} {:<8} tasks={:<6} accesses={:<7} races={} cycles={} lints={}",
+            f.app,
+            f.version,
+            f.schedule,
+            a.races.tasks,
+            a.races.accesses,
+            a.races.races.len(),
+            a.locks.cycles.len(),
+            lint_count,
+        );
+        for r in &a.races.races {
+            println!("    RACE  {}", r.describe());
+        }
+        for c in &a.locks.cycles {
+            println!("    CYCLE {}", c.describe());
+        }
+        for l in &a.lints {
+            println!("    LINT  {}", l.describe());
+        }
+        errors += a.races.races.len() + a.locks.cycles.len();
+    }
+
+    let doc = findings_to_json(&findings);
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cool-analyze: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path} ({} runs)", findings.len());
+
+    if errors > 0 {
+        eprintln!("cool-analyze: {errors} correctness finding(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

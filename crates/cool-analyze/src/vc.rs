@@ -1,0 +1,83 @@
+//! Sparse vector clocks over task slots.
+
+use std::collections::HashMap;
+
+/// A vector clock mapping task *slots* (dense per-run indices, not
+/// [`cool_core::TaskUid`]s) to the latest known counter of that task.
+/// Missing entries are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    entries: HashMap<u32, u32>,
+}
+
+impl VectorClock {
+    /// The empty (all-zero) clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter known for `slot` (0 if never seen).
+    pub fn get(&self, slot: u32) -> u32 {
+        self.entries.get(&slot).copied().unwrap_or(0)
+    }
+
+    /// Raise `slot`'s entry to at least `value`.
+    pub fn raise(&mut self, slot: u32, value: u32) {
+        let e = self.entries.entry(slot).or_insert(0);
+        if *e < value {
+            *e = value;
+        }
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&slot, &v) in &other.entries {
+            self.raise(slot, v);
+        }
+    }
+
+    /// Number of non-zero entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is non-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_entries_are_zero() {
+        let vc = VectorClock::new();
+        assert_eq!(vc.get(7), 0);
+        assert!(vc.is_empty());
+    }
+
+    #[test]
+    fn raise_is_monotone() {
+        let mut vc = VectorClock::new();
+        vc.raise(1, 5);
+        vc.raise(1, 3);
+        assert_eq!(vc.get(1), 5);
+        vc.raise(1, 9);
+        assert_eq!(vc.get(1), 9);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.raise(1, 4);
+        a.raise(2, 1);
+        let mut b = VectorClock::new();
+        b.raise(1, 2);
+        b.raise(3, 7);
+        a.join(&b);
+        assert_eq!((a.get(1), a.get(2), a.get(3)), (4, 1, 7));
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Runtime event stream consumed by `cool-analyze`.
+//!
+//! When event recording is enabled, the simulated runtime emits one
+//! [`RtEvent`] per scheduling/synchronisation/memory action, in **execution
+//! order**. Because the simulator runs task bodies atomically (one body at a
+//! time in host order, interleaved deterministically by virtual time), the
+//! recorded order is consistent with the happens-before relation it induces:
+//! a spawn is recorded before its child starts, a mutex release before the
+//! next acquire of the same lock, a sync release before any acquire that
+//! observes it. The analyzer can therefore build vector clocks in a single
+//! forward pass over the stream.
+//!
+//! The edges that create ordering (see DESIGN.md, "Happens-before model"):
+//!
+//! * **spawn** — everything the creator did before [`RtEvent::Spawn`]
+//!   happens-before everything the child does;
+//! * **phase** — every task of phase *N* happens-before every task of phase
+//!   *N+1* ([`RtEvent::PhaseEnd`] is the `waitfor` barrier);
+//! * **mutex** — a `with_mutex` body's release happens-before the next
+//!   acquisition of the same lock object;
+//! * **sync** — [`RtEvent::Sync`] is a combined release-acquire on a token
+//!   object, modelling the runtime-internal completion counters/flags that
+//!   dataflow programs consult before spawning dependent work.
+//!
+//! Plain [`RtEvent::Access`]es not ordered by those edges and overlapping in
+//! bytes (with at least one write, not both atomic) are data races.
+
+use crate::ids::{ObjRef, ProcId};
+
+/// Unique identity of one task instance within one run. `TaskUid(0)` is
+/// reserved for the *root* context (spawns from outside any task).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskUid(pub u64);
+
+impl TaskUid {
+    /// The root (external) context.
+    pub const ROOT: TaskUid = TaskUid(0);
+}
+
+impl std::fmt::Display for TaskUid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// How a memory access participates in the concurrency model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// Ordinary read: races with unordered overlapping writes.
+    Read,
+    /// Ordinary write: races with unordered overlapping accesses.
+    Write,
+    /// Relaxed atomic read (e.g. LocusRoute's deliberately stale CostArray
+    /// lookups): never races with other atomics, still races with plain
+    /// writes.
+    AtomicRead,
+    /// Relaxed atomic write (e.g. per-cell occupancy increments): never races
+    /// with other atomics, still races with plain accesses.
+    AtomicWrite,
+}
+
+impl AccessKind {
+    /// Does this access modify memory?
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::AtomicWrite)
+    }
+
+    /// Is this access an atomic (race-exempt against other atomics)?
+    pub fn is_atomic(self) -> bool {
+        matches!(self, AccessKind::AtomicRead | AccessKind::AtomicWrite)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::AtomicRead => "atomic-read",
+            AccessKind::AtomicWrite => "atomic-write",
+        }
+    }
+}
+
+/// One runtime event. Times are virtual cycles of the acting server; they are
+/// informational (the stream order is what carries the happens-before
+/// structure).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtEvent {
+    /// A `run_phase` began (the `waitfor` block opened).
+    PhaseBegin { seq: u32 },
+    /// The phase ran to quiescence: all transitively spawned tasks are done.
+    PhaseEnd { seq: u32 },
+    /// A task was created and enqueued. `parent` is `None` for spawns from
+    /// outside any task (the root context).
+    Spawn {
+        parent: Option<TaskUid>,
+        child: TaskUid,
+        label: Option<&'static str>,
+        /// OBJECT-affinity object, if hinted.
+        object: Option<ObjRef>,
+        /// Server the affinity resolution selected.
+        target: ProcId,
+        time: u64,
+    },
+    /// A task began executing (after any mutex acquisition succeeded).
+    TaskStart {
+        task: TaskUid,
+        proc: ProcId,
+        /// Server the spawn-time affinity resolution selected.
+        target: ProcId,
+        /// OBJECT-affinity object, when it *drove placement* (no PROCESSOR
+        /// override) — so `target` was this object's home at spawn time.
+        object: Option<ObjRef>,
+        /// The object's home server resolved *now* (dispatch time) — differs
+        /// from `target` when the object migrated after the spawn.
+        object_home: Option<ProcId>,
+        time: u64,
+    },
+    /// The task body completed (after mutex release).
+    TaskEnd { task: TaskUid, proc: ProcId, time: u64 },
+    /// A `with_mutex` lock was acquired (emitted once per lock, in the
+    /// task's declared acquisition order).
+    MutexAcquire { task: TaskUid, lock: ObjRef, time: u64 },
+    /// A `with_mutex` lock was released (reverse acquisition order).
+    MutexRelease { task: TaskUid, lock: ObjRef, time: u64 },
+    /// A mirrored memory access.
+    Access {
+        task: TaskUid,
+        obj: ObjRef,
+        len: u64,
+        kind: AccessKind,
+        proc: ProcId,
+        time: u64,
+    },
+    /// Release-acquire synchronisation point on `token` (zero-cost; models
+    /// the runtime's completion counters — see module docs).
+    Sync { task: TaskUid, token: ObjRef, time: u64 },
+    /// A prefetch issued at task dispatch. `cost` is the cycles the issue
+    /// charged (0 when the lines were already cached).
+    Prefetch {
+        task: TaskUid,
+        obj: ObjRef,
+        bytes: u64,
+        cost: u64,
+        time: u64,
+    },
+    /// `migrate()` moved `bytes` at `obj` to `to`'s local memory.
+    Migrate {
+        task: TaskUid,
+        obj: ObjRef,
+        bytes: u64,
+        to: ProcId,
+        time: u64,
+    },
+}
+
+impl RtEvent {
+    /// The task this event is attributed to, if any.
+    pub fn task(&self) -> Option<TaskUid> {
+        match self {
+            RtEvent::PhaseBegin { .. } | RtEvent::PhaseEnd { .. } => None,
+            RtEvent::Spawn { child, .. } => Some(*child),
+            RtEvent::TaskStart { task, .. }
+            | RtEvent::TaskEnd { task, .. }
+            | RtEvent::MutexAcquire { task, .. }
+            | RtEvent::MutexRelease { task, .. }
+            | RtEvent::Access { task, .. }
+            | RtEvent::Sync { task, .. }
+            | RtEvent::Prefetch { task, .. }
+            | RtEvent::Migrate { task, .. } => Some(*task),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_classification() {
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::AtomicWrite.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::AtomicRead.is_atomic());
+        assert!(!AccessKind::Write.is_atomic());
+        assert_eq!(AccessKind::AtomicWrite.label(), "atomic-write");
+    }
+
+    #[test]
+    fn event_task_attribution() {
+        let ev = RtEvent::Spawn {
+            parent: None,
+            child: TaskUid(3),
+            label: None,
+            object: None,
+            target: ProcId(0),
+            time: 0,
+        };
+        assert_eq!(ev.task(), Some(TaskUid(3)));
+        assert_eq!(RtEvent::PhaseEnd { seq: 1 }.task(), None);
+        assert_eq!(TaskUid::ROOT.to_string(), "T0");
+    }
+}

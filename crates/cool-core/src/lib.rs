@@ -22,6 +22,9 @@
 //!   adherence) used by both runtimes and by the figure harnesses.
 //! * [`error`] — failure descriptions ([`TaskError`]) surfaced when a task
 //!   body panics and is isolated by the runtime.
+//! * [`events`] — the [`RtEvent`] stream an instrumented runtime emits
+//!   (spawn/phase/mutex/sync edges plus mirrored accesses), consumed by the
+//!   `cool-analyze` happens-before race detector and lint passes.
 //! * [`faults`] — seeded, deterministic [`FaultPlan`] descriptions of
 //!   injected perturbations (stragglers, stalls, transient task failures)
 //!   consumed by both runtimes' chaos hooks.
@@ -32,6 +35,7 @@
 
 pub mod affinity;
 pub mod error;
+pub mod events;
 pub mod faults;
 pub mod ids;
 pub mod policy;
@@ -40,6 +44,7 @@ pub mod stats;
 
 pub use affinity::{AffinityKind, AffinitySpec};
 pub use error::TaskError;
+pub use events::{AccessKind, RtEvent, TaskUid};
 pub use faults::FaultPlan;
 pub use ids::{ClusterId, NodeId, ObjRef, ProcId};
 pub use policy::{StealPolicy, Topology};

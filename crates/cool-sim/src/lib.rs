@@ -67,5 +67,5 @@ pub use report::RunReport;
 pub use runtime::{SimConfig, SimError, SimRuntime, TraceEvent};
 pub use task::{Task, TaskCtx};
 
-pub use cool_core::{AffinitySpec, FaultPlan, ObjRef, ProcId, StealPolicy};
+pub use cool_core::{AccessKind, AffinitySpec, FaultPlan, ObjRef, ProcId, RtEvent, StealPolicy, TaskUid};
 pub use dash_sim::{MachineConfig, MissBreakdown};

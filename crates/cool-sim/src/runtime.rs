@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use cool_core::{
-    AffinityKind, FaultPlan, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy, Topology,
+    AffinityKind, FaultPlan, ObjRef, ProcId, RtEvent, SchedStats, ServerQueues, StealPolicy,
+    TaskUid, Topology,
 };
 use dash_sim::{Machine, MachineConfig};
 
@@ -71,6 +72,10 @@ pub struct SimConfig {
     /// Cycles charged to a creator per spawn (task creation is lightweight
     /// in COOL; this covers descriptor setup + enqueue).
     pub spawn_cost: u64,
+    /// Record an [`RtEvent`] stream for `cool-analyze` (happens-before race
+    /// detection, lock-order audit, affinity lints). Off by default: when
+    /// disabled the instrumentation is a branch on a `None`.
+    pub record_events: bool,
 }
 
 impl SimConfig {
@@ -84,6 +89,7 @@ impl SimConfig {
             steal_xfer_cost: 100,
             mutex_retry_cost: 20,
             spawn_cost: 20,
+            record_events: false,
         }
     }
 
@@ -92,11 +98,19 @@ impl SimConfig {
         self.policy = policy;
         self
     }
+
+    /// Enable event recording (see [`SimConfig::record_events`]).
+    pub fn with_events(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
 }
 
 /// A task bound to its scheduling decision.
 struct SimTask {
     task: Task,
+    /// Unique identity of this task instance (for the event stream).
+    uid: TaskUid,
     /// Server the affinity hint selected (for adherence statistics).
     target: ProcId,
     /// Whether any hint was supplied.
@@ -149,6 +163,12 @@ pub struct SimRuntime {
     fault_spawns: u64,
     /// Per-server executed-dispatch counters for the plan's stalls.
     fault_dispatches: Vec<u64>,
+    /// Analyzer event stream, when recording is enabled.
+    events: Option<Vec<RtEvent>>,
+    /// Next task uid (0 is the root context).
+    next_uid: u64,
+    /// Phase counter for `PhaseBegin`/`PhaseEnd` events.
+    phase_seq: u32,
 }
 
 impl SimRuntime {
@@ -169,7 +189,44 @@ impl SimRuntime {
             faults: None,
             fault_spawns: 0,
             fault_dispatches: vec![0; n],
+            events: if cfg.record_events { Some(Vec::new()) } else { None },
+            next_uid: 1,
+            phase_seq: 0,
             cfg,
+        }
+    }
+
+    /// Start recording the analyzer event stream (equivalent to constructing
+    /// with [`SimConfig::record_events`] set).
+    pub fn enable_events(&mut self) {
+        if self.events.is_none() {
+            self.events = Some(Vec::new());
+        }
+    }
+
+    /// Whether the event stream is being recorded.
+    pub(crate) fn recording(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Append an event to the stream (no-op when recording is off).
+    pub(crate) fn emit(&mut self, ev: RtEvent) {
+        if let Some(buf) = &mut self.events {
+            buf.push(ev);
+        }
+    }
+
+    /// The recorded event stream (empty if recording was never enabled).
+    pub fn events(&self) -> &[RtEvent] {
+        self.events.as_deref().unwrap_or(&[])
+    }
+
+    /// Take ownership of the recorded event stream, leaving recording
+    /// enabled with an empty buffer if it was on.
+    pub fn take_events(&mut self) -> Vec<RtEvent> {
+        match &mut self.events {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
         }
     }
 
@@ -257,12 +314,18 @@ impl SimRuntime {
     /// Spawn a task from outside any task (phase seeding). The creator is
     /// taken to be server 0.
     pub fn spawn(&mut self, task: Task) {
-        self.spawn_from(ProcId(0), task);
+        self.spawn_from(ProcId(0), None, task);
     }
 
     /// Spawn from `creator`, resolving the affinity block to a target server
-    /// and queue slot. Returns the cycles to charge the creator.
-    pub(crate) fn spawn_from(&mut self, creator: ProcId, task: Task) -> u64 {
+    /// and queue slot. `parent` is the spawning task's identity (`None` for
+    /// external spawns). Returns the cycles to charge the creator.
+    pub(crate) fn spawn_from(
+        &mut self,
+        creator: ProcId,
+        parent: Option<TaskUid>,
+        task: Task,
+    ) -> u64 {
         let spec = task.affinity;
         let hinted = spec.is_hinted();
         let machine = &self.machine;
@@ -278,8 +341,21 @@ impl SimRuntime {
             }
             None => false,
         };
+        let uid = TaskUid(self.next_uid);
+        self.next_uid += 1;
+        if self.recording() {
+            self.emit(RtEvent::Spawn {
+                parent,
+                child: uid,
+                label: task.label,
+                object: spec.object,
+                target,
+                time: self.clocks[creator.index()],
+            });
+        }
         let st = SimTask {
             task,
+            uid,
             target,
             hinted,
             inject,
@@ -317,8 +393,13 @@ impl SimRuntime {
         &mut self,
         seed: impl FnOnce(&mut TaskCtx<'_>) + 'static,
     ) -> Result<(), SimError> {
-        self.spawn(Task::new(seed));
-        self.drain()
+        self.phase_seq += 1;
+        let seq = self.phase_seq;
+        self.emit(RtEvent::PhaseBegin { seq });
+        self.spawn(Task::new(seed).with_label("phase-seed"));
+        let out = self.drain();
+        self.emit(RtEvent::PhaseEnd { seq });
+        out
     }
 
     /// The event loop: repeatedly act on the earliest-clock server.
@@ -376,9 +457,16 @@ impl SimRuntime {
             return Ok(());
         }
 
-        // Mutex parallel function: check the object lock.
-        if let Some(lock_obj) = st.task.mutex_on {
-            let free_at = *self.locks.get(&lock_obj).unwrap_or(&0);
+        // Mutex parallel function: check the object locks (all of the task's
+        // declared locks must be free; the latest release gates entry).
+        if !st.task.mutexes.is_empty() {
+            let free_at = st
+                .task
+                .mutexes
+                .iter()
+                .map(|l| *self.locks.get(l).unwrap_or(&0))
+                .max()
+                .unwrap_or(0);
             if free_at > self.clocks[pi] {
                 // Blocked: set the task aside (back of its queue) and let the
                 // server pick other work. COOL blocks the task, not the
@@ -439,21 +527,56 @@ impl SimRuntime {
             }
         }
         let start = self.clocks[pi];
-        let mutex_on = st.task.mutex_on;
+        let mutexes = st.task.mutexes.clone();
         // Issue the task's prefetches before the body runs: their latency
         // overlaps the first part of the execution.
         let mut prefetch_cycles = 0;
         for (obj, bytes) in std::mem::take(&mut st.task.prefetch) {
-            prefetch_cycles += self
-                .machine
-                .prefetch(p, obj, bytes, start + prefetch_cycles);
+            let cost = self.machine.prefetch(p, obj, bytes, start + prefetch_cycles);
+            prefetch_cycles += cost;
+            if self.recording() {
+                self.emit(RtEvent::Prefetch {
+                    task: st.uid,
+                    obj,
+                    bytes,
+                    cost,
+                    time: start,
+                });
+            }
         }
         self.clocks[pi] += prefetch_cycles;
         let start = self.clocks[pi];
+        if self.recording() {
+            // Only when the object actually drove placement (no PROCESSOR
+            // override): then `target == home(object)` held at spawn time and
+            // a mismatch at dispatch means the object migrated in between.
+            let object = if st.task.affinity.processor.is_none() {
+                st.task.affinity.object
+            } else {
+                None
+            };
+            let object_home = object.map(|o| self.machine.home_proc(o));
+            self.emit(RtEvent::TaskStart {
+                task: st.uid,
+                proc: p,
+                target: st.target,
+                object,
+                object_home,
+                time: start,
+            });
+            for &lock in &mutexes {
+                self.emit(RtEvent::MutexAcquire {
+                    task: st.uid,
+                    lock,
+                    time: start,
+                });
+            }
+        }
         let body = st.task.body;
         let mut ctx = TaskCtx {
             rt: self,
             proc: p,
+            task: st.uid,
             cycles: 0,
         };
         let label = st.task.label;
@@ -461,8 +584,22 @@ impl SimRuntime {
         body(&mut ctx);
         let duration = ctx.cycles;
         self.clocks[pi] = start + duration;
-        if let Some(lock_obj) = mutex_on {
+        for &lock_obj in &mutexes {
             self.locks.insert(lock_obj, start + duration);
+        }
+        if self.recording() {
+            for &lock in mutexes.iter().rev() {
+                self.emit(RtEvent::MutexRelease {
+                    task: st.uid,
+                    lock,
+                    time: start + duration,
+                });
+            }
+            self.emit(RtEvent::TaskEnd {
+                task: st.uid,
+                proc: p,
+                time: start + duration,
+            });
         }
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent {

@@ -1,6 +1,6 @@
 //! Tasks and the execution context their bodies run against.
 
-use cool_core::{AffinitySpec, ObjRef, ProcId};
+use cool_core::{AccessKind, AffinitySpec, ObjRef, ProcId, RtEvent, TaskUid};
 
 use crate::runtime::SimRuntime;
 
@@ -13,8 +13,11 @@ pub type TaskBody = Box<dyn FnOnce(&mut TaskCtx<'_>)>;
 pub struct Task {
     pub(crate) body: TaskBody,
     pub(crate) affinity: AffinitySpec,
-    /// For `parallel mutex` functions: the object requiring exclusive access.
-    pub(crate) mutex_on: Option<ObjRef>,
+    /// For `parallel mutex` functions: the objects requiring exclusive
+    /// access, in declared acquisition order. The runtime acquires all of
+    /// them before the body runs and releases them after; the *declared
+    /// order* is what `cool-analyze`'s lock-order graph checks for cycles.
+    pub(crate) mutexes: Vec<ObjRef>,
     /// Objects (address, bytes) to prefetch when the task is dispatched —
     /// the remote side of a multi-object affinity (Section 4.1's heuristic,
     /// Section 8's prefetching support).
@@ -30,7 +33,7 @@ impl Task {
         Task {
             body: Box::new(body),
             affinity: AffinitySpec::none(),
-            mutex_on: None,
+            mutexes: Vec::new(),
             prefetch: Vec::new(),
             label: None,
         }
@@ -43,9 +46,11 @@ impl Task {
     }
 
     /// Declare the task a `mutex` function on `obj`: the runtime acquires
-    /// exclusive access to `obj` before running the body.
+    /// exclusive access to `obj` before running the body. May be chained to
+    /// declare multiple locks; they are acquired in declaration order (the
+    /// order the lock-order analyzer audits).
     pub fn with_mutex(mut self, obj: ObjRef) -> Self {
-        self.mutex_on = Some(obj);
+        self.mutexes.push(obj);
         self
     }
 
@@ -73,7 +78,7 @@ impl std::fmt::Debug for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Task")
             .field("affinity", &self.affinity)
-            .field("mutex_on", &self.mutex_on)
+            .field("mutexes", &self.mutexes)
             .finish_non_exhaustive()
     }
 }
@@ -84,6 +89,8 @@ impl std::fmt::Debug for Task {
 pub struct TaskCtx<'rt> {
     pub(crate) rt: &'rt mut SimRuntime,
     pub(crate) proc: ProcId,
+    /// Identity of the executing task (for the analyzer's event stream).
+    pub(crate) task: TaskUid,
     /// Cycles charged by this task so far (memory + compute + spawn costs).
     pub(crate) cycles: u64,
 }
@@ -94,23 +101,63 @@ impl TaskCtx<'_> {
         self.proc
     }
 
+    /// This task's unique identity within the run.
+    pub fn task_uid(&self) -> TaskUid {
+        self.task
+    }
+
     /// Number of servers in the machine.
     pub fn nservers(&self) -> usize {
         self.rt.nservers()
+    }
+
+    fn access(&mut self, obj: ObjRef, len: u64, kind: AccessKind) {
+        let now = self.rt.clock_of(self.proc) + self.cycles;
+        self.cycles += match kind {
+            AccessKind::Read | AccessKind::AtomicRead => {
+                self.rt.machine_mut().read_at(self.proc, obj, len, now)
+            }
+            AccessKind::Write | AccessKind::AtomicWrite => {
+                self.rt.machine_mut().write_at(self.proc, obj, len, now)
+            }
+        };
+        if self.rt.recording() {
+            let (task, proc) = (self.task, self.proc);
+            self.rt.emit(RtEvent::Access {
+                task,
+                obj,
+                len,
+                kind,
+                proc,
+                time: now,
+            });
+        }
     }
 
     /// Mirror a read of `len` bytes at `obj` into the machine. The access is
     /// issued at the task's current virtual time, so misses queue behind
     /// other requests contending for the servicing memory module.
     pub fn read(&mut self, obj: ObjRef, len: u64) {
-        let now = self.rt.clock_of(self.proc) + self.cycles;
-        self.cycles += self.rt.machine_mut().read_at(self.proc, obj, len, now);
+        self.access(obj, len, AccessKind::Read);
     }
 
     /// Mirror a write of `len` bytes at `obj` into the machine.
     pub fn write(&mut self, obj: ObjRef, len: u64) {
-        let now = self.rt.clock_of(self.proc) + self.cycles;
-        self.cycles += self.rt.machine_mut().write_at(self.proc, obj, len, now);
+        self.access(obj, len, AccessKind::Write);
+    }
+
+    /// Mirror a *relaxed atomic* read: same machine traffic and cost as
+    /// [`TaskCtx::read`], but declared race-exempt against other atomics for
+    /// the analyzer (LocusRoute's deliberately stale CostArray lookups).
+    pub fn read_atomic(&mut self, obj: ObjRef, len: u64) {
+        self.access(obj, len, AccessKind::AtomicRead);
+    }
+
+    /// Mirror a *relaxed atomic* write (e.g. an occupancy-count increment):
+    /// same machine traffic and cost as [`TaskCtx::write`], but race-exempt
+    /// against other atomics.
+    pub fn write_atomic(&mut self, obj: ObjRef, len: u64) {
+        self.access(obj, len, AccessKind::AtomicWrite);
     }
 
     /// Charge `cycles` of pure computation.
@@ -118,11 +165,25 @@ impl TaskCtx<'_> {
         self.cycles += self.rt.machine_mut().compute(self.proc, cycles);
     }
 
+    /// A release-acquire synchronisation point on `token`, modelling the
+    /// runtime-internal completion counters and ready flags a dataflow
+    /// program consults before spawning dependent work. Costs no cycles and
+    /// generates no machine traffic; it only informs the happens-before
+    /// analysis. Call it after this task's publishing writes and before any
+    /// spawn decision that observes other tasks' completion.
+    pub fn sync(&mut self, token: ObjRef) {
+        if self.rt.recording() {
+            let (task, time) = (self.task, self.rt.clock_of(self.proc) + self.cycles);
+            self.rt.emit(RtEvent::Sync { task, token, time });
+        }
+    }
+
     /// Spawn a child task (a parallel function invocation). The child's
     /// affinity block is evaluated immediately and the task enqueued on its
     /// target server; a small spawn cost is charged to the caller.
     pub fn spawn(&mut self, task: Task) {
-        self.cycles += self.rt.spawn_from(self.proc, task);
+        let parent = self.task;
+        self.cycles += self.rt.spawn_from(self.proc, Some(parent), task);
     }
 
     /// `home()`: the server collocated with `obj`'s memory.
@@ -135,5 +196,17 @@ impl TaskCtx<'_> {
     pub fn migrate(&mut self, obj: ObjRef, bytes: u64, n: usize) {
         let c = self.rt.machine_mut().migrate_to_proc(obj, bytes, n);
         self.cycles += self.rt.machine_mut().compute(self.proc, c);
+        if self.rt.recording() {
+            let task = self.task;
+            let to = ProcId(n % self.rt.nservers());
+            let time = self.rt.clock_of(self.proc) + self.cycles;
+            self.rt.emit(RtEvent::Migrate {
+                task,
+                obj,
+                bytes,
+                to,
+                time,
+            });
+        }
     }
 }

@@ -100,7 +100,7 @@ fn trace_shows_back_to_back_set_service() {
         let labels: Vec<&str> = rt
             .trace()
             .iter()
-            .filter(|e| e.proc.index() == p && e.label != "task")
+            .filter(|e| e.proc.index() == p && e.label != "task" && e.label != "phase-seed")
             .map(|e| e.label)
             .collect();
         if labels.is_empty() {

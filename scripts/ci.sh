@@ -20,4 +20,11 @@ run cargo build --release --offline --workspace
 run cargo test -q --offline --workspace
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Analyze gate: run the happens-before / lock-order / lint passes over all
+# six apps (default + fault-injected schedules). The binary exits non-zero
+# on any race or lock cycle; the diff check makes lint findings (and any
+# change in the analysis surface) reviewable instead of silent.
+run cargo run --release --offline -q -p cool-analyze -- analyze_findings.json
+run git diff --exit-code -- analyze_findings.json
+
 echo "CI OK"
