@@ -1,0 +1,174 @@
+//! Measure the pinned reduced-scale sweep and emit one point of the perf
+//! trajectory as schema'd JSON (`BENCH_*.json`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench                    # 3 repeats, JSON on stdout
+//! cargo run --release -p bench --bin perfbench -- --out BENCH_3.json
+//! cargo run --release -p bench --bin perfbench -- --smoke         # 1 repeat (CI)
+//! cargo run --release -p bench --bin perfbench -- --smoke --baseline BENCH_3.json
+//! ```
+//!
+//! With `--baseline`, the emitted point is checked against the committed
+//! baseline: the baseline must carry the `cool-bench-v1` schema, the
+//! deterministic quantities (total refs and simulated cycles) must match
+//! exactly, and total wall-clock must not regress more than 25%.
+
+use bench::perf;
+
+const SCHEMA: &str = "cool-bench-v1";
+/// Allowed wall-clock regression versus the committed baseline.
+const MAX_REGRESSION: f64 = 1.25;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let opt = |f: &str| {
+        args.iter()
+            .position(|a| a == f)
+            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{f} takes a value")).clone())
+    };
+    // `iters` is pinned: refs totals must be comparable across runs so the
+    // baseline check can demand exact equality. `--smoke` only drops repeats.
+    let (repeats, iters): (u32, u32) = if has("--smoke") { (1, 16) } else { (3, 16) };
+    let timings = perf::time_sweep(repeats, iters);
+    let micro = perf::machine_micro(repeats.max(3));
+    let figures_ms = perf::figures_small_wall_ms();
+    let json = render_json(&timings, &micro, repeats, iters, figures_ms);
+
+    match opt("--out") {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if let Some(path) = opt("--baseline") {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        check_against_baseline(&json, &baseline, &path);
+        eprintln!("baseline check OK ({path})");
+    }
+}
+
+fn render_json(
+    timings: &[perf::AppTiming],
+    micro: &perf::AppTiming,
+    repeats: u32,
+    iters: u32,
+    figures_ms: f64,
+) -> String {
+    let total_refs: u64 = timings.iter().map(|t| t.refs).sum();
+    let total_cycles: u64 = timings.iter().map(|t| t.sim_cycles).sum();
+    let total_ms: f64 = timings.iter().map(|t| t.wall_ms).sum();
+    let total_rps = if total_ms > 0.0 {
+        total_refs as f64 / (total_ms / 1000.0)
+    } else {
+        0.0
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str("  \"scale\": \"small\",\n");
+    s.push_str(&format!(
+        "  \"procs\": [{}],\n",
+        perf::SWEEP_PROCS.map(|p| p.to_string()).join(", ")
+    ));
+    s.push_str(&format!(
+        "  \"versions\": [{}],\n",
+        perf::SWEEP_VERSIONS
+            .map(|v| format!("\"{}\"", v.label()))
+            .join(", ")
+    ));
+    s.push_str(&format!("  \"repeats\": {repeats},\n"));
+    s.push_str(&format!("  \"iters\": {iters},\n"));
+    s.push_str(&format!("  \"figures_small_wall_ms\": {figures_ms:.3},\n"));
+    s.push_str("  \"apps\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"app\": \"{}\", \"refs\": {}, \"sim_cycles\": {}, \
+             \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0}}}{}\n",
+            t.app,
+            t.refs,
+            t.sim_cycles,
+            t.wall_ms,
+            t.refs_per_sec(),
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"machine_micro\": {{\"refs\": {}, \"sim_cycles\": {}, \
+         \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0}}},\n",
+        micro.refs,
+        micro.sim_cycles,
+        micro.wall_ms,
+        micro.refs_per_sec()
+    ));
+    s.push_str(&format!(
+        "  \"total\": {{\"refs\": {total_refs}, \"sim_cycles\": {total_cycles}, \
+         \"wall_ms\": {total_ms:.3}, \"refs_per_sec\": {total_rps:.0}}}\n"
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Pull the first `"key": <number>` after position `from`. The emitted JSON
+/// is flat and key order is fixed, so a scanning extractor is sufficient —
+/// no JSON dependency needed offline.
+fn extract_number(json: &str, key: &str, from: usize) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json[from..].find(&needle)? + from + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validate a BENCH json document's schema: required keys present and the
+/// `total` block parseable. Returns the total block's (refs, sim_cycles,
+/// wall_ms).
+fn validate(json: &str, what: &str) -> (f64, f64, f64) {
+    for key in [
+        "\"schema\"",
+        "\"scale\"",
+        "\"procs\"",
+        "\"versions\"",
+        "\"repeats\"",
+        "\"apps\"",
+        "\"total\"",
+        "\"refs_per_sec\"",
+    ] {
+        assert!(json.contains(key), "{what}: missing required key {key}");
+    }
+    assert!(
+        json.contains(&format!("\"schema\": \"{SCHEMA}\"")),
+        "{what}: schema is not {SCHEMA}"
+    );
+    let total_at = json.find("\"total\"").expect("total key just checked");
+    let refs = extract_number(json, "refs", total_at)
+        .unwrap_or_else(|| panic!("{what}: total.refs unparseable"));
+    let cycles = extract_number(json, "sim_cycles", total_at)
+        .unwrap_or_else(|| panic!("{what}: total.sim_cycles unparseable"));
+    let wall = extract_number(json, "wall_ms", total_at)
+        .unwrap_or_else(|| panic!("{what}: total.wall_ms unparseable"));
+    assert!(wall > 0.0, "{what}: total.wall_ms must be positive");
+    (refs, cycles, wall)
+}
+
+fn check_against_baseline(current: &str, baseline: &str, path: &str) {
+    let (cur_refs, cur_cycles, cur_wall) = validate(current, "current run");
+    let (base_refs, base_cycles, base_wall) = validate(baseline, path);
+    assert!(
+        cur_refs == base_refs && cur_cycles == base_cycles,
+        "simulated behaviour drifted from {path}: refs {cur_refs} vs {base_refs}, \
+         cycles {cur_cycles} vs {base_cycles}; if intentional, regenerate the baseline \
+         with scripts/bench.sh"
+    );
+    assert!(
+        cur_wall <= base_wall * MAX_REGRESSION,
+        "wall-clock regression: {cur_wall:.1} ms vs baseline {base_wall:.1} ms \
+         (> {MAX_REGRESSION}x); investigate or regenerate with scripts/bench.sh"
+    );
+}

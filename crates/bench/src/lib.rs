@@ -17,6 +17,7 @@
 //! | §1/§8 headline (60–135%)            | [`summary`] |
 
 pub mod ablation;
+pub mod perf;
 
 use apps::{
     barnes_hut, block_cholesky, common, gauss, locusroute, ocean, panel_cholesky, AppReport,

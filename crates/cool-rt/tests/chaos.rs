@@ -217,6 +217,126 @@ fn watchdog_dumps_on_constructed_deadlock() {
 }
 
 #[test]
+fn stall_timeout_during_scope_teardown_is_benign() {
+    // One long task body outlives the stall interval. The watchdog's
+    // liveness signal is "a task completed recently", so it cannot tell the
+    // difference and fires while `scope()` is draining. The scope must
+    // still complete Ok, the dumps must describe that instant truthfully
+    // (scope open, nothing queued, nothing held), and once the scope has
+    // closed the quiet runtime must never dump again.
+    let rt = Runtime::new(RtConfig::new(2).with_stall_timeout(Duration::from_millis(25)));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r2 = ran.clone();
+    rt.scope(move |s| {
+        let ran = r2.clone();
+        s.spawn(RtTask::new(move |_| {
+            std::thread::sleep(Duration::from_millis(150));
+            ran.fetch_add(1, Ordering::SeqCst);
+        }));
+    })
+    .unwrap();
+    assert_eq!(ran.load(Ordering::SeqCst), 1);
+    let dumps = rt.stall_dumps();
+    assert!(
+        !dumps.is_empty(),
+        "a task longer than the interval must trip the watchdog"
+    );
+    for d in &dumps {
+        assert_eq!(d.open_scopes, 1, "the dump was taken inside the scope");
+        assert_eq!(d.total_queued(), 0, "the long task was running, not queued");
+        assert!(d.held_mutexes.is_empty());
+        // A dump can race the very completion that ends the scope (that IS
+        // the teardown case), so the counter may read 0 or 1 — never more.
+        assert!(d.tasks_executed <= 1, "phantom completions in the dump");
+    }
+    // Scope closed, runtime idle: the watchdog must go silent even though
+    // activity stays frozen (no open scope means no stall).
+    std::thread::sleep(Duration::from_millis(40));
+    let settled = rt.stall_dumps().len();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        rt.stall_dumps().len(),
+        settled,
+        "watchdog dumped with no scope open"
+    );
+}
+
+#[test]
+fn fault_plan_events_beyond_the_run_never_fire() {
+    // A plan whose last events land after the final task: a failure index
+    // past the spawn count and a stall on a dispatch number no server
+    // reaches. They must simply never fire — the run completes, only the
+    // in-range failure is counted, and a later scope (which advances the
+    // same spawn counter) still doesn't reach them.
+    let plan = FaultPlan::new(1)
+        .fail_task(5) // in range: 12 tasks spawned below
+        .fail_task(500) // beyond both scopes combined
+        .stall_server(0, 10_000, 50_000); // dispatch #10000 never happens
+    let rt = Runtime::with_faults(RtConfig::new(2), plan);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r2 = ran.clone();
+    rt.scope(move |s| {
+        for _ in 0..12 {
+            let ran = r2.clone();
+            s.spawn(RtTask::new(move |_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+    })
+    .unwrap();
+    assert_eq!(ran.load(Ordering::SeqCst), 12);
+    let st = rt.stats();
+    assert_eq!(st.executed, 12, "the transient failure re-ran its task");
+    assert_eq!(st.injected_faults, 1, "only the in-range event fired");
+
+    // Second scope: spawn indices continue from 12 and still stay below
+    // 500; the leftover plan entries remain inert.
+    let ran2 = Arc::new(AtomicUsize::new(0));
+    let r3 = ran2.clone();
+    rt.scope(move |s| {
+        for _ in 0..8 {
+            let ran = r3.clone();
+            s.spawn(RtTask::new(move |_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+    })
+    .unwrap();
+    assert_eq!(ran2.load(Ordering::SeqCst), 8);
+    assert_eq!(rt.stats().injected_faults, 1);
+    assert_eq!(rt.stats().executed, 20);
+}
+
+#[test]
+fn stall_dump_with_all_workers_parked_shows_empty_runtime() {
+    // A scope that spawns nothing: every worker parks on its condvar while
+    // the seed holds the scope open past the stall interval. The dump must
+    // describe the parked machine exactly — zero queue depth on every
+    // server, no held mutexes, zero executed — not invent phantom work.
+    let nthreads = 4;
+    let rt = Runtime::new(RtConfig::new(nthreads).with_stall_timeout(Duration::from_millis(20)));
+    rt.scope(move |_| {
+        std::thread::sleep(Duration::from_millis(120));
+    })
+    .unwrap();
+    let dumps = rt.stall_dumps();
+    assert!(
+        !dumps.is_empty(),
+        "an open, idle scope must trip the watchdog"
+    );
+    let d = &dumps[0];
+    assert_eq!(d.queue_depths, vec![0; nthreads], "all workers were parked");
+    assert_eq!(d.total_queued(), 0);
+    assert!(d.held_mutexes.is_empty());
+    assert_eq!(d.open_scopes, 1);
+    assert_eq!(d.tasks_executed, 0);
+    assert_eq!(d.stats.spawned, 0);
+    let text = d.to_string();
+    assert!(text.contains("held mutexes: none"), "{text}");
+    assert!(text.contains("0 executed since startup"), "{text}");
+}
+
+#[test]
 fn injected_straggler_is_absorbed_by_stealing() {
     // Server 0 is made 2 ms slower per dispatch. All work starts on its
     // queue (spawned from the scope seed, which runs as processor 0); the

@@ -527,7 +527,9 @@ impl SimRuntime {
             }
         }
         let start = self.clocks[pi];
-        let mutexes = st.task.mutexes.clone();
+        // The task is consumed by this dispatch, so take its lock list rather
+        // than cloning it (this runs once per executed task).
+        let mutexes = std::mem::take(&mut st.task.mutexes);
         // Issue the task's prefetches before the body runs: their latency
         // overlaps the first part of the execution.
         let mut prefetch_cycles = 0;

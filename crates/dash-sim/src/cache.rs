@@ -3,8 +3,20 @@
 //! Addresses are tracked at line granularity; the cache stores line numbers
 //! (address / line size). Associativity 1 gives the direct-mapped caches of
 //! the DASH prototype; higher associativities are supported for experiments.
+//!
+//! The cache probe is the hottest operation in the simulator (every mirrored
+//! reference probes two levels), so the sets are a single flat `nsets × assoc`
+//! array with the LRU order encoded in place: each set's ways are stored
+//! most-recently-used first, vacant slots hold a sentinel and always sit at
+//! the tail. Promotion and fill are `copy_within` shifts of at most `assoc`
+//! words — with DASH-like associativity (1) every operation touches exactly
+//! one slot and there is no per-set allocation at all.
 
 use crate::config::CacheConfig;
+
+/// Vacant-slot sentinel. Real line numbers are `addr / line_bytes` of a
+/// bump-allocated address space and can never reach it.
+const EMPTY: u64 = u64::MAX;
 
 /// Result of a cache probe-and-fill.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,15 +29,17 @@ pub enum Access {
 }
 
 /// A set-associative cache with true-LRU replacement per set.
-///
-/// Each set is a small vector of line numbers ordered most-recently-used
-/// first. With DASH-like associativity (1) the vectors hold a single entry
-/// and operations are O(1).
 #[derive(Debug)]
 pub struct Cache {
-    sets: Vec<Vec<u64>>,
+    /// `nsets * assoc` way slots; set `s` occupies
+    /// `ways[s*assoc .. (s+1)*assoc]`, MRU first, `EMPTY`-padded at the tail.
+    ways: Box<[u64]>,
     assoc: usize,
     nsets: u64,
+    /// `nsets - 1` when `nsets` is a power of two: the set index becomes a
+    /// mask instead of a hardware division (set selection runs on every
+    /// mirrored reference). Zero-sentinel when `nsets` is not a power of two.
+    set_mask: u64,
 }
 
 impl Cache {
@@ -34,49 +48,88 @@ impl Cache {
         let nsets = cfg.sets();
         assert!(nsets > 0, "cache must have at least one set");
         Cache {
-            sets: vec![Vec::with_capacity(cfg.assoc); nsets as usize],
+            ways: vec![EMPTY; (nsets as usize) * cfg.assoc].into_boxed_slice(),
             assoc: cfg.assoc,
             nsets,
+            set_mask: if nsets.is_power_of_two() { nsets - 1 } else { 0 },
         }
     }
 
     #[inline]
-    fn set_of(&self, line: u64) -> usize {
-        (line % self.nsets) as usize
+    fn set_index(&self, line: u64) -> usize {
+        let s = if self.set_mask != 0 || self.nsets == 1 {
+            line & self.set_mask
+        } else {
+            line % self.nsets
+        };
+        s as usize
+    }
+
+    #[inline]
+    fn set(&mut self, line: u64) -> &mut [u64] {
+        let base = self.set_index(line) * self.assoc;
+        &mut self.ways[base..base + self.assoc]
     }
 
     /// Probe for `line`; on hit, promote to MRU; on miss, fill it (evicting
     /// the LRU way if the set is full).
     pub fn access(&mut self, line: u64) -> Access {
-        let set = self.set_of(line);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&l| l == line) {
-            // Promote to MRU.
-            let l = ways.remove(pos);
-            ways.insert(0, l);
+        debug_assert_ne!(line, EMPTY);
+        let assoc = self.assoc;
+        if assoc == 1 {
+            // Direct-mapped (every DASH configuration): one slot, no LRU.
+            let slot = &mut self.ways[self.set_index(line)];
+            let old = *slot;
+            if old == line {
+                return Access::Hit;
+            }
+            *slot = line;
+            return Access::Miss {
+                evicted: (old != EMPTY).then_some(old),
+            };
+        }
+        let ways = self.set(line);
+        if ways[0] == line {
             return Access::Hit;
         }
-        let evicted = if ways.len() == self.assoc {
-            ways.pop()
-        } else {
-            None
-        };
-        ways.insert(0, line);
-        Access::Miss { evicted }
+        if let Some(pos) = ways[1..].iter().position(|&l| l == line) {
+            // Promote to MRU: shift the more-recent ways down one slot.
+            ways.copy_within(0..pos + 1, 1);
+            ways[0] = line;
+            return Access::Hit;
+        }
+        // Fill: the LRU way (or an empty tail slot) falls off the end.
+        let victim = ways[assoc - 1];
+        ways.copy_within(0..assoc - 1, 1);
+        ways[0] = line;
+        Access::Miss {
+            evicted: (victim != EMPTY).then_some(victim),
+        }
     }
 
     /// Is the line present? (No LRU update.)
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_of(line)].contains(&line)
+        let base = self.set_index(line) * self.assoc;
+        self.ways[base..base + self.assoc].contains(&line)
     }
 
     /// Remove a line (coherence invalidation or inclusion victim). Returns
     /// whether it was present.
     pub fn invalidate(&mut self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let ways = &mut self.sets[set];
+        let assoc = self.assoc;
+        if assoc == 1 {
+            let slot = &mut self.ways[self.set_index(line)];
+            if *slot == line {
+                *slot = EMPTY;
+                return true;
+            }
+            return false;
+        }
+        let ways = self.set(line);
         if let Some(pos) = ways.iter().position(|&l| l == line) {
-            ways.remove(pos);
+            // Close the gap so vacant slots stay at the tail.
+            ways.copy_within(pos + 1.., pos);
+            ways[assoc - 1] = EMPTY;
             true
         } else {
             false
@@ -85,14 +138,12 @@ impl Cache {
 
     /// Number of resident lines (for tests/statistics).
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.ways.iter().filter(|&&l| l != EMPTY).count()
     }
 
     /// Drop every resident line (used when a page migrates).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.ways.fill(EMPTY);
     }
 }
 
@@ -208,12 +259,39 @@ mod tests {
     }
 
     #[test]
+    fn partial_set_fills_before_evicting() {
+        // 4-way single set: no eviction until all ways are occupied, then
+        // strict LRU order.
+        let mut c = tiny(4, 4);
+        assert_eq!(c.access(1), Access::Miss { evicted: None });
+        assert_eq!(c.access(2), Access::Miss { evicted: None });
+        assert_eq!(c.access(3), Access::Miss { evicted: None });
+        assert_eq!(c.resident(), 3);
+        assert_eq!(c.access(5), Access::Miss { evicted: None });
+        assert_eq!(c.access(9), Access::Miss { evicted: Some(1) });
+    }
+
+    #[test]
     fn invalidate_removes() {
         let mut c = tiny(2, 8);
         c.access(3);
         assert!(c.invalidate(3));
         assert!(!c.contains(3));
         assert!(!c.invalidate(3));
+    }
+
+    #[test]
+    fn invalidate_middle_way_keeps_lru_order() {
+        // 3-way set; invalidating the middle way must preserve the relative
+        // order of the rest (the gap closes toward MRU).
+        let mut c = tiny(3, 3);
+        c.access(0);
+        c.access(3);
+        c.access(6); // order: 6, 3, 0
+        assert!(c.invalidate(3)); // order: 6, 0
+        assert_eq!(c.access(9), Access::Miss { evicted: None }); // 9, 6, 0
+        assert_eq!(c.access(12), Access::Miss { evicted: Some(0) });
+        assert!(c.contains(6) && c.contains(9));
     }
 
     #[test]

@@ -13,22 +13,27 @@
 //!
 //! Sharer sets are bitmaps; the simulator supports up to 64 processors,
 //! double the DASH prototype.
+//!
+//! The directory sits on the per-reference hot path (every write probes it
+//! for exclusivity, every miss updates it), so the line table is a dense
+//! flat array indexed by line number rather than a hash map. The address
+//! space is bump-allocated and contiguous, so line numbers are dense and the
+//! table is bounded by the bytes the application actually allocates — a
+//! lookup is one bounds check and one indexed load, with no hashing.
 
-use std::collections::HashMap;
+/// Sentinel for "no dirty owner" (processors are 0..64).
+const NO_OWNER: u8 = u8::MAX;
 
-/// Per-line directory state.
-#[derive(Clone, Copy, Debug, Default)]
-struct LineState {
-    /// Bitmap of processors holding the line.
-    sharers: u64,
-    /// Dirty owner, if the line is modified in some cache.
-    owner: Option<u8>,
-}
-
-/// The directory for the whole machine.
+/// The directory for the whole machine: one slot per line, indexed by line
+/// number. A line is *tracked* while it has any sharers or a dirty owner.
 #[derive(Debug, Default)]
 pub struct Directory {
-    lines: HashMap<u64, LineState>,
+    /// Bitmap of processors holding each line.
+    sharers: Vec<u64>,
+    /// Dirty owner of each line, or `NO_OWNER`.
+    owner: Vec<u8>,
+    /// Number of lines with any directory state.
+    tracked: usize,
 }
 
 /// What the directory did to satisfy a request; the machine turns this into
@@ -52,22 +57,40 @@ impl Directory {
         Self::default()
     }
 
+    /// Grow the table to cover `line`, amortised by doubling.
+    #[inline]
+    fn ensure(&mut self, line: u64) -> usize {
+        let idx = line as usize;
+        if idx >= self.sharers.len() {
+            let new_len = (idx + 1).next_power_of_two().max(64);
+            self.sharers.resize(new_len, 0);
+            self.owner.resize(new_len, NO_OWNER);
+        }
+        idx
+    }
+
     /// Record a read of `line` by processor `p` that missed in `p`'s cache.
     pub fn read_miss(&mut self, line: u64, p: usize) -> CoherenceOutcome {
         debug_assert!(p < 64);
-        let st = self.lines.entry(line).or_default();
+        let i = self.ensure(line);
+        let sharers = self.sharers[i];
+        let owner = self.owner[i];
+        if sharers == 0 && owner == NO_OWNER {
+            self.tracked += 1;
+        }
+        let other_owner = owner != NO_OWNER && owner as usize != p;
         let outcome = CoherenceOutcome {
-            from_dirty_cache: st.owner.is_some_and(|o| o as usize != p),
-            dirty_owner: st.owner.map(|o| o as usize),
+            from_dirty_cache: other_owner,
+            dirty_owner: (owner != NO_OWNER).then_some(owner as usize),
             invalidations: 0,
             invalidate_procs: 0,
         };
         // After a read by another processor the line is shared: the dirty
         // owner writes back and downgrades.
-        if st.owner.is_some_and(|o| o as usize != p) {
-            st.owner = None;
+        if other_owner {
+            self.owner[i] = NO_OWNER;
         }
-        st.sharers |= 1 << p;
+        self.sharers[i] = sharers | (1 << p);
         outcome
     }
 
@@ -76,59 +99,81 @@ impl Directory {
     /// Returns the sharers to invalidate.
     pub fn write(&mut self, line: u64, p: usize) -> CoherenceOutcome {
         debug_assert!(p < 64);
-        let st = self.lines.entry(line).or_default();
-        let others = st.sharers & !(1 << p);
-        let from_dirty = st.owner.is_some_and(|o| o as usize != p);
-        let dirty_owner = st.owner.map(|o| o as usize);
+        let i = self.ensure(line);
+        let sharers = self.sharers[i];
+        let owner = self.owner[i];
+        if sharers == 0 && owner == NO_OWNER {
+            self.tracked += 1;
+        }
+        let others = sharers & !(1 << p);
         let outcome = CoherenceOutcome {
-            from_dirty_cache: from_dirty,
-            dirty_owner,
+            from_dirty_cache: owner != NO_OWNER && owner as usize != p,
+            dirty_owner: (owner != NO_OWNER).then_some(owner as usize),
             invalidations: others.count_ones(),
             invalidate_procs: others,
         };
-        st.sharers = 1 << p;
-        st.owner = Some(p as u8);
+        self.sharers[i] = 1 << p;
+        self.owner[i] = p as u8;
         outcome
     }
 
     /// Was `p` already an exclusive (dirty) owner of `line`? Such a write is
     /// a pure cache hit with no coherence traffic.
+    #[inline]
     pub fn is_exclusive(&self, line: u64, p: usize) -> bool {
-        self.lines
-            .get(&line)
-            .is_some_and(|st| st.owner == Some(p as u8) && st.sharers == 1 << p)
+        let i = line as usize;
+        i < self.sharers.len() && self.owner[i] == p as u8 && self.sharers[i] == 1 << p
     }
 
     /// A cache evicted `line` from processor `p` (capacity/conflict victim):
     /// clear its sharer bit so future writes don't send it a useless
     /// invalidation.
     pub fn evict(&mut self, line: u64, p: usize) {
-        if let Some(st) = self.lines.get_mut(&line) {
-            st.sharers &= !(1 << p);
-            if st.owner == Some(p as u8) {
-                // Dirty victim: written back to memory.
-                st.owner = None;
-            }
-            if st.sharers == 0 && st.owner.is_none() {
-                self.lines.remove(&line);
-            }
+        let i = line as usize;
+        if i >= self.sharers.len() {
+            return;
+        }
+        let sharers = self.sharers[i];
+        let owner = self.owner[i];
+        if sharers == 0 && owner == NO_OWNER {
+            return;
+        }
+        let new_sharers = sharers & !(1 << p);
+        self.sharers[i] = new_sharers;
+        let new_owner = if owner == p as u8 {
+            // Dirty victim: written back to memory.
+            NO_OWNER
+        } else {
+            owner
+        };
+        self.owner[i] = new_owner;
+        if new_sharers == 0 && new_owner == NO_OWNER {
+            self.tracked -= 1;
         }
     }
 
     /// Remove all state for a line (used when a page migrates and every
     /// cached copy is discarded machine-wide).
     pub fn purge_line(&mut self, line: u64) {
-        self.lines.remove(&line);
+        let i = line as usize;
+        if i >= self.sharers.len() {
+            return;
+        }
+        if self.sharers[i] != 0 || self.owner[i] != NO_OWNER {
+            self.tracked -= 1;
+        }
+        self.sharers[i] = 0;
+        self.owner[i] = NO_OWNER;
     }
 
     /// Current sharer bitmap (tests / statistics).
     pub fn sharers(&self, line: u64) -> u64 {
-        self.lines.get(&line).map_or(0, |st| st.sharers)
+        self.sharers.get(line as usize).copied().unwrap_or(0)
     }
 
     /// Number of lines with any directory state.
     pub fn tracked_lines(&self) -> usize {
-        self.lines.len()
+        self.tracked
     }
 }
 
@@ -199,5 +244,38 @@ mod tests {
         d.write(6, 5);
         let o = d.read_miss(6, 5);
         assert!(!o.from_dirty_cache, "own cache, not a remote service");
+    }
+
+    #[test]
+    fn tracked_lines_counts_transitions_not_slots() {
+        let mut d = Directory::new();
+        // Reads by several procs of the same line: one tracked line.
+        d.read_miss(100, 0);
+        d.read_miss(100, 1);
+        assert_eq!(d.tracked_lines(), 1);
+        d.read_miss(3, 2);
+        assert_eq!(d.tracked_lines(), 2);
+        // Evicting one sharer keeps the line tracked; evicting the last
+        // drops it.
+        d.evict(100, 0);
+        assert_eq!(d.tracked_lines(), 2);
+        d.evict(100, 1);
+        assert_eq!(d.tracked_lines(), 1);
+        // Double-evict of an already-empty line must not underflow.
+        d.evict(100, 1);
+        d.purge_line(100);
+        assert_eq!(d.tracked_lines(), 1);
+        d.purge_line(3);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn evict_and_purge_of_untracked_lines_are_noops() {
+        let mut d = Directory::new();
+        d.evict(1 << 40, 0);
+        d.purge_line(1 << 40);
+        assert_eq!(d.tracked_lines(), 0);
+        assert_eq!(d.sharers(1 << 40), 0);
+        assert!(!d.is_exclusive(1 << 40, 0));
     }
 }

@@ -46,6 +46,13 @@ pub mod machine;
 pub mod monitor;
 pub mod space;
 
+// Frozen pre-optimisation reference model + property tests proving the fast
+// path simulates identically. Test-only: never compiled into the library.
+#[cfg(test)]
+mod equiv_tests;
+#[cfg(test)]
+mod oracle;
+
 pub use config::{CacheConfig, Latencies, MachineConfig};
 pub use machine::Machine;
 pub use monitor::{MissBreakdown, PerfMonitor, ProcCounters};

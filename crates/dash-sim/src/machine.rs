@@ -15,6 +15,44 @@ use crate::directory::Directory;
 use crate::monitor::{PerfMonitor, Service};
 use crate::space::AddressSpace;
 
+/// Sentinel line/page number for an empty lookaside slot.
+const NO_LINE: u64 = u64::MAX;
+
+/// Per-processor lookaside: short-circuits the common case of a reference
+/// hitting the line the processor touched last, without walking the cache
+/// sets or the directory.
+///
+/// Invariants (each makes the short-circuit *exactly* equivalent to the full
+/// walk, not an approximation — the line is MRU in its L1 set, so the walk
+/// would change no LRU, cache or directory state and charge `l1_hit`):
+///
+/// * `line != NO_LINE` implies the line is resident in this processor's L1
+///   and is the MRU way of its set. Any access to a *different* line
+///   replaces the entry, so self-evictions can never leave it stale; a
+///   coherence invalidation from another processor's write clears it; a page
+///   migration clears every processor's entry.
+/// * `write_ok` implies this processor is the exclusive dirty owner, so a
+///   repeat write is a pure hit with no ownership transaction. It is cleared
+///   (downgraded) when another processor's read is serviced by this owner's
+///   dirty cache. Under-claiming is always safe: the slow path recomputes.
+/// * `page != NO_LINE` names a page known to be claimed (not first-touch
+///   untouched). Pages only transition untouched→touched, so this is
+///   one-way-safe and skips the per-line first-touch probe.
+#[derive(Clone, Copy, Debug)]
+struct Lookaside {
+    line: u64,
+    page: u64,
+    write_ok: bool,
+}
+
+impl Lookaside {
+    const EMPTY: Lookaside = Lookaside {
+        line: NO_LINE,
+        page: NO_LINE,
+        write_ok: false,
+    };
+}
+
 /// A simulated DASH-like multiprocessor.
 #[derive(Debug)]
 pub struct Machine {
@@ -26,6 +64,14 @@ pub struct Machine {
     /// Virtual time until which each memory module (cluster memory) is
     /// occupied servicing earlier requests (contention model).
     node_busy: Vec<u64>,
+    /// Per-processor last-line/last-page lookaside (see [`Lookaside`]).
+    lookaside: Vec<Lookaside>,
+    /// `log2(line_bytes)` when the line size is a power of two (it is for
+    /// every DASH configuration), so the two address→line divisions on the
+    /// per-reference path compile to shifts. Zero-sentinel otherwise.
+    line_shift: u32,
+    /// `log2(page_bytes)` (page size is always a power of two).
+    page_shift: u32,
 }
 
 impl Machine {
@@ -43,7 +89,24 @@ impl Machine {
             dir: Directory::new(),
             mon: PerfMonitor::new(cfg.nprocs),
             node_busy: vec![0; cfg.nclusters()],
+            lookaside: vec![Lookaside::EMPTY; cfg.nprocs],
+            line_shift: if cfg.l1.line_bytes.is_power_of_two() {
+                cfg.l1.line_bytes.trailing_zeros()
+            } else {
+                0
+            },
+            page_shift: cfg.page_bytes.trailing_zeros(),
             cfg,
+        }
+    }
+
+    /// Line number of `addr` (shift when the line size is 2^k).
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        if self.line_shift != 0 {
+            addr >> self.line_shift
+        } else {
+            addr / self.cfg.l1.line_bytes
         }
     }
 
@@ -147,6 +210,14 @@ impl Machine {
             self.dir.purge_line(line);
             line += 1;
         }
+        // Cached copies are gone machine-wide, so no lookaside may keep
+        // promising an L1 hit on a moved line. Migration is rare; clearing
+        // every entry (rather than range-testing each) keeps this simple.
+        // The `page` halves stay valid: migration never un-touches a page.
+        for la in &mut self.lookaside {
+            la.line = NO_LINE;
+            la.write_ok = false;
+        }
         moved * self.cfg.page_migrate_cost
     }
 
@@ -188,8 +259,8 @@ impl Machine {
             return 0;
         }
         let line_bytes = self.cfg.l1.line_bytes;
-        let first = obj.0 / line_bytes;
-        let last = (obj.0 + len - 1) / line_bytes;
+        let first = self.line_of(obj.0);
+        let last = self.line_of(obj.0 + len - 1);
         let pi = p.index();
         let mut cycles = 0;
         for line in first..=last {
@@ -210,7 +281,21 @@ impl Machine {
             {
                 self.dir.evict(v, pi);
             }
-            self.dir.read_miss(line, pi);
+            let outcome = self.dir.read_miss(line, pi);
+            // A prefetch serviced by a dirty owner downgrades the owner to
+            // shared: its lookaside may no longer promise exclusive writes.
+            if let Some(o) = outcome.dirty_owner {
+                if o != pi && self.lookaside[o].line == line {
+                    self.lookaside[o].write_ok = false;
+                }
+            }
+            // The fill may have displaced this processor's lookaside line
+            // from L1; the freshly filled line is now the MRU way instead.
+            self.lookaside[pi] = Lookaside {
+                line,
+                page: addr >> self.page_shift,
+                write_ok: false,
+            };
             // Bandwidth: the servicing module is still occupied.
             if self.cfg.mem_occupancy > 0 {
                 let module = self.space.home(ObjRef(addr)).index();
@@ -235,27 +320,65 @@ impl Machine {
             return 0;
         }
         let line_bytes = self.cfg.l1.line_bytes;
-        let first = obj.0 / line_bytes;
-        let last = (obj.0 + len - 1) / line_bytes;
+        let first = self.line_of(obj.0);
+        let last = self.line_of(obj.0 + len - 1);
+        let pi = p.index();
+        let l1_hit = self.cfg.lat.l1_hit;
         let mut cycles = 0;
-        for line in first..=last {
+        // One walk over every line the reference spans; contiguous lines of
+        // the same object share the lookaside's page entry, so the per-line
+        // first-touch probe runs only on page crossings. Manual loop: a
+        // `..=` range keeps an exhaustion flag the optimiser can't always
+        // drop, and most references touch exactly one line.
+        let mut line = first;
+        loop {
+            let la = self.lookaside[pi];
+            if la.line == line && (!is_write || la.write_ok) {
+                // Repeat access to the processor's MRU line (for writes:
+                // already exclusive). The full walk would change no state
+                // and charge an L1 hit; skip it.
+                self.mon.proc_mut(pi).record(Service::L1);
+                cycles += l1_hit;
+                if line == last {
+                    break;
+                }
+                line += 1;
+                continue;
+            }
             // First-touch claiming: the first reference to an untouched page
             // homes it on the referencing processor's cluster.
             let addr = line * line_bytes;
-            if self.space.is_untouched(addr) {
+            let page = addr >> self.page_shift;
+            if page != la.page && self.space.is_untouched(addr) {
                 let node = self.cfg.node_of(p);
                 self.space.claim_first_touch(addr, node, p);
             }
             // Time advances within the access: line i issues after the
             // previous lines completed.
             let t = now + cycles;
+            let write_ok;
             cycles += if is_write {
+                // A write always leaves `p` as the exclusive dirty owner.
+                write_ok = true;
                 self.write_line(p, line, t)
             } else {
-                self.read_line(p, line, t)
+                let c = self.read_line(p, line, t);
+                // A read leaves the line in L1; it is only write-fast if `p`
+                // was (and stayed) the sole sharer and dirty owner.
+                write_ok = self.dir.is_exclusive(line, pi);
+                c
             };
+            self.lookaside[pi] = Lookaside {
+                line,
+                page,
+                write_ok,
+            };
+            if line == last {
+                break;
+            }
+            line += 1;
         }
-        self.mon.proc_mut(p.index()).busy_cycles += cycles;
+        self.mon.proc_mut(pi).busy_cycles += cycles;
         cycles
     }
 
@@ -276,6 +399,13 @@ impl Machine {
                     self.dir.evict(v, pi);
                 }
                 let outcome = self.dir.read_miss(line, pi);
+                // Serviced by a dirty owner: the owner downgrades to shared,
+                // so its lookaside may no longer promise exclusive writes.
+                if let Some(o) = outcome.dirty_owner {
+                    if o != pi && self.lookaside[o].line == line {
+                        self.lookaside[o].write_ok = false;
+                    }
+                }
                 self.service_miss(p, line, outcome.from_dirty_cache, outcome.dirty_owner, now)
             }
         }
@@ -292,12 +422,17 @@ impl Machine {
             self.dir.evict(v, pi);
         }
         let outcome = self.dir.write(line, pi);
-        // Invalidate the line out of every other sharer's caches.
+        // Invalidate the line out of every other sharer's caches (and out of
+        // their lookasides — the line is gone from their L1s).
         let mut bits = outcome.invalidate_procs;
         while bits != 0 {
             let q = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             self.caches[q].invalidate(line);
+            if self.lookaside[q].line == line {
+                self.lookaside[q].line = NO_LINE;
+                self.lookaside[q].write_ok = false;
+            }
             self.mon.proc_mut(q).invalidations_received += 1;
         }
         self.mon.proc_mut(pi).invalidations_sent += u64::from(outcome.invalidations);
@@ -374,6 +509,33 @@ impl Machine {
             Service::RemoteMem
         });
         cycles
+    }
+
+    // ----- test-only introspection (equivalence tests against the oracle) -----
+
+    #[cfg(test)]
+    pub(crate) fn dir_sharers(&self, line: u64) -> u64 {
+        self.dir.sharers(line)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn dir_tracked_lines(&self) -> usize {
+        self.dir.tracked_lines()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn dir_is_exclusive(&self, line: u64, p: usize) -> bool {
+        self.dir.is_exclusive(line, p)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn cache_contains(&self, p: usize, line: u64) -> bool {
+        self.caches[p].contains(line)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn cache_resident(&self, p: usize) -> usize {
+        self.caches[p].l1.resident() + self.caches[p].l2.resident()
     }
 }
 
@@ -595,5 +757,76 @@ mod tests {
         let obj = m.alloc_on_node(NodeId(0), 16);
         let c = m.read(ProcId(0), obj, 4);
         assert_eq!(m.monitor().proc(0).busy_cycles, c);
+    }
+
+    #[test]
+    fn migration_invalidates_read_lookaside() {
+        // A processor repeatedly reading one line primes its lookaside; a
+        // migration of that page must clear it so the next read is charged
+        // the post-migration (remote) miss latency, not a phantom L1 hit.
+        let mut m = machine(8);
+        let page = m.config().page_bytes;
+        let obj = m.alloc_on_node(NodeId(0), page);
+        m.read(ProcId(0), obj, 4);
+        m.read(ProcId(0), obj, 4); // lookaside now active for this line
+        m.migrate_to_node(obj, page, NodeId(1));
+        let c = m.read(ProcId(0), obj, 4);
+        assert_eq!(c, m.config().lat.remote_mem, "must re-miss remotely");
+        assert_eq!(m.monitor().proc(0).remote_misses, 1);
+    }
+
+    #[test]
+    fn migration_invalidates_write_lookaside() {
+        // Same for the exclusive-write fast flag: after migration the write
+        // must pay a full ownership miss again.
+        let mut m = machine(8);
+        let page = m.config().page_bytes;
+        let obj = m.alloc_on_node(NodeId(0), page);
+        m.write(ProcId(1), obj, 4);
+        assert_eq!(m.write(ProcId(1), obj, 4), m.config().lat.l1_hit);
+        m.migrate_to_proc(obj, page, 4); // cluster 1
+        let c = m.write(ProcId(1), obj, 4);
+        assert_eq!(c, m.config().lat.remote_mem, "ownership must be re-fetched");
+    }
+
+    #[test]
+    fn dirty_owner_downgrade_clears_write_fastpath() {
+        // Owner writes (exclusive), another processor reads the dirty line
+        // (owner downgrades to shared), then the owner writes again: that
+        // write still hits in cache but needs an ownership transaction — it
+        // must not be short-circuited as an exclusive hit.
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.write(ProcId(0), obj, 4);
+        let c_read = m.read(ProcId(1), obj, 4);
+        assert_eq!(
+            c_read,
+            m.config().lat.local_mem + m.config().lat.dirty_penalty
+        );
+        let c = m.write(ProcId(0), obj, 4);
+        assert_eq!(c, m.config().lat.local_mem, "shared hit needs ownership");
+        assert_eq!(m.monitor().proc(0).invalidations_sent, 1);
+        // Reader 1 lost its copy and must miss again.
+        assert_eq!(
+            m.read(ProcId(1), obj, 4),
+            m.config().lat.local_mem + m.config().lat.dirty_penalty
+        );
+    }
+
+    #[test]
+    fn invalidation_clears_victims_lookaside() {
+        // Processor 1 primes its lookaside on a line; processor 0 writes the
+        // line (invalidating 1's copy); processor 1's next read must miss.
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read(ProcId(1), obj, 4);
+        assert_eq!(m.read(ProcId(1), obj, 4), m.config().lat.l1_hit);
+        m.write(ProcId(0), obj, 4);
+        let c = m.read(ProcId(1), obj, 4);
+        assert_eq!(
+            c,
+            m.config().lat.local_mem + m.config().lat.dirty_penalty,
+            "invalidated line must be re-fetched from the dirty owner"
+        );
     }
 }

@@ -26,6 +26,9 @@ use cool_core::{NodeId, ObjRef, ProcId};
 #[derive(Debug)]
 pub struct AddressSpace {
     page_bytes: u64,
+    /// `log2(page_bytes)` — page size is asserted a power of two, so the
+    /// per-reference page lookup is a shift, not a division.
+    page_shift: u32,
     /// Home node of each allocated page.
     page_home: Vec<NodeId>,
     /// Owning processor of each allocated page (scheduling granularity).
@@ -57,6 +60,7 @@ impl AddressSpace {
         assert!(nnodes > 0 && procs_per_node > 0);
         AddressSpace {
             page_bytes,
+            page_shift: page_bytes.trailing_zeros(),
             page_home: Vec::new(),
             page_proc: Vec::new(),
             page_untouched: Vec::new(),
@@ -85,7 +89,7 @@ impl AddressSpace {
 
     #[inline]
     fn page_of(&self, addr: u64) -> usize {
-        (addr / self.page_bytes) as usize
+        (addr >> self.page_shift) as usize
     }
 
     /// Allocate `bytes` homed on `node` with the owning processor defaulting

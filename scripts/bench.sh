@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Perf-trajectory measurement: the criterion micro-benches plus the pinned
+# reduced-scale wall-clock sweep, emitted as schema'd JSON (`cool-bench-v1`).
+#
+#   scripts/bench.sh                # full run: benches + 3-repeat sweep -> BENCH_3.json
+#   scripts/bench.sh --out FILE     # write the trajectory point elsewhere
+#   scripts/bench.sh --smoke        # CI gate: 1-repeat sweep, schema-validated and
+#                                   # compared against the committed BENCH_3.json
+#                                   # (exact refs/cycles, wall-clock within 25%)
+#
+# The full run overwrites the baseline file: commit the result as the next
+# point of the trajectory. The smoke run never writes the baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_3.json"
+SMOKE=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --smoke) SMOKE=1 ;;
+        --out)
+            OUT="${2:?--out takes a value}"
+            shift
+            ;;
+        *)
+            echo "usage: scripts/bench.sh [--smoke] [--out FILE]" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+cargo build --release --offline -q -p bench
+
+if [[ "$SMOKE" -eq 1 ]]; then
+    # Quick single-repeat measurement checked against the committed
+    # baseline; perfbench validates both documents against the schema,
+    # demands exact simulated refs/cycles (behaviour drift) and fails on a
+    # >25% wall-clock regression.
+    tmp="$(mktemp)"
+    trap 'rm -f "$tmp"' EXIT
+    cargo run --release --offline -q -p bench --bin perfbench -- \
+        --smoke --out "$tmp" --baseline "$OUT"
+else
+    # Criterion micro-benches for the record (relative numbers; the shim
+    # prints means, not statistics), then the 3-repeat sweep as the
+    # trajectory point.
+    cargo bench --offline -p bench --bench dash_hotpath
+    cargo bench --offline -p bench --bench runtime_micro
+    cargo run --release --offline -q -p bench --bin perfbench -- --out "$OUT"
+fi
+
+echo "bench OK"

@@ -27,4 +27,14 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo run --release --offline -q -p cool-analyze -- analyze_findings.json
 run git diff --exit-code -- analyze_findings.json
 
+# Behaviour gate: the golden-run sweep must match the committed TSV
+# byte-for-byte (the workspace test run above already includes it; running
+# it by name makes a golden failure unmistakable in the log).
+run cargo test -q --offline --test golden_figures
+
+# Perf gate: single-repeat sweep validated against the committed
+# BENCH_3.json — schema check, exact simulated refs/cycles, and a hard
+# failure on a >25% wall-clock regression at the pinned scale.
+run scripts/bench.sh --smoke
+
 echo "CI OK"

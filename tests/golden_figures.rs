@@ -1,0 +1,74 @@
+//! Golden-run regression test: the gate that proves hot-path work in
+//! `dash-sim` changes zero simulated cycles.
+//!
+//! Re-runs the pinned reduced-scale sweep (all six apps, the Base and
+//! Affinity+Distr versions, 4 and 32 processors — see `bench::perf`) and
+//! asserts the full performance-monitor breakdown — reference counts, hit
+//! levels, local/remote misses, invalidations, and busy/idle/overhead
+//! virtual cycles — byte-for-byte against the committed
+//! `tests/golden_figures.tsv`.
+//!
+//! If simulated behaviour changes *intentionally* (a new scheduling policy,
+//! a latency-table change), regenerate with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --release --test golden_figures
+//! ```
+//!
+//! and review the TSV diff like any other code change. A diff you did not
+//! expect means the change was not performance-neutral.
+
+use bench::perf;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_figures.tsv")
+}
+
+#[test]
+fn pinned_sweep_matches_committed_golden_tsv() {
+    let got = perf::golden_tsv(&perf::run_sweep());
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden TSV");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing committed golden TSV at {} ({e}); \
+             regenerate with GOLDEN_REGEN=1 cargo test --test golden_figures",
+            path.display()
+        )
+    });
+    if got != want {
+        // Byte-level equality is the contract; print a row-level diff first
+        // so the failure is debuggable without external tools.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                eprintln!("line {}: got  {g}", i + 1);
+                eprintln!("line {}: want {w}", i + 1);
+            }
+        }
+        panic!(
+            "pinned sweep diverged from committed golden TSV — simulated cycles \
+             changed; if intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
+        );
+    }
+}
+
+#[test]
+fn golden_tsv_is_well_formed() {
+    let want = match std::fs::read_to_string(golden_path()) {
+        Ok(s) => s,
+        // The regen path creates it; the main test reports the miss.
+        Err(_) => return,
+    };
+    let mut lines = want.lines();
+    assert_eq!(lines.next(), Some(perf::GOLDEN_HEADER));
+    let rows: Vec<&str> = lines.collect();
+    // 6 apps x 2 versions x 2 processor counts.
+    assert_eq!(rows.len(), 24, "expected 24 sweep rows");
+    for row in rows {
+        assert_eq!(row.split('\t').count(), 14, "malformed row: {row}");
+    }
+}
