@@ -538,6 +538,7 @@ pub fn run_with_faults(
         run,
         max_error,
         events,
+        obs: rt.take_obs(),
     }
 }
 

@@ -164,6 +164,7 @@ pub fn run_with_faults(
         run,
         max_error: l.max_diff(&lref),
         events,
+        obs: rt.take_obs(),
     }
 }
 

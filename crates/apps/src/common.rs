@@ -1,5 +1,6 @@
 //! Conventions shared by the case studies.
 
+use cool_core::obs::ObsTrace;
 use cool_core::{RtEvent, StealPolicy};
 use cool_sim::{MachineConfig, RunReport, SimConfig};
 
@@ -85,6 +86,9 @@ pub struct AppReport {
     /// Analyzer event stream (empty unless the run was configured with
     /// [`SimConfig::record_events`] / `with_events()`).
     pub events: Vec<RtEvent>,
+    /// Scheduler-observability trace (empty unless the run was configured
+    /// with `SimConfig::with_trace()`).
+    pub obs: ObsTrace,
 }
 
 impl AppReport {

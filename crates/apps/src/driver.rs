@@ -1,0 +1,105 @@
+//! A name-indexed driver over the six case studies at their fast scale —
+//! shared by the analyzer (`cool-analyze`), the figure harness's
+//! `--trace-out` mode, and the CI observability gate — plus helpers that
+//! turn a run's recorded [`ObsTrace`](cool_core::obs::ObsTrace) into the
+//! export artifacts: a Perfetto-loadable Chrome trace and the schema'd
+//! `cool-metrics-v1` summary.
+//!
+//! The per-app parameters here are the analyzer scale: small enough that a
+//! full sweep is test-suite fast, large enough that stealing, mutex
+//! contention and affinity sets all occur. They are pinned — the committed
+//! `analyze_findings.json` and the trace/metrics goldens depend on them.
+
+use cool_core::FaultPlan;
+use cool_sim::SimConfig;
+
+use crate::common::AppReport;
+use crate::Version;
+
+/// The six case studies, in report (alphabetical) order.
+pub const APP_NAMES: [&str; 6] = [
+    "barnes_hut",
+    "block_cholesky",
+    "gauss",
+    "locusroute",
+    "ocean",
+    "panel_cholesky",
+];
+
+/// Run one app by name at the pinned fast scale. Panics on an unknown name
+/// (the callers present [`APP_NAMES`] to the user).
+pub fn run_app(
+    app: &str,
+    cfg: SimConfig,
+    version: Version,
+    faults: Option<FaultPlan>,
+) -> AppReport {
+    match app {
+        "barnes_hut" => {
+            let params = crate::barnes_hut::BhParams {
+                nbodies: 128,
+                groups: 16,
+                timesteps: 2,
+                theta: 0.6,
+                dt: 0.01,
+                seed: 4,
+            };
+            crate::barnes_hut::run_with_faults(cfg, &params, version, faults)
+        }
+        "block_cholesky" => {
+            let params = crate::block_cholesky::BlockParams { n: 48, block: 8 };
+            crate::block_cholesky::run_with_faults(cfg, &params, version, faults)
+        }
+        "gauss" => {
+            let params = crate::gauss::GaussParams { n: 32, seed: 7 };
+            crate::gauss::run_with_faults(cfg, &params, version, faults)
+        }
+        "locusroute" => {
+            use workloads::circuit::{Circuit, CircuitParams};
+            let params = crate::locusroute::LocusParams {
+                circuit: Circuit::generate(CircuitParams {
+                    width: 64,
+                    height: 16,
+                    regions: 4,
+                    wires_per_region: 24,
+                    crossing_fraction: 0.1,
+                    multi_pin_fraction: 0.15,
+                    seed: 11,
+                }),
+                iterations: 2,
+            };
+            crate::locusroute::run_with_faults(cfg, &params, version, faults)
+        }
+        "ocean" => {
+            let params = workloads::ocean::OceanParams {
+                n: 24,
+                num_grids: 4,
+                regions: 8,
+                sweeps: 2,
+                seed: 3,
+            };
+            crate::ocean::run_with_faults(cfg, &params, version, faults)
+        }
+        "panel_cholesky" => {
+            use crate::panel_cholesky::{PanelParams, PanelProblem};
+            let prob = PanelProblem::analyse(&PanelParams {
+                matrix: workloads::matrices::grid_laplacian(8),
+                max_panel_width: 4,
+            });
+            crate::panel_cholesky::run_with_faults(cfg, &prob, version, faults)
+        }
+        _ => panic!("unknown app {app:?} (expected one of {APP_NAMES:?})"),
+    }
+}
+
+/// Export a run's observability artifacts: `(chrome_trace, metrics_json)`.
+/// The trace loads in Perfetto / `chrome://tracing`; the metrics document is
+/// the byte-stable `cool-metrics-v1` summary, validated before it is
+/// returned so a malformed export fails at the producer, not in CI.
+pub fn trace_artifacts(report: &AppReport) -> (String, String) {
+    let trace = cool_obs::chrome_trace_json(&report.obs.events);
+    let metrics = cool_obs::MetricsSummary::from_trace(&report.obs).to_json();
+    cool_obs::validate_metrics_json(&metrics)
+        .unwrap_or_else(|e| panic!("generated metrics failed validation: {e}"));
+    (trace, metrics)
+}

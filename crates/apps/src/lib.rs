@@ -25,10 +25,14 @@
 //! computation on real data *and* mirrors its accesses into the machine, and
 //! every app verifies its numeric output against a sequential reference, so
 //! a scheduling bug cannot silently pass as a performance artefact.
+//!
+//! [`driver`] runs any app by name at a pinned fast scale and exports its
+//! observability artifacts (Chrome trace + `cool-metrics-v1` summary).
 
 pub mod barnes_hut;
 pub mod block_cholesky;
 pub mod common;
+pub mod driver;
 pub mod gauss;
 pub mod locusroute;
 pub mod ocean;

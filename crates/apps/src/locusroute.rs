@@ -145,6 +145,7 @@ pub fn run_with_faults(
         run,
         max_error,
         events,
+        obs: rt.take_obs(),
     }
 }
 

@@ -308,6 +308,7 @@ pub fn run_full_with_faults(
         run,
         max_error,
         events,
+        obs: rt.take_obs(),
     }
 }
 

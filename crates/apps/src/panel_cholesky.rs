@@ -173,6 +173,7 @@ pub fn run_with_faults(
         run,
         max_error,
         events,
+        obs: rt.take_obs(),
     }
 }
 

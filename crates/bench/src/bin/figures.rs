@@ -5,7 +5,14 @@
 //! cargo run --release -p bench --bin figures -- --ocean --panel
 //! cargo run --release -p bench --bin figures -- --summary --procs 16
 //! cargo run --release -p bench --bin figures -- --all --small   # quick pass
+//! cargo run --release -p bench --bin figures -- --trace-out gauss_obs
 //! ```
+//!
+//! `--trace-out BASE` runs one app (default `gauss`; pick another of the six
+//! with `--trace-app NAME`) at the pinned fast scale with scheduler tracing
+//! enabled and writes `BASE.trace.json` — load it in Perfetto or
+//! `chrome://tracing` — plus `BASE.metrics.json`, the byte-stable
+//! `cool-metrics-v1` summary the CI gate diffs.
 
 use bench::ablation;
 use bench::{
@@ -29,6 +36,25 @@ fn main() {
             .collect(),
         None => scale.default_procs(),
     };
+    let opt_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{flag} takes a value")).clone())
+    };
+
+    if let Some(base) = opt_value("--trace-out") {
+        let app = opt_value("--trace-app").unwrap_or_else(|| "gauss".to_string());
+        let version = apps::Version::AffinityDistr;
+        let cfg = apps::common::sim_config_small(8, version).with_trace();
+        let report = apps::driver::run_app(&app, cfg, version, None);
+        let (trace, metrics) = apps::driver::trace_artifacts(&report);
+        for (suffix, doc) in [("trace", &trace), ("metrics", &metrics)] {
+            let path = format!("{base}.{suffix}.json");
+            std::fs::write(&path, doc)
+                .unwrap_or_else(|e| panic!("figures: cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
 
     if all || has("--table1") {
         println!("# Table 1: affinity hints and runtime actions");

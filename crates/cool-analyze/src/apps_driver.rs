@@ -60,91 +60,25 @@ pub fn version_key(v: Version) -> &'static str {
 /// mutex retry paths are all active.
 const FAULTED_VERSION: Version = Version::AffinityDistr;
 
-fn gauss(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
-    let params = apps::gauss::GaussParams { n: 32, seed: 7 };
-    apps::gauss::run_with_faults(cfg(version), &params, version, faults).events
+/// The six apps, in report order (shared with the figure harness).
+pub const APPS: [&str; 6] = apps::driver::APP_NAMES;
+
+/// Run one app at the analyzer scale with event recording and return the
+/// full report (events for the analysis passes, plus whatever the config
+/// asked the scheduler to record).
+pub fn run_app(app: &str, version: Version, faulted: bool) -> apps::AppReport {
+    let faults = faulted.then(fault_plan);
+    apps::driver::run_app(app, cfg(version), version, faults)
 }
-
-fn ocean(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
-    let params = workloads::ocean::OceanParams {
-        n: 24,
-        num_grids: 4,
-        regions: 8,
-        sweeps: 2,
-        seed: 3,
-    };
-    apps::ocean::run_with_faults(cfg(version), &params, version, faults).events
-}
-
-fn locusroute(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
-    use workloads::circuit::{Circuit, CircuitParams};
-    let params = apps::locusroute::LocusParams {
-        circuit: Circuit::generate(CircuitParams {
-            width: 64,
-            height: 16,
-            regions: 4,
-            wires_per_region: 24,
-            crossing_fraction: 0.1,
-            multi_pin_fraction: 0.15,
-            seed: 11,
-        }),
-        iterations: 2,
-    };
-    apps::locusroute::run_with_faults(cfg(version), &params, version, faults).events
-}
-
-fn panel_cholesky(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
-    use apps::panel_cholesky::{PanelParams, PanelProblem};
-    let prob = PanelProblem::analyse(&PanelParams {
-        matrix: workloads::matrices::grid_laplacian(8),
-        max_panel_width: 4,
-    });
-    apps::panel_cholesky::run_with_faults(cfg(version), &prob, version, faults).events
-}
-
-fn block_cholesky(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
-    let params = apps::block_cholesky::BlockParams { n: 48, block: 8 };
-    apps::block_cholesky::run_with_faults(cfg(version), &params, version, faults).events
-}
-
-fn barnes_hut(version: Version, faults: Option<FaultPlan>) -> Vec<cool_core::RtEvent> {
-    let params = apps::barnes_hut::BhParams {
-        nbodies: 128,
-        groups: 16,
-        timesteps: 2,
-        theta: 0.6,
-        dt: 0.01,
-        seed: 4,
-    };
-    apps::barnes_hut::run_with_faults(cfg(version), &params, version, faults).events
-}
-
-type AppRunner = fn(Version, Option<FaultPlan>) -> Vec<cool_core::RtEvent>;
-
-/// The six apps, in report order.
-pub const APPS: [(&str, AppRunner); 6] = [
-    ("barnes_hut", barnes_hut),
-    ("block_cholesky", block_cholesky),
-    ("gauss", gauss),
-    ("locusroute", locusroute),
-    ("ocean", ocean),
-    ("panel_cholesky", panel_cholesky),
-];
 
 /// Analyze one app under one version and schedule.
 pub fn analyze_app(app: &str, version: Version, faulted: bool) -> RunFindings {
-    let runner = APPS
-        .iter()
-        .find(|(name, _)| *name == app)
-        .unwrap_or_else(|| panic!("unknown app {app:?}"))
-        .1;
-    let faults = faulted.then(fault_plan);
-    let events = runner(version, faults);
+    let report = run_app(app, version, faulted);
     RunFindings {
         app: app.to_string(),
         version: version_key(version).to_string(),
         schedule: if faulted { "faulted" } else { "default" }.to_string(),
-        analysis: analyze_events(&events),
+        analysis: analyze_events(&report.events),
     }
 }
 
@@ -153,7 +87,7 @@ pub fn analyze_app(app: &str, version: Version, faulted: bool) -> RunFindings {
 /// alphabetical, versions in `Version::ALL` order, faulted last).
 pub fn analyze_all() -> Vec<RunFindings> {
     let mut out = Vec::new();
-    for (app, _) in APPS {
+    for app in APPS {
         for v in Version::ALL {
             out.push(analyze_app(app, v, false));
         }

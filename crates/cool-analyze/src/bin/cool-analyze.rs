@@ -1,19 +1,42 @@
 //! Analyze-mode driver: run every app with event recording, analyze the
 //! streams, and write `analyze_findings.json`.
 //!
-//! Usage: `cool-analyze [OUTPUT_PATH]` (default `analyze_findings.json`).
-//! Exit status 1 if any race or lock-order cycle was found, so CI can gate
-//! on it; lint findings are reported but only fail CI via the committed
-//! findings file diff.
+//! Usage: `cool-analyze [OUTPUT_PATH] [--trace-out BASE [--trace-app APP]]`
+//! (default output `analyze_findings.json`). Exit status 1 if any race or
+//! lock-order cycle was found, so CI can gate on it; lint findings are
+//! reported but only fail CI via the committed findings file diff.
+//!
+//! `--trace-out BASE` additionally re-runs one app (default `gauss`, pick
+//! with `--trace-app`) with scheduler tracing enabled and writes
+//! `BASE.trace.json` (Perfetto/Chrome trace) and `BASE.metrics.json`
+//! (`cool-metrics-v1` summary).
 
 use std::process::ExitCode;
 
 use cool_analyze::{analyze_all, findings_to_json};
 
 fn main() -> ExitCode {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "analyze_findings.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "analyze_findings.json".to_string();
+    let mut trace_out = None;
+    let mut trace_app = "gauss".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.get(i + 1).expect("--trace-out takes a value").clone());
+                i += 2;
+            }
+            "--trace-app" => {
+                trace_app = args.get(i + 1).expect("--trace-app takes a value").clone();
+                i += 2;
+            }
+            a => {
+                out_path = a.to_string();
+                i += 1;
+            }
+        }
+    }
 
     let findings = analyze_all();
     let mut errors = 0usize;
@@ -49,6 +72,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path} ({} runs)", findings.len());
+
+    if let Some(base) = trace_out {
+        let version = apps::Version::AffinityDistr;
+        let cfg = apps::common::sim_config_small(8, version).with_trace();
+        let report = apps::driver::run_app(&trace_app, cfg, version, None);
+        let (trace, metrics) = apps::driver::trace_artifacts(&report);
+        for (suffix, doc) in [("trace", &trace), ("metrics", &metrics)] {
+            let path = format!("{base}.{suffix}.json");
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("cool-analyze: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+    }
 
     if errors > 0 {
         eprintln!("cool-analyze: {errors} correctness finding(s)");

@@ -37,7 +37,7 @@ pub mod locks;
 pub mod report;
 pub mod vc;
 
-pub use apps_driver::{analyze_all, analyze_app, analyze_events};
+pub use apps_driver::{analyze_all, analyze_app, analyze_events, run_app, APPS};
 pub use hb::{detect_races, Race, RaceReport};
 pub use lints::{run_lints, Lint, LintKind};
 pub use locks::{analyze_locks, LockCycle, LockReport};

@@ -25,6 +25,9 @@
 //! * [`events`] — the [`RtEvent`] stream an instrumented runtime emits
 //!   (spawn/phase/mutex/sync edges plus mirrored accesses), consumed by the
 //!   `cool-analyze` happens-before race detector and lint passes.
+//! * [`obs`] — the scheduler observability vocabulary ([`ObsEvent`]) and a
+//!   bounded per-worker ring-buffer recorder ([`ObsRecorder`]), zero-cost
+//!   when disabled; exported to Chrome-trace/metrics form by `cool-obs`.
 //! * [`faults`] — seeded, deterministic [`FaultPlan`] descriptions of
 //!   injected perturbations (stragglers, stalls, transient task failures)
 //!   consumed by both runtimes' chaos hooks.
@@ -38,6 +41,7 @@ pub mod error;
 pub mod events;
 pub mod faults;
 pub mod ids;
+pub mod obs;
 pub mod policy;
 pub mod queues;
 pub mod stats;
@@ -47,6 +51,7 @@ pub use error::TaskError;
 pub use events::{AccessKind, RtEvent, TaskUid};
 pub use faults::FaultPlan;
 pub use ids::{ClusterId, NodeId, ObjRef, ProcId};
+pub use obs::{MemDelta, ObsEvent, ObsRecorder, ObsTrace};
 pub use policy::{StealPolicy, Topology};
-pub use queues::{ServerQueues, SlotClass, StolenBatch};
+pub use queues::{Popped, ServerQueues, SlotClass, SlotUpdate, StolenBatch};
 pub use stats::SchedStats;

@@ -1,0 +1,342 @@
+//! Scheduler observability: the shared trace-event vocabulary and a
+//! per-worker ring-buffer recorder.
+//!
+//! Both backends emit the same [`ObsEvent`] stream when tracing is enabled:
+//! the deterministic simulator stamps events with virtual cycles, the
+//! threaded runtime with nanoseconds since the run's epoch. The recorder is
+//! *zero-cost when disabled* — the runtimes hold an `Option<ObsRecorder>`
+//! and guard every emission on it, the same gating discipline as the
+//! analyzer's [`RtEvent`](crate::events::RtEvent) recording — and
+//! "lock-free-ish" when enabled: each worker appends only to its own
+//! bounded ring behind a mutex nobody else takes on the hot path, with one
+//! shared atomic sequence counter providing a global merge order. The rings
+//! are bounded; when a worker overflows its ring the oldest events are
+//! dropped and counted, never blocking the scheduler.
+//!
+//! Per-task memory attribution ([`MemDelta`]) is measured at task
+//! boundaries: the runtime snapshots its processor's PerfMonitor reference
+//! counters at `TaskBegin` and records the difference at `TaskEnd`. The
+//! monitor only moves those counters inside `Machine::reference`, which only
+//! runs inside task bodies, so summing `MemDelta`s over any partition of the
+//! tasks (e.g. per task-affinity set) reproduces the end-of-run aggregates
+//! exactly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::events::TaskUid;
+use crate::ids::{ObjRef, ProcId};
+
+/// Cache/local/remote reference breakdown accumulated between two points in
+/// time on one processor — the unit of per-task locality attribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Shared-data references issued.
+    pub refs: u64,
+    /// References serviced by the processor cache.
+    pub l1_hits: u64,
+    /// References serviced by the second-level / lookaside path.
+    pub l2_hits: u64,
+    /// Misses serviced from the local memory node.
+    pub local_misses: u64,
+    /// Misses serviced from a remote node (or remote dirty cache).
+    pub remote_misses: u64,
+}
+
+impl MemDelta {
+    /// Component-wise sum (used when aggregating tasks into sets).
+    pub fn accumulate(&mut self, other: &MemDelta) {
+        self.refs += other.refs;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.local_misses += other.local_misses;
+        self.remote_misses += other.remote_misses;
+    }
+
+    /// True when no reference was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.refs == 0
+            && self.l1_hits == 0
+            && self.l2_hits == 0
+            && self.local_misses == 0
+            && self.remote_misses == 0
+    }
+}
+
+/// One scheduler-observability event. `time` is backend-defined (virtual
+/// cycles in `cool-sim`, nanoseconds since the run epoch in `cool-rt`); the
+/// recorder's sequence numbers provide the global order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObsEvent {
+    /// A task body is about to run.
+    TaskBegin {
+        task: TaskUid,
+        label: Option<&'static str>,
+        proc: ProcId,
+        /// Task-affinity set (queue token) the task was queued under.
+        set: Option<ObjRef>,
+        /// Whether the task carried any affinity hint.
+        hinted: bool,
+        /// Whether it runs on the server its hint resolved to.
+        on_target: bool,
+        time: u64,
+    },
+    /// The task body finished. `mem` is the PerfMonitor delta across the
+    /// body (absent on backends without a memory model, i.e. `cool-rt`).
+    TaskEnd {
+        task: TaskUid,
+        proc: ProcId,
+        mem: Option<MemDelta>,
+        time: u64,
+    },
+    /// A steal succeeded: `ntasks` tasks moved from `victim` to `thief`.
+    /// `token` is the stolen set's affinity token (`None` for single-task
+    /// steals).
+    StealSuccess {
+        thief: ProcId,
+        victim: ProcId,
+        token: Option<ObjRef>,
+        ntasks: usize,
+        time: u64,
+    },
+    /// A steal scan found nothing after probing `probes` victims.
+    StealFail {
+        thief: ProcId,
+        probes: usize,
+        time: u64,
+    },
+    /// An empty affinity slot became linked (a new task-affinity set started
+    /// queueing) on `proc`.
+    SlotLink {
+        proc: ProcId,
+        slot: usize,
+        token: ObjRef,
+        time: u64,
+    },
+    /// Local service drained an affinity slot (the set ran to completion
+    /// back to back).
+    SlotDrain { proc: ProcId, slot: usize, time: u64 },
+    /// A task found its declared mutex held and was set aside.
+    MutexWait {
+        task: TaskUid,
+        lock: ObjRef,
+        proc: ProcId,
+        time: u64,
+    },
+    /// `migrate()` moved `bytes` at `obj` to `to`'s local memory.
+    Migrate {
+        task: TaskUid,
+        obj: ObjRef,
+        bytes: u64,
+        to: ProcId,
+        time: u64,
+    },
+    /// Queue-depth sample on `proc`, taken at dispatch points.
+    QueueDepth { proc: ProcId, depth: usize, time: u64 },
+}
+
+impl ObsEvent {
+    /// The event's backend timestamp.
+    pub fn time(&self) -> u64 {
+        match self {
+            ObsEvent::TaskBegin { time, .. }
+            | ObsEvent::TaskEnd { time, .. }
+            | ObsEvent::StealSuccess { time, .. }
+            | ObsEvent::StealFail { time, .. }
+            | ObsEvent::SlotLink { time, .. }
+            | ObsEvent::SlotDrain { time, .. }
+            | ObsEvent::MutexWait { time, .. }
+            | ObsEvent::Migrate { time, .. }
+            | ObsEvent::QueueDepth { time, .. } => *time,
+        }
+    }
+
+    /// The processor the event is attributed to (thief for steals).
+    pub fn proc(&self) -> ProcId {
+        match self {
+            ObsEvent::TaskBegin { proc, .. }
+            | ObsEvent::TaskEnd { proc, .. }
+            | ObsEvent::SlotLink { proc, .. }
+            | ObsEvent::SlotDrain { proc, .. }
+            | ObsEvent::MutexWait { proc, .. }
+            | ObsEvent::QueueDepth { proc, .. } => *proc,
+            ObsEvent::StealSuccess { thief, .. } | ObsEvent::StealFail { thief, .. } => *thief,
+            ObsEvent::Migrate { to, .. } => *to,
+        }
+    }
+}
+
+/// A recorded event with its global sequence number.
+#[derive(Clone, Debug)]
+struct Stamped {
+    seq: u64,
+    event: ObsEvent,
+}
+
+/// One worker's bounded ring. Overflow drops the *oldest* events (the tail
+/// of a trace is usually the interesting part) and counts them.
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<Stamped>,
+    dropped: u64,
+}
+
+/// The merged result of a recording session.
+#[derive(Clone, Debug, Default)]
+pub struct ObsTrace {
+    /// Events in global emission order.
+    pub events: Vec<ObsEvent>,
+    /// Events discarded because a worker overflowed its ring.
+    pub dropped: u64,
+}
+
+/// Per-worker ring-buffer recorder shared by all workers of a runtime.
+///
+/// `record` takes `&self` so the threaded runtime can share it without
+/// wrapping; worker `w` must only ever record under its own index (that is
+/// what keeps the per-ring mutexes uncontended).
+#[derive(Debug)]
+pub struct ObsRecorder {
+    rings: Vec<Mutex<Ring>>,
+    seq: AtomicU64,
+    capacity: usize,
+}
+
+/// Default per-worker ring capacity: large enough for every app in the
+/// pinned sweeps to trace without drops, small enough to bound memory.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+impl ObsRecorder {
+    /// A recorder with one ring of `capacity` events per worker.
+    pub fn new(nworkers: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        ObsRecorder {
+            rings: (0..nworkers)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        buf: VecDeque::new(),
+                        dropped: 0,
+                    })
+                })
+                .collect(),
+            seq: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// A recorder with the default per-worker capacity.
+    pub fn with_default_capacity(nworkers: usize) -> Self {
+        ObsRecorder::new(nworkers, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Number of worker rings.
+    pub fn workers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Record `event` on worker `worker`'s ring.
+    pub fn record(&self, worker: usize, event: ObsEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.rings[worker]
+            .lock()
+            .expect("obs ring poisoned (worker panicked mid-record)");
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(Stamped { seq, event });
+    }
+
+    /// Merge all rings into one stream ordered by emission sequence,
+    /// consuming the recorded events (rings are left empty).
+    pub fn drain(&self) -> ObsTrace {
+        let mut all: Vec<Stamped> = Vec::new();
+        let mut dropped = 0;
+        for ring in &self.rings {
+            let mut ring = ring.lock().expect("obs ring poisoned");
+            dropped += ring.dropped;
+            ring.dropped = 0;
+            all.extend(ring.buf.drain(..));
+        }
+        all.sort_by_key(|s| s.seq);
+        ObsTrace {
+            events: all.into_iter().map(|s| s.event).collect(),
+            dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(p: usize, t: u64) -> ObsEvent {
+        ObsEvent::QueueDepth {
+            proc: ProcId(p),
+            depth: 1,
+            time: t,
+        }
+    }
+
+    #[test]
+    fn drain_merges_rings_in_emission_order() {
+        let rec = ObsRecorder::new(2, 16);
+        rec.record(0, ev(0, 10));
+        rec.record(1, ev(1, 20));
+        rec.record(0, ev(0, 30));
+        let trace = rec.drain();
+        assert_eq!(trace.dropped, 0);
+        let times: Vec<u64> = trace.events.iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert!(rec.drain().events.is_empty(), "drain consumes");
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let rec = ObsRecorder::new(1, 4);
+        for t in 0..10 {
+            rec.record(0, ev(0, t));
+        }
+        let trace = rec.drain();
+        assert_eq!(trace.dropped, 6);
+        let times: Vec<u64> = trace.events.iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![6, 7, 8, 9], "tail of the stream survives");
+    }
+
+    #[test]
+    fn mem_delta_accumulates() {
+        let mut a = MemDelta {
+            refs: 1,
+            l1_hits: 1,
+            l2_hits: 0,
+            local_misses: 0,
+            remote_misses: 0,
+        };
+        assert!(!a.is_zero());
+        assert!(MemDelta::default().is_zero());
+        a.accumulate(&MemDelta {
+            refs: 2,
+            l1_hits: 0,
+            l2_hits: 1,
+            local_misses: 1,
+            remote_misses: 0,
+        });
+        assert_eq!(a.refs, 3);
+        assert_eq!(a.l2_hits, 1);
+        assert_eq!(a.local_misses, 1);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = ObsEvent::StealSuccess {
+            thief: ProcId(2),
+            victim: ProcId(5),
+            token: Some(ObjRef(9)),
+            ntasks: 3,
+            time: 77,
+        };
+        assert_eq!(e.time(), 77);
+        assert_eq!(e.proc(), ProcId(2));
+    }
+}

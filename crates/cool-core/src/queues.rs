@@ -11,6 +11,13 @@
 //!    enqueue and dequeue are O(1) regardless of array size.
 //! 2. A **default queue** (plain FIFO) for tasks with no affinity token.
 //!
+//! Distinct task-affinity sets can hash to the same slot. Every entry
+//! therefore carries the token it was queued under, so collided sets keep
+//! their identity: steals extract exactly one set (labelled with *its*
+//! token), steal-avoidance is decided per set rather than per slot, and a
+//! stolen set re-inserted by a thief lands contiguously at the front of
+//! service order even when it collides with the thief's own work.
+//!
 //! The structure is generic over the task payload `T` so the simulated and
 //! the threaded runtime can queue their own task representations.
 
@@ -23,17 +30,21 @@ use crate::ids::ObjRef;
 /// it currently holds.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SlotClass {
-    /// Every queued task is safe to move (task-affinity or weaker).
+    /// At least one queued task-affinity set is safe to move whole
+    /// (task-affinity or weaker).
     Stealable,
-    /// At least one task was collocated with an object (OBJECT affinity or
-    /// the default rule); moving it would turn local references into remote
-    /// ones, so thieves avoid the slot unless desperate.
+    /// Every set in the slot contains a task collocated with an object
+    /// (OBJECT affinity or the default rule); moving one would turn local
+    /// references into remote ones, so thieves avoid the slot unless
+    /// desperate.
     PrefersHome,
 }
 
-/// A task queued with its steal classification.
+/// A task queued with its steal classification and the affinity token it was
+/// queued under (`None` only on the default queue).
 #[derive(Debug)]
 struct Entry<T> {
+    token: Option<ObjRef>,
     kind: AffinityKind,
     payload: T,
 }
@@ -56,11 +67,35 @@ const NIL: usize = usize::MAX;
 /// batch so the thief still executes them back to back (Section 4.2).
 #[derive(Debug)]
 pub struct StolenBatch<T> {
-    /// The affinity token of the stolen set, if it came from an affinity
-    /// slot (`None` when stolen from the default queue).
+    /// The affinity token of the stolen set, if a whole set was taken from
+    /// an affinity slot (`None` when a single task was stolen, from the
+    /// default queue or as a last resort).
     pub token: Option<ObjRef>,
     /// The stolen tasks, in their original FIFO order.
     pub tasks: Vec<T>,
+}
+
+/// What an enqueue did to the slot structure; consumed by the observability
+/// layer to emit slot link events without coupling the queue to a recorder.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotUpdate {
+    /// The affinity slot touched, or `None` for the default queue.
+    pub slot: Option<usize>,
+    /// True when the enqueue took the slot from empty to linked.
+    pub newly_linked: bool,
+}
+
+/// A dequeued task plus the queue bookkeeping the observability layer wants.
+#[derive(Debug)]
+pub struct Popped<T> {
+    pub kind: AffinityKind,
+    pub payload: T,
+    /// Token the task was queued under (`None` for the default queue).
+    pub token: Option<ObjRef>,
+    /// Affinity slot it came from, or `None` for the default queue.
+    pub slot: Option<usize>,
+    /// True when this pop emptied (and unlinked) the affinity slot.
+    pub drained: bool,
 }
 
 /// The dual task-queue structure owned by one server.
@@ -71,10 +106,6 @@ pub struct ServerQueues<T> {
     /// oldest non-empty slot first).
     head: usize,
     tail: usize,
-    /// Token currently stored in each linked slot (for reporting stolen
-    /// batches). Collisions share a slot; the token recorded is the first
-    /// that linked the slot.
-    slot_token: Vec<Option<ObjRef>>,
     default_queue: VecDeque<Entry<T>>,
     len: usize,
 }
@@ -98,7 +129,6 @@ impl<T> ServerQueues<T> {
             slots,
             head: NIL,
             tail: NIL,
-            slot_token: vec![None; array_size],
             default_queue: VecDeque::new(),
             len: 0,
         }
@@ -127,42 +157,82 @@ impl<T> ServerQueues<T> {
     }
 
     /// Enqueue a task carrying an affinity token into its slot.
-    pub fn push_affinity(&mut self, token: ObjRef, kind: AffinityKind, payload: T) {
+    pub fn push_affinity(&mut self, token: ObjRef, kind: AffinityKind, payload: T) -> SlotUpdate {
         let idx = self.slot_of(token);
-        self.slots[idx].queue.push_back(Entry { kind, payload });
-        if !self.slots[idx].linked {
+        self.slots[idx].queue.push_back(Entry {
+            token: Some(token),
+            kind,
+            payload,
+        });
+        let newly_linked = !self.slots[idx].linked;
+        if newly_linked {
             self.link_tail(idx);
-            self.slot_token[idx] = Some(token);
         }
         self.len += 1;
+        SlotUpdate {
+            slot: Some(idx),
+            newly_linked,
+        }
     }
 
     /// Enqueue a task with no affinity token on the default queue.
     pub fn push_default(&mut self, kind: AffinityKind, payload: T) {
-        self.default_queue.push_back(Entry { kind, payload });
+        self.default_queue.push_back(Entry {
+            token: None,
+            kind,
+            payload,
+        });
         self.len += 1;
     }
 
     /// Re-insert a stolen batch at the *front* of service order so the thief
     /// runs it next, back to back.
-    pub fn push_stolen(&mut self, batch: StolenBatch<T>, kind: AffinityKind) {
+    ///
+    /// The batch is spliced in ahead of any tasks already queued in the
+    /// colliding slot (keeping the stolen set contiguous) and the slot is
+    /// promoted to the head of the service list even when it was already
+    /// linked — otherwise a hash collision on the thief would silently bury
+    /// the stolen set behind resident work.
+    pub fn push_stolen(&mut self, batch: StolenBatch<T>, kind: AffinityKind) -> SlotUpdate {
         match batch.token {
             Some(token) => {
                 let idx = self.slot_of(token);
-                let was_linked = self.slots[idx].linked;
-                for payload in batch.tasks {
-                    self.slots[idx].queue.push_back(Entry { kind, payload });
+                let newly_linked = !self.slots[idx].linked;
+                for payload in batch.tasks.into_iter().rev() {
+                    self.slots[idx].queue.push_front(Entry {
+                        token: Some(token),
+                        kind,
+                        payload,
+                    });
                     self.len += 1;
                 }
-                if !was_linked && !self.slots[idx].queue.is_empty() {
-                    self.link_head(idx);
-                    self.slot_token[idx] = Some(token);
+                if self.slots[idx].queue.is_empty() {
+                    return SlotUpdate {
+                        slot: Some(idx),
+                        newly_linked: false,
+                    };
+                }
+                if !newly_linked {
+                    self.unlink(idx);
+                }
+                self.link_head(idx);
+                SlotUpdate {
+                    slot: Some(idx),
+                    newly_linked,
                 }
             }
             None => {
                 for payload in batch.tasks.into_iter().rev() {
-                    self.default_queue.push_front(Entry { kind, payload });
+                    self.default_queue.push_front(Entry {
+                        token: None,
+                        kind,
+                        payload,
+                    });
                     self.len += 1;
+                }
+                SlotUpdate {
+                    slot: None,
+                    newly_linked: false,
                 }
             }
         }
@@ -174,50 +244,95 @@ impl<T> ServerQueues<T> {
     /// slot is drained completely before moving on — this is what realises
     /// back-to-back execution of a task-affinity set.
     pub fn pop_local(&mut self) -> Option<(AffinityKind, T)> {
+        self.pop_local_info().map(|p| (p.kind, p.payload))
+    }
+
+    /// As [`ServerQueues::pop_local`], also reporting the token, slot, and
+    /// whether the pop drained the slot (for the observability layer).
+    pub fn pop_local_info(&mut self) -> Option<Popped<T>> {
         if self.head != NIL {
             let idx = self.head;
             let entry = self.slots[idx]
                 .queue
                 .pop_front()
                 .expect("linked slot must be non-empty");
-            if self.slots[idx].queue.is_empty() {
+            let drained = self.slots[idx].queue.is_empty();
+            if drained {
                 self.unlink(idx);
-                self.slot_token[idx] = None;
             }
             self.len -= 1;
-            return Some((entry.kind, entry.payload));
+            return Some(Popped {
+                kind: entry.kind,
+                payload: entry.payload,
+                token: entry.token,
+                slot: Some(idx),
+                drained,
+            });
         }
         if let Some(entry) = self.default_queue.pop_front() {
             self.len -= 1;
-            return Some((entry.kind, entry.payload));
+            return Some(Popped {
+                kind: entry.kind,
+                payload: entry.payload,
+                token: entry.token,
+                slot: None,
+                drained: false,
+            });
         }
         None
     }
 
     /// Classify the slot at the *tail* of the non-empty list (the one a
-    /// thief would take), without removing anything. Returns `None` when no
-    /// affinity slot is linked.
+    /// thief would probe first), without removing anything. Returns `None`
+    /// when no affinity slot is linked.
+    ///
+    /// Classification is per task-affinity *set*: a slot is `Stealable` when
+    /// it holds at least one set a thief may move whole. One collided
+    /// object-affinity task no longer pins otherwise-stealable sets sharing
+    /// its slot.
     pub fn tail_slot_class(&self) -> Option<SlotClass> {
         if self.tail == NIL {
             return None;
         }
-        let slot = &self.slots[self.tail];
-        let prefers_home = slot
-            .queue
-            .iter()
-            .any(|e| matches!(e.kind, AffinityKind::Object));
-        Some(if prefers_home {
-            SlotClass::PrefersHome
-        } else {
+        Some(if self.stealable_set_in(self.tail).is_some() {
             SlotClass::Stealable
+        } else {
+            SlotClass::PrefersHome
         })
+    }
+
+    /// Find the tail-most task-affinity set in slot `idx` whose every task
+    /// is safe to move, scanning candidate sets from the back of the queue
+    /// (the work the victim will reach last). Returns its token.
+    fn stealable_set_in(&self, idx: usize) -> Option<ObjRef> {
+        let queue = &self.slots[idx].queue;
+        let mut rejected: Vec<ObjRef> = Vec::new();
+        for entry in queue.iter().rev() {
+            let tok = entry.token?;
+            if rejected.contains(&tok) {
+                continue;
+            }
+            let prefers_home = queue
+                .iter()
+                .filter(|e| e.token == Some(tok))
+                .any(|e| matches!(e.kind, AffinityKind::Object));
+            if prefers_home {
+                rejected.push(tok);
+            } else {
+                return Some(tok);
+            }
+        }
+        None
     }
 
     /// Attempt to steal work for an idle server.
     ///
     /// * Task-affinity sets are stolen whole, from the tail of the non-empty
     ///   list (the set the victim will reach last, minimising disruption).
-    /// * Slots holding object-affinity tasks are skipped when
+    ///   When collided sets share a slot, exactly one set is extracted and
+    ///   the batch carries *that* set's token, so the thief re-homes it to
+    ///   the right slot and reports it under the right label.
+    /// * Sets holding object-affinity tasks are skipped when
     ///   `avoid_object_affinity` is set, falling back to the default queue;
     ///   passing `false` implements the last-resort steal that keeps the
     ///   system making progress — but even then only a *single* task is
@@ -240,12 +355,52 @@ impl<T> ServerQueues<T> {
         // Walk affinity slots from the tail, looking for a stealable set.
         let mut idx = self.tail;
         while idx != NIL {
-            let prefers_home = self.slots[idx]
-                .queue
-                .iter()
-                .any(|e| matches!(e.kind, AffinityKind::Object));
-            if prefers_home && !avoid_object_affinity {
-                // Last-resort: one task from the tail of the set.
+            if let Some(tok) = self.stealable_set_in(idx) {
+                if !whole_sets {
+                    // Single task from the tail of the chosen set. No token:
+                    // a lone task does not re-form a set at the thief.
+                    let pos = self.slots[idx]
+                        .queue
+                        .iter()
+                        .rposition(|e| e.token == Some(tok))
+                        .expect("stealable set must have entries");
+                    let entry = self.slots[idx]
+                        .queue
+                        .remove(pos)
+                        .expect("position just found");
+                    self.len -= 1;
+                    if self.slots[idx].queue.is_empty() {
+                        self.unlink(idx);
+                    }
+                    return Some(StolenBatch {
+                        token: None,
+                        tasks: vec![entry.payload],
+                    });
+                }
+                // Extract the whole set — and only that set — preserving the
+                // FIFO order of both the stolen tasks and the survivors.
+                let drained = std::mem::take(&mut self.slots[idx].queue);
+                let mut kept = VecDeque::with_capacity(drained.len());
+                let mut stolen = Vec::new();
+                for entry in drained {
+                    if entry.token == Some(tok) {
+                        stolen.push(entry.payload);
+                    } else {
+                        kept.push_back(entry);
+                    }
+                }
+                self.slots[idx].queue = kept;
+                self.len -= stolen.len();
+                if self.slots[idx].queue.is_empty() {
+                    self.unlink(idx);
+                }
+                return Some(StolenBatch {
+                    token: Some(tok),
+                    tasks: stolen,
+                });
+            }
+            if !avoid_object_affinity {
+                // Last-resort: one task from the tail of the slot.
                 let entry = self.slots[idx]
                     .queue
                     .pop_back()
@@ -253,43 +408,10 @@ impl<T> ServerQueues<T> {
                 self.len -= 1;
                 if self.slots[idx].queue.is_empty() {
                     self.unlink(idx);
-                    self.slot_token[idx] = None;
                 }
                 return Some(StolenBatch {
                     token: None,
                     tasks: vec![entry.payload],
-                });
-            }
-            if !prefers_home {
-                if !whole_sets {
-                    let entry = self.slots[idx]
-                        .queue
-                        .pop_back()
-                        .expect("linked slot must be non-empty");
-                    self.len -= 1;
-                    if self.slots[idx].queue.is_empty() {
-                        self.unlink(idx);
-                        self.slot_token[idx] = None;
-                    }
-                    // No token: a single task does not re-form a set at the
-                    // thief.
-                    return Some(StolenBatch {
-                        token: None,
-                        tasks: vec![entry.payload],
-                    });
-                }
-                let token = self.slot_token[idx];
-                let drained: Vec<T> = self.slots[idx]
-                    .queue
-                    .drain(..)
-                    .map(|e| e.payload)
-                    .collect();
-                self.len -= drained.len();
-                self.unlink(idx);
-                self.slot_token[idx] = None;
-                return Some(StolenBatch {
-                    token,
-                    tasks: drained,
                 });
             }
             idx = self.slots[idx].prev;
@@ -319,7 +441,8 @@ impl<T> ServerQueues<T> {
     }
 
     /// Internal consistency check used by tests: the linked list threads
-    /// exactly the non-empty slots, in both directions, and `len` matches.
+    /// exactly the non-empty slots, in both directions, `len` matches, and
+    /// every queued entry sits in the slot its token hashes to.
     #[doc(hidden)]
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut forward = Vec::new();
@@ -350,6 +473,19 @@ impl<T> ServerQueues<T> {
             if !slot.linked && !slot.queue.is_empty() {
                 return Err(format!("slot {i} non-empty but unlinked"));
             }
+            for entry in &slot.queue {
+                match entry.token {
+                    Some(tok) if self.slot_of(tok) == i => {}
+                    Some(tok) => {
+                        return Err(format!("slot {i} holds entry for token {tok:?} \
+                                            which hashes elsewhere"))
+                    }
+                    None => return Err(format!("slot {i} holds a token-less entry")),
+                }
+            }
+        }
+        if self.default_queue.iter().any(|e| e.token.is_some()) {
+            return Err("default queue holds a tokened entry".into());
         }
         let total: usize = self.slots.iter().map(|s| s.queue.len()).sum::<usize>()
             + self.default_queue.len();
@@ -357,6 +493,20 @@ impl<T> ServerQueues<T> {
             return Err(format!("len {} != actual {}", self.len, total));
         }
         Ok(())
+    }
+
+    /// Tokens of the queued tasks in service order (affinity slots
+    /// head-to-tail front-to-back, then the default queue). Test helper.
+    #[doc(hidden)]
+    pub fn token_order(&self) -> Vec<Option<ObjRef>> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut idx = self.head;
+        while idx != NIL {
+            out.extend(self.slots[idx].queue.iter().map(|e| e.token));
+            idx = self.slots[idx].next;
+        }
+        out.extend(self.default_queue.iter().map(|e| e.token));
+        out
     }
 
     fn link_tail(&mut self, idx: usize) {
@@ -537,16 +687,108 @@ mod tests {
     }
 
     #[test]
-    fn colliding_tokens_share_a_slot_without_breaking_invariants() {
-        // Array of size 1 forces every token into the same slot.
+    fn push_stolen_collision_runs_next_and_stays_contiguous() {
+        // Array of size 1: the stolen set collides with the thief's own
+        // resident set. The stolen set must still run next, back to back.
+        let mut thief: ServerQueues<u32> = ServerQueues::new(1);
+        let mine = ObjRef(20);
+        let stolen_tok = ObjRef(21);
+        thief.push_affinity(mine, AffinityKind::Task, 1);
+        thief.push_affinity(mine, AffinityKind::Task, 2);
+        thief.push_stolen(
+            StolenBatch {
+                token: Some(stolen_tok),
+                tasks: vec![8, 9],
+            },
+            AffinityKind::Task,
+        );
+        thief.check_invariants().unwrap();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| thief.pop_local().map(|(_, t)| t)).collect();
+        assert_eq!(order, vec![8, 9, 1, 2], "stolen set first, contiguous");
+    }
+
+    #[test]
+    fn push_stolen_collision_promotes_slot_to_head() {
+        // Two slots: the thief's resident set A is head, set B occupies the
+        // other slot, and the stolen set collides with B (tail). After the
+        // push the stolen batch — not A — must be serviced next.
+        let mut thief: ServerQueues<u32> = ServerQueues::new(64);
+        let (a, b) = (ObjRef(10), ObjRef(11));
+        assert_ne!(thief.slot_of(a), thief.slot_of(b));
+        // Find a token colliding with b's slot.
+        let colliding = (100..)
+            .map(ObjRef)
+            .find(|t| thief.slot_of(*t) == thief.slot_of(b) && *t != b)
+            .unwrap();
+        thief.push_affinity(a, AffinityKind::Task, 1);
+        thief.push_affinity(b, AffinityKind::Task, 2);
+        thief.push_stolen(
+            StolenBatch {
+                token: Some(colliding),
+                tasks: vec![8, 9],
+            },
+            AffinityKind::Task,
+        );
+        thief.check_invariants().unwrap();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| thief.pop_local().map(|(_, t)| t)).collect();
+        assert_eq!(order, vec![8, 9, 2, 1], "stolen slot promoted to head");
+    }
+
+    #[test]
+    fn steal_from_collided_slot_extracts_one_set_with_its_token() {
+        // Array of size 1: sets A and B share the slot, interleaved.
         let mut q: ServerQueues<u32> = ServerQueues::new(1);
-        q.push_affinity(ObjRef(1), AffinityKind::Task, 1);
-        q.push_affinity(ObjRef(2), AffinityKind::Task, 2);
+        let (a, b) = (ObjRef(1), ObjRef(2));
+        q.push_affinity(a, AffinityKind::Task, 1);
+        q.push_affinity(b, AffinityKind::Task, 3);
+        q.push_affinity(a, AffinityKind::Task, 2);
+        q.push_affinity(b, AffinityKind::Task, 4);
+        // Tail-most entry belongs to B, so B's set is stolen — whole, in
+        // FIFO order, labelled with B's token (not A's, which linked first).
+        let batch = q.steal(true).unwrap();
+        assert_eq!(batch.token, Some(b), "batch carries the stolen set's token");
+        assert_eq!(batch.tasks, vec![3, 4]);
+        // Survivors keep their order.
+        let rest: Vec<u32> = std::iter::from_fn(|| q.pop_local().map(|(_, t)| t)).collect();
+        assert_eq!(rest, vec![1, 2]);
+    }
+
+    #[test]
+    fn collided_object_set_does_not_pin_stealable_set() {
+        // One slot holds an object-affinity set and a task-affinity set.
+        // The thief must classify per set: steal the task-affinity set and
+        // leave the object-affinity one home.
+        let mut q: ServerQueues<u32> = ServerQueues::new(1);
+        let (home, roam) = (ObjRef(1), ObjRef(2));
+        q.push_affinity(home, AffinityKind::Object, 7);
+        q.push_affinity(roam, AffinityKind::Task, 1);
+        q.push_affinity(roam, AffinityKind::Task, 2);
+        assert_eq!(q.tail_slot_class(), Some(SlotClass::Stealable));
+        let batch = q.steal(true).unwrap();
+        assert_eq!(batch.token, Some(roam));
+        assert_eq!(batch.tasks, vec![1, 2]);
+        assert_eq!(q.len(), 1, "object-affinity task stays home");
+        assert_eq!(q.tail_slot_class(), Some(SlotClass::PrefersHome));
+        assert!(q.steal(true).is_none());
         q.check_invariants().unwrap();
-        assert_eq!(q.linked_slots(), 1);
-        assert_eq!(q.pop_local().unwrap().1, 1);
-        assert_eq!(q.pop_local().unwrap().1, 2);
-        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn single_task_steal_takes_tail_of_stealable_set_only() {
+        let mut q: ServerQueues<u32> = ServerQueues::new(1);
+        let (home, roam) = (ObjRef(1), ObjRef(2));
+        q.push_affinity(roam, AffinityKind::Task, 1);
+        q.push_affinity(home, AffinityKind::Object, 7);
+        q.push_affinity(roam, AffinityKind::Task, 2);
+        // whole_sets = false: one task, from the stealable set's tail, even
+        // though an object-affinity entry sits behind it in the queue.
+        let batch = q.steal_with(true, false).unwrap();
+        assert_eq!(batch.token, None);
+        assert_eq!(batch.tasks, vec![2]);
+        let rest: Vec<u32> = std::iter::from_fn(|| q.pop_local().map(|(_, t)| t)).collect();
+        assert_eq!(rest, vec![1, 7]);
     }
 
     #[test]
@@ -560,11 +802,26 @@ mod tests {
     }
 
     #[test]
+    fn colliding_tokens_share_a_slot_without_breaking_invariants() {
+        // Array of size 1 forces every token into the same slot.
+        let mut q: ServerQueues<u32> = ServerQueues::new(1);
+        q.push_affinity(ObjRef(1), AffinityKind::Task, 1);
+        q.push_affinity(ObjRef(2), AffinityKind::Task, 2);
+        q.check_invariants().unwrap();
+        assert_eq!(q.linked_slots(), 1);
+        assert_eq!(q.pop_local().unwrap().1, 1);
+        assert_eq!(q.pop_local().unwrap().1, 2);
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
     fn interleaved_operations_preserve_invariants() {
         let mut q: ServerQueues<usize> = ServerQueues::new(4);
         for i in 0..100 {
             match i % 5 {
-                0 => q.push_affinity(ObjRef(i as u64), AffinityKind::Task, i),
+                0 => {
+                    q.push_affinity(ObjRef(i as u64), AffinityKind::Task, i);
+                }
                 1 => q.push_default(AffinityKind::None, i),
                 2 => {
                     q.pop_local();
@@ -572,7 +829,9 @@ mod tests {
                 3 => {
                     q.steal(true);
                 }
-                _ => q.push_affinity(ObjRef((i % 3) as u64), AffinityKind::Object, i),
+                _ => {
+                    q.push_affinity(ObjRef((i % 3) as u64), AffinityKind::Object, i);
+                }
             }
             q.check_invariants().unwrap();
         }

@@ -1,0 +1,24 @@
+//! Exporters for the scheduler observability stream.
+//!
+//! `cool-core::obs` defines the event vocabulary and the per-worker ring
+//! recorder; this crate turns a drained [`ObsTrace`](cool_core::ObsTrace)
+//! into artifacts a human can open:
+//!
+//! * [`chrome`] — a Chrome-trace (Perfetto-loadable) JSON document: one
+//!   duration slice per task, instants for steals / slot transitions /
+//!   mutex waits / migrations, and a queue-depth counter track per server.
+//! * [`metrics`] — a deterministic, byte-stable `cool-metrics-v1` summary:
+//!   steal success rates and batch-size distribution, affinity hit rate,
+//!   queue-depth histogram, and the per-task-affinity-set cache / local /
+//!   remote breakdown attributed from PerfMonitor deltas at task
+//!   boundaries (so the per-set totals sum to the end-of-run aggregates).
+//!
+//! Everything is hand-rolled string formatting over a fixed key order — no
+//! JSON dependency, matching the offline build constraints and the
+//! `cool-bench-v1` precedent in the bench crate.
+
+pub mod chrome;
+pub mod metrics;
+
+pub use chrome::chrome_trace_json;
+pub use metrics::{validate_metrics_json, MetricsSummary, METRICS_SCHEMA};

@@ -24,9 +24,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use cool_core::obs::{ObsEvent, ObsRecorder, ObsTrace};
 use cool_core::{
     AffinityKind, AffinitySpec, FaultPlan, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy,
-    TaskError, Topology,
+    TaskError, TaskUid, Topology,
 };
 
 use crate::faults::FaultInjector;
@@ -56,6 +57,11 @@ pub struct RtConfig {
     /// If set, run a watchdog thread that dumps diagnostics whenever a scope
     /// is open but no task has completed for this long.
     pub stall_timeout: Option<Duration>,
+    /// Record scheduler-observability events ([`ObsEvent`]) into per-worker
+    /// rings, drained with [`Runtime::take_obs`]. Timestamps are nanoseconds
+    /// since runtime startup. Off by default: when disabled every emission
+    /// site is a single branch.
+    pub record_trace: bool,
 }
 
 impl RtConfig {
@@ -67,7 +73,14 @@ impl RtConfig {
             policy: StealPolicy::default(),
             affinity_slots: 64,
             stall_timeout: None,
+            record_trace: false,
         }
+    }
+
+    /// Enable scheduler-observability tracing (see [`Runtime::take_obs`]).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
     }
 
     /// Replace the steal policy.
@@ -93,6 +106,7 @@ pub struct RtTask {
     body: RtBody,
     affinity: AffinitySpec,
     mutex_on: Option<ObjRef>,
+    label: Option<&'static str>,
 }
 
 impl RtTask {
@@ -102,6 +116,7 @@ impl RtTask {
             body: Box::new(body),
             affinity: AffinitySpec::none(),
             mutex_on: None,
+            label: None,
         }
     }
 
@@ -116,6 +131,12 @@ impl RtTask {
         self.mutex_on = Some(obj);
         self
     }
+
+    /// Attach a label that appears in the observability trace.
+    pub fn with_label(mut self, label: &'static str) -> Self {
+        self.label = Some(label);
+        self
+    }
 }
 
 /// A queued task bound to its scheduling decision and scope.
@@ -123,6 +144,8 @@ struct Queued {
     task: RtTask,
     target: ProcId,
     hinted: bool,
+    /// Identity in the observability trace (assigned at spawn).
+    uid: TaskUid,
     /// RAII membership in the enclosing scope: dropped (normally, on panic,
     /// or if the task is discarded at shutdown) it signals completion.
     ticket: ScopeTicket,
@@ -253,9 +276,43 @@ struct Inner {
     /// Diagnostic dumps produced by the watchdog thread.
     dumps: Mutex<Vec<StallDump>>,
     shutdown: AtomicBool,
+    /// Observability recorder (present iff `RtConfig::record_trace`).
+    obs: Option<ObsRecorder>,
+    /// Epoch for observability timestamps (ns since runtime startup).
+    epoch: Instant,
+    /// Next task identity for the observability trace; `TaskUid(0)` stays
+    /// reserved for the root context.
+    next_uid: AtomicU64,
 }
 
 impl Inner {
+    /// Observability enabled? Emission sites check this before building an
+    /// event, so disabled tracing costs one branch.
+    #[inline]
+    fn obs_on(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Record `ev` on `worker`'s ring (no-op when tracing is off). Workers
+    /// record under their own index on the hot path; spawn-side events go to
+    /// the target server's ring, which is already serialized by its queue
+    /// lock.
+    fn obs_emit(&self, worker: usize, ev: ObsEvent) {
+        if let Some(obs) = &self.obs {
+            obs.record(worker, ev);
+        }
+    }
+
+    /// Observability timestamp: nanoseconds since runtime startup.
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// A fresh task identity for the observability trace.
+    fn fresh_uid(&self) -> TaskUid {
+        TaskUid(self.next_uid.fetch_add(1, Ordering::Relaxed))
+    }
+
     fn total_stats(&self) -> SchedStats {
         let mut total = SchedStats::default();
         for s in &self.servers {
@@ -328,6 +385,9 @@ pub struct Runtime {
 pub struct RtCtx<'a> {
     inner: &'a Inner,
     proc: ProcId,
+    /// Executing task's identity in the observability trace (`TaskUid(0)`
+    /// for the scope seed).
+    task: TaskUid,
     scope: Arc<ScopeState>,
 }
 
@@ -374,6 +434,11 @@ impl Runtime {
             open_scopes: AtomicUsize::new(0),
             dumps: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
+            obs: cfg
+                .record_trace
+                .then(|| ObsRecorder::with_default_capacity(cfg.nthreads)),
+            epoch: Instant::now(),
+            next_uid: AtomicU64::new(1),
         });
         let workers = (0..cfg.nthreads)
             .map(|p| {
@@ -443,6 +508,7 @@ impl Runtime {
             let ctx = RtCtx {
                 inner: &self.inner,
                 proc: ProcId(0),
+                task: TaskUid(0),
                 scope: scope.clone(),
             };
             catch_unwind(AssertUnwindSafe(|| seed(&ctx)))
@@ -486,6 +552,19 @@ impl Runtime {
     /// was detected).
     pub fn stall_dumps(&self) -> Vec<StallDump> {
         self.inner.dumps.lock().clone()
+    }
+
+    /// Drain the observability trace recorded so far (empty unless the
+    /// runtime was built with [`RtConfig::with_trace`]). Timestamps are
+    /// nanoseconds since startup; the stream is ordered by emission sequence.
+    /// Memory deltas (`TaskEnd::mem`) are absent on this backend — the
+    /// threaded runtime has no simulated memory system to attribute.
+    pub fn take_obs(&self) -> ObsTrace {
+        self.inner
+            .obs
+            .as_ref()
+            .map(ObsRecorder::drain)
+            .unwrap_or_default()
     }
 
     /// Objects whose `mutex` is currently held (diagnostics; normally empty
@@ -533,9 +612,21 @@ impl RtCtx<'_> {
 
     /// `migrate()`: re-home a logical object.
     pub fn migrate(&self, obj: ObjRef, p: usize) {
-        self.inner
-            .placement
-            .migrate(obj, ProcId(p % self.inner.servers.len()));
+        let to = ProcId(p % self.inner.servers.len());
+        self.inner.placement.migrate(obj, to);
+        if self.inner.obs_on() {
+            self.inner.obs_emit(
+                self.proc.index(),
+                ObsEvent::Migrate {
+                    task: self.task,
+                    obj,
+                    // No memory model on this backend: size unknown.
+                    bytes: 0,
+                    to,
+                    time: self.inner.now_ns(),
+                },
+            );
+        }
     }
 
     /// `home()`.
@@ -561,6 +652,7 @@ fn enqueue(inner: &Inner, creator: ProcId, task: RtTask, ticket: ScopeTicket) {
         task,
         target,
         hinted,
+        uid: inner.fresh_uid(),
         ticket,
         inject,
         blocked_before: false,
@@ -569,7 +661,20 @@ fn enqueue(inner: &Inner, creator: ProcId, task: RtTask, ticket: ScopeTicket) {
     {
         let mut q = server.queues.lock();
         match spec.queue_token() {
-            Some(tok) => q.push_affinity(tok, kind, queued),
+            Some(tok) => {
+                let update = q.push_affinity(tok, kind, queued);
+                if update.newly_linked && inner.obs_on() {
+                    inner.obs_emit(
+                        target.index(),
+                        ObsEvent::SlotLink {
+                            proc: target,
+                            slot: update.slot.expect("affinity push fills a slot"),
+                            token: tok,
+                            time: inner.now_ns(),
+                        },
+                    );
+                }
+            }
             None => q.push_default(kind, queued),
         }
         server.stats.lock().spawned += 1;
@@ -582,7 +687,20 @@ fn enqueue(inner: &Inner, creator: ProcId, task: RtTask, ticket: ScopeTicket) {
 fn requeue(inner: &Inner, mi: usize, kind: AffinityKind, queued: Queued) {
     let mut q = inner.servers[mi].queues.lock();
     match queued.task.affinity.queue_token() {
-        Some(tok) => q.push_affinity(tok, kind, queued),
+        Some(tok) => {
+            let update = q.push_affinity(tok, kind, queued);
+            if update.newly_linked && inner.obs_on() {
+                inner.obs_emit(
+                    mi,
+                    ObsEvent::SlotLink {
+                        proc: ProcId(mi),
+                        slot: update.slot.expect("affinity push fills a slot"),
+                        token: tok,
+                        time: inner.now_ns(),
+                    },
+                );
+            }
+        }
         None => q.push_default(kind, queued),
     }
 }
@@ -601,8 +719,36 @@ fn worker_loop(inner: &Inner, me: ProcId) {
             return;
         }
         // 1. Local work.
-        let popped = inner.servers[mi].queues.lock().pop_local();
-        if let Some((kind, queued)) = popped {
+        let popped = {
+            let mut q = inner.servers[mi].queues.lock();
+            let depth = q.len();
+            let popped = q.pop_local_info();
+            if popped.is_some() && inner.obs_on() {
+                inner.obs_emit(
+                    mi,
+                    ObsEvent::QueueDepth {
+                        proc: me,
+                        depth,
+                        time: inner.now_ns(),
+                    },
+                );
+            }
+            popped
+        };
+        if let Some(popped) = popped {
+            if popped.drained && inner.obs_on() {
+                if let Some(slot) = popped.slot {
+                    inner.obs_emit(
+                        mi,
+                        ObsEvent::SlotDrain {
+                            proc: me,
+                            slot,
+                            time: inner.now_ns(),
+                        },
+                    );
+                }
+            }
+            let (kind, queued) = (popped.kind, popped.payload);
             failed_scans = 0;
             if run_or_rotate(inner, me, kind, queued) {
                 mutex_rotations = 0;
@@ -623,6 +769,7 @@ fn worker_loop(inner: &Inner, me: ProcId) {
         if inner.policy.enabled {
             let desperate = failed_scans >= inner.policy.last_resort_after;
             let mut stolen = None;
+            let mut probes = 0usize;
             for v in inner.topology.steal_order(me) {
                 let cross = !inner.topology.same_cluster(me, v);
                 // Strict cluster boundary (see cool-sim): desperation lifts
@@ -630,6 +777,7 @@ fn worker_loop(inner: &Inner, me: ProcId) {
                 if inner.policy.cluster_only && cross {
                     continue;
                 }
+                probes += 1;
                 let avoid = inner.policy.avoid_object_affinity && !desperate;
                 let batch = inner.servers[v.index()]
                     .queues
@@ -648,6 +796,18 @@ fn worker_loop(inner: &Inner, me: ProcId) {
                         st.desperate_steals += 1;
                     }
                     drop(st);
+                    if inner.obs_on() {
+                        inner.obs_emit(
+                            mi,
+                            ObsEvent::StealSuccess {
+                                thief: me,
+                                victim: v,
+                                token: batch.token,
+                                ntasks: batch.tasks.len(),
+                                time: inner.now_ns(),
+                            },
+                        );
+                    }
                     stolen = Some(batch);
                     break;
                 }
@@ -666,6 +826,16 @@ fn worker_loop(inner: &Inner, me: ProcId) {
                 None => {
                     failed_scans += 1;
                     inner.servers[mi].stats.lock().failed_steals += 1;
+                    if inner.obs_on() {
+                        inner.obs_emit(
+                            mi,
+                            ObsEvent::StealFail {
+                                thief: me,
+                                probes,
+                                time: inner.now_ns(),
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -719,6 +889,19 @@ fn run_or_rotate(inner: &Inner, me: ProcId, kind: AffinityKind, mut queued: Queu
                     st.mutex_blocks += 1;
                 }
             }
+            if inner.obs_on() && !queued.blocked_before {
+                // First block only: retries of the same rotation would flood
+                // the ring without adding information.
+                inner.obs_emit(
+                    mi,
+                    ObsEvent::MutexWait {
+                        task: queued.uid,
+                        lock: lock_obj,
+                        proc: me,
+                        time: inner.now_ns(),
+                    },
+                );
+            }
             queued.blocked_before = true;
             requeue(inner, mi, kind, queued);
             return false;
@@ -767,16 +950,43 @@ fn execute(inner: &Inner, me: ProcId, queued: Queued, held: Option<HeldGuard<'_>
             }
         }
     }
-    let Queued { task, ticket, .. } = queued;
+    let traced = inner.obs_on();
+    if traced {
+        inner.obs_emit(
+            mi,
+            ObsEvent::TaskBegin {
+                task: queued.uid,
+                label: queued.task.label,
+                proc: me,
+                set: queued.task.affinity.queue_token(),
+                hinted: queued.hinted,
+                on_target: queued.target == me,
+                time: inner.now_ns(),
+            },
+        );
+    }
+    let Queued { task, ticket, uid, .. } = queued;
     let mutex_on = task.mutex_on;
     let ctx = RtCtx {
         inner,
         proc: me,
+        task: uid,
         scope: ticket.scope().clone(),
     };
     let body = task.body;
     let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
     inner.activity.fetch_add(1, Ordering::Relaxed);
+    if traced {
+        inner.obs_emit(
+            mi,
+            ObsEvent::TaskEnd {
+                task: uid,
+                proc: me,
+                mem: None,
+                time: inner.now_ns(),
+            },
+        );
+    }
     // Release the object's mutex BEFORE the scope ticket fires below: a
     // waiter that observes scope completion must find the lock free.
     drop(held);

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use cool_core::obs::{MemDelta, ObsEvent, ObsRecorder, ObsTrace};
 use cool_core::{
     AffinityKind, FaultPlan, ObjRef, ProcId, RtEvent, SchedStats, ServerQueues, StealPolicy,
     TaskUid, Topology,
@@ -76,6 +77,11 @@ pub struct SimConfig {
     /// detection, lock-order audit, affinity lints). Off by default: when
     /// disabled the instrumentation is a branch on a `None`.
     pub record_events: bool,
+    /// Record the scheduler observability stream ([`ObsEvent`]): task
+    /// begin/end with PerfMonitor deltas, steals, slot transitions, mutex
+    /// waits, queue-depth samples. Off by default; recording is pure (it
+    /// never changes simulated cycles) and zero-cost when disabled.
+    pub record_trace: bool,
 }
 
 impl SimConfig {
@@ -90,6 +96,7 @@ impl SimConfig {
             mutex_retry_cost: 20,
             spawn_cost: 20,
             record_events: false,
+            record_trace: false,
         }
     }
 
@@ -102,6 +109,12 @@ impl SimConfig {
     /// Enable event recording (see [`SimConfig::record_events`]).
     pub fn with_events(mut self) -> Self {
         self.record_events = true;
+        self
+    }
+
+    /// Enable observability tracing (see [`SimConfig::record_trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
         self
     }
 }
@@ -165,6 +178,8 @@ pub struct SimRuntime {
     fault_dispatches: Vec<u64>,
     /// Analyzer event stream, when recording is enabled.
     events: Option<Vec<RtEvent>>,
+    /// Observability recorder, when tracing is enabled.
+    obs: Option<ObsRecorder>,
     /// Next task uid (0 is the root context).
     next_uid: u64,
     /// Phase counter for `PhaseBegin`/`PhaseEnd` events.
@@ -190,6 +205,11 @@ impl SimRuntime {
             fault_spawns: 0,
             fault_dispatches: vec![0; n],
             events: if cfg.record_events { Some(Vec::new()) } else { None },
+            obs: if cfg.record_trace {
+                Some(ObsRecorder::with_default_capacity(n))
+            } else {
+                None
+            },
             next_uid: 1,
             phase_seq: 0,
             cfg,
@@ -227,6 +247,38 @@ impl SimRuntime {
         match &mut self.events {
             Some(buf) => std::mem::take(buf),
             None => Vec::new(),
+        }
+    }
+
+    /// Start recording the observability stream (equivalent to constructing
+    /// with [`SimConfig::record_trace`] set).
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(ObsRecorder::with_default_capacity(self.topology.nservers));
+        }
+    }
+
+    /// Whether the observability stream is being recorded.
+    #[inline]
+    pub(crate) fn obs_on(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Record an observability event (no-op when tracing is off). Events
+    /// are ringed under the processor they are attributed to; the recorder's
+    /// global sequence keeps the merged order.
+    pub(crate) fn obs_emit(&self, ev: ObsEvent) {
+        if let Some(rec) = &self.obs {
+            rec.record(ev.proc().index(), ev);
+        }
+    }
+
+    /// Drain the recorded observability stream (empty if tracing was never
+    /// enabled). Recording stays on with empty rings.
+    pub fn take_obs(&mut self) -> ObsTrace {
+        match &self.obs {
+            Some(rec) => rec.drain(),
+            None => ObsTrace::default(),
         }
     }
 
@@ -361,15 +413,34 @@ impl SimRuntime {
             inject,
             blocked_before: false,
         };
-        match spec.queue_token() {
-            Some(tok) => self.queues[target.index()].push_affinity(tok, kind, st),
-            None => self.queues[target.index()].push_default(kind, st),
-        }
+        self.push_local(target, kind, st);
         self.pending += 1;
         self.stats.spawned += 1;
         self.machine.monitor_mut().proc_mut(creator.index()).overhead_cycles +=
             self.cfg.spawn_cost;
         self.cfg.spawn_cost
+    }
+
+    /// Enqueue a task on server `p`'s queues, emitting a slot-link event
+    /// when a new task-affinity set starts queueing.
+    fn push_local(&mut self, p: ProcId, kind: AffinityKind, st: SimTask) {
+        let token = st.task.affinity.queue_token();
+        match token {
+            Some(tok) => {
+                let up = self.queues[p.index()].push_affinity(tok, kind, st);
+                if up.newly_linked {
+                    if let Some(slot) = up.slot {
+                        self.obs_emit(ObsEvent::SlotLink {
+                            proc: p,
+                            slot,
+                            token: tok,
+                            time: self.clocks[p.index()],
+                        });
+                    }
+                }
+            }
+            None => self.queues[p.index()].push_default(kind, st),
+        }
     }
 
     /// Run one phase to quiescence: execute `seed` as a task on server 0,
@@ -430,7 +501,14 @@ impl SimRuntime {
     /// Pop and run (or rotate) the next local task on `p`.
     fn dispatch(&mut self, p: ProcId) -> Result<(), SimError> {
         let pi = p.index();
-        let (kind, mut st) = match self.queues[pi].pop_local() {
+        if self.obs_on() {
+            self.obs_emit(ObsEvent::QueueDepth {
+                proc: p,
+                depth: self.queues[pi].len(),
+                time: self.clocks[pi],
+            });
+        }
+        let popped = match self.queues[pi].pop_local_info() {
             Some(popped) => popped,
             None => {
                 return Err(SimError {
@@ -441,6 +519,16 @@ impl SimRuntime {
                 })
             }
         };
+        if popped.drained {
+            if let Some(slot) = popped.slot {
+                self.obs_emit(ObsEvent::SlotDrain {
+                    proc: p,
+                    slot,
+                    time: self.clocks[pi],
+                });
+            }
+        }
+        let (kind, mut st) = (popped.kind, popped.payload);
         self.clocks[pi] += self.cfg.machine.dispatch_overhead;
         self.machine.monitor_mut().proc_mut(pi).overhead_cycles +=
             self.cfg.machine.dispatch_overhead;
@@ -450,10 +538,7 @@ impl SimRuntime {
         if st.inject {
             st.inject = false;
             self.stats.injected_faults += 1;
-            match st.task.affinity.queue_token() {
-                Some(tok) => self.queues[pi].push_affinity(tok, kind, st),
-                None => self.queues[pi].push_default(kind, st),
-            }
+            self.push_local(p, kind, st);
             return Ok(());
         }
 
@@ -471,6 +556,23 @@ impl SimRuntime {
                 // Blocked: set the task aside (back of its queue) and let the
                 // server pick other work. COOL blocks the task, not the
                 // server.
+                if self.obs_on() {
+                    // Attribute the wait to the lock gating entry (the one
+                    // released last).
+                    let lock = st
+                        .task
+                        .mutexes
+                        .iter()
+                        .copied()
+                        .max_by_key(|l| *self.locks.get(l).unwrap_or(&0))
+                        .expect("blocked task must declare a mutex");
+                    self.obs_emit(ObsEvent::MutexWait {
+                        task: st.uid,
+                        lock,
+                        proc: p,
+                        time: self.clocks[pi],
+                    });
+                }
                 if st.blocked_before {
                     self.stats.mutex_retries += 1;
                 } else {
@@ -491,10 +593,7 @@ impl SimRuntime {
                     self.clocks[pi] = self.clocks[pi].max(jump_to);
                     self.rotations[pi] = (0, u64::MAX);
                 }
-                match st.task.affinity.queue_token() {
-                    Some(tok) => self.queues[pi].push_affinity(tok, kind, st),
-                    None => self.queues[pi].push_default(kind, st),
-                }
+                self.push_local(p, kind, st);
                 return Ok(());
             }
         }
@@ -574,6 +673,24 @@ impl SimRuntime {
                 });
             }
         }
+        // Observability: task begin, plus a snapshot of the processor's
+        // reference counters so the end event can carry the body's exact
+        // cache/local/remote delta (the counters only move inside
+        // `Machine::reference`, i.e. inside task bodies).
+        let ref_snap = if self.obs_on() {
+            self.obs_emit(ObsEvent::TaskBegin {
+                task: st.uid,
+                label: st.task.label,
+                proc: p,
+                set: st.task.affinity.queue_token(),
+                hinted: st.hinted,
+                on_target: st.target == p,
+                time: start,
+            });
+            Some(self.machine.monitor().proc(pi).ref_mix())
+        } else {
+            None
+        };
         let body = st.task.body;
         let mut ctx = TaskCtx {
             rt: self,
@@ -600,6 +717,21 @@ impl SimRuntime {
             self.emit(RtEvent::TaskEnd {
                 task: st.uid,
                 proc: p,
+                time: start + duration,
+            });
+        }
+        if let Some(snap) = ref_snap {
+            let now = self.machine.monitor().proc(pi).ref_mix();
+            self.obs_emit(ObsEvent::TaskEnd {
+                task: st.uid,
+                proc: p,
+                mem: Some(MemDelta {
+                    refs: now[0] - snap[0],
+                    l1_hits: now[1] - snap[1],
+                    l2_hits: now[2] - snap[2],
+                    local_misses: now[3] - snap[3],
+                    remote_misses: now[4] - snap[4],
+                }),
                 time: start + duration,
             });
         }
@@ -646,6 +778,7 @@ impl SimRuntime {
                     self.queues[v.index()].steal_with(avoid_object, policy.steal_whole_sets)
                 {
                     let n = batch.tasks.len() as u64;
+                    let stolen_token = batch.token;
                     self.stats.tasks_stolen += n;
                     if batch.token.is_some() {
                         self.stats.sets_stolen += 1;
@@ -670,6 +803,15 @@ impl SimRuntime {
                     self.clocks[pi] += cost;
                     self.machine.monitor_mut().proc_mut(pi).overhead_cycles += cost;
                     self.failed_scans[pi] = 0;
+                    if self.obs_on() {
+                        self.obs_emit(ObsEvent::StealSuccess {
+                            thief: p,
+                            victim: v,
+                            token: stolen_token,
+                            ntasks: n as usize,
+                            time: self.clocks[pi],
+                        });
+                    }
                     // Run the first stolen task immediately. Besides matching
                     // what a real thief does, this guarantees progress: a
                     // steal always executes at least one task, so whole-set
@@ -683,6 +825,13 @@ impl SimRuntime {
             self.machine.monitor_mut().proc_mut(pi).overhead_cycles += cost;
             self.failed_scans[pi] += 1;
             self.stats.failed_steals += 1;
+            if self.obs_on() {
+                self.obs_emit(ObsEvent::StealFail {
+                    thief: p,
+                    probes: probes as usize,
+                    time: self.clocks[pi],
+                });
+            }
         }
         // Idle: advance past the earliest server that still has work, so it
         // acts first and we re-examine the world afterwards.

@@ -208,5 +208,14 @@ impl TaskCtx<'_> {
                 time,
             });
         }
+        if self.rt.obs_on() {
+            self.rt.obs_emit(cool_core::obs::ObsEvent::Migrate {
+                task: self.task,
+                obj,
+                bytes,
+                to: ProcId(n % self.rt.nservers()),
+                time: self.rt.clock_of(self.proc) + self.cycles,
+            });
+        }
     }
 }

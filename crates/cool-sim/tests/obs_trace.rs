@@ -1,0 +1,130 @@
+//! The observability layer on the simulator backend: recording must be
+//! *pure* (bit-identical simulated cycles with tracing on or off) and the
+//! per-task memory deltas must sum exactly to the PerfMonitor aggregates.
+
+use cool_core::obs::{MemDelta, ObsEvent};
+use cool_core::{AffinitySpec, ObjRef};
+use cool_sim::{MachineConfig, SimConfig, SimRuntime, Task};
+
+/// A workload that exercises every event source: hinted task-affinity sets,
+/// unhinted stealable tasks, mutex contention, and real memory traffic.
+fn run(cfg: SimConfig) -> (SimRuntime, cool_core::ObsTrace) {
+    let mut rt = SimRuntime::new(cfg);
+    let obj = rt.machine_mut().alloc_interleaved(1 << 14);
+    let lock = rt.machine_mut().alloc_on_node(cool_core::NodeId(0), 64);
+    rt.reset_monitor();
+    rt.run_phase(move |ctx| {
+        for i in 0..48u64 {
+            let o = obj.offset((i % 16) * 256);
+            ctx.spawn(
+                Task::new(move |c| {
+                    c.read(o, 128);
+                    c.compute(400 + i * 13);
+                    c.write(o, 32);
+                })
+                .with_label("worker")
+                .with_affinity(AffinitySpec::task(ObjRef(0x9000 + (i % 6) * 0x40))),
+            );
+        }
+        for i in 0..8u64 {
+            let o = obj.offset(i * 512);
+            ctx.spawn(
+                Task::new(move |c| {
+                    c.read(o, 64);
+                    c.compute(2_000);
+                })
+                .with_label("mutexed")
+                .with_mutex(lock),
+            );
+        }
+    });
+    let trace = rt.take_obs();
+    (rt, trace)
+}
+
+fn cfg(nprocs: usize) -> SimConfig {
+    SimConfig::new(MachineConfig::dash_small(nprocs))
+}
+
+#[test]
+fn tracing_never_changes_simulated_cycles() {
+    let (plain, empty) = run(cfg(8));
+    let (traced, trace) = run(cfg(8).with_trace());
+    assert!(empty.events.is_empty(), "tracing off records nothing");
+    assert!(!trace.events.is_empty(), "tracing on records the run");
+    assert_eq!(plain.elapsed(), traced.elapsed(), "cycles must not drift");
+    assert_eq!(plain.stats(), traced.stats());
+    assert_eq!(plain.report().mem, traced.report().mem);
+}
+
+#[test]
+fn per_task_mem_deltas_sum_to_monitor_aggregates() {
+    let (rt, trace) = run(cfg(8).with_trace());
+    assert_eq!(trace.dropped, 0, "workload must fit the rings");
+    let mut sum = MemDelta::default();
+    let mut ends = 0;
+    for ev in &trace.events {
+        if let ObsEvent::TaskEnd { mem, .. } = ev {
+            sum.accumulate(&mem.expect("simulator backend attributes memory"));
+            ends += 1;
+        }
+    }
+    assert_eq!(ends as u64, rt.stats().executed, "one end per executed task");
+    let agg = rt.report().mem;
+    assert_eq!(sum.refs, agg.refs);
+    assert_eq!(sum.l1_hits, agg.l1_hits);
+    assert_eq!(sum.l2_hits, agg.l2_hits);
+    assert_eq!(sum.local_misses, agg.local_misses);
+    assert_eq!(sum.remote_misses, agg.remote_misses);
+}
+
+#[test]
+fn stream_covers_the_event_vocabulary() {
+    let (rt, trace) = run(cfg(8).with_trace());
+    let has = |f: &dyn Fn(&ObsEvent) -> bool| trace.events.iter().any(f);
+    assert!(has(&|e| matches!(e, ObsEvent::TaskBegin { .. })));
+    assert!(has(&|e| matches!(e, ObsEvent::TaskEnd { .. })));
+    assert!(has(&|e| matches!(e, ObsEvent::SlotLink { .. })));
+    assert!(has(&|e| matches!(e, ObsEvent::SlotDrain { .. })));
+    assert!(has(&|e| matches!(e, ObsEvent::QueueDepth { .. })));
+    if rt.stats().tasks_stolen > 0 {
+        assert!(has(&|e| matches!(e, ObsEvent::StealSuccess { .. })));
+    }
+    if rt.stats().mutex_blocks > 0 {
+        assert!(has(&|e| matches!(e, ObsEvent::MutexWait { .. })));
+    }
+    // Steal events agree with the scheduler's own statistics.
+    let stolen: u64 = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ObsEvent::StealSuccess { ntasks, .. } => Some(*ntasks as u64),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(stolen, rt.stats().tasks_stolen);
+    let fails = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, ObsEvent::StealFail { .. }))
+        .count() as u64;
+    assert_eq!(fails, rt.stats().failed_steals);
+}
+
+#[test]
+fn begin_end_pairs_nest_per_task() {
+    let (_, trace) = run(cfg(4).with_trace());
+    let mut open = std::collections::HashSet::new();
+    for ev in &trace.events {
+        match ev {
+            ObsEvent::TaskBegin { task, .. } => {
+                assert!(open.insert(*task), "double begin for {task:?}");
+            }
+            ObsEvent::TaskEnd { task, .. } => {
+                assert!(open.remove(task), "end without begin for {task:?}");
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "unterminated tasks: {open:?}");
+}

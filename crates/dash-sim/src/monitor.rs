@@ -55,6 +55,23 @@ impl ProcCounters {
         self.local_misses + self.remote_misses
     }
 
+    /// The five reference-servicing counters as one snapshot, in the order
+    /// the observability layer's per-task deltas use: refs, l1_hits,
+    /// l2_hits, local_misses, remote_misses. [`ProcCounters::record`] is the
+    /// only mover of these counters and it only runs inside
+    /// `Machine::reference`, so snapshotting at task boundaries and
+    /// differencing yields exact per-task attribution: the deltas over any
+    /// partition of the tasks sum to the end-of-run aggregates.
+    pub fn ref_mix(&self) -> [u64; 5] {
+        [
+            self.refs,
+            self.l1_hits,
+            self.l2_hits,
+            self.local_misses,
+            self.remote_misses,
+        ]
+    }
+
     /// Record a serviced reference.
     pub fn record(&mut self, s: Service) {
         self.refs += 1;

@@ -27,6 +27,18 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo run --release --offline -q -p cool-analyze -- analyze_findings.json
 run git diff --exit-code -- analyze_findings.json
 
+# Observability gate: a fixed-seed traced run of one app must emit a
+# Perfetto-loadable Chrome trace and the schema'd cool-metrics-v1 summary
+# (the producer validates the schema and that per-set rows sum exactly to
+# the totals before writing). The metrics document is byte-diffed against
+# the committed golden so any drift in scheduling or locality attribution
+# is reviewable instead of silent.
+mkdir -p target
+run cargo run --release --offline -q -p bench --bin figures -- --trace-out target/obs_gate
+run grep -q '"schema": "cool-metrics-v1"' target/obs_gate.metrics.json
+run grep -q '"traceEvents"' target/obs_gate.trace.json
+run cmp tests/gauss_metrics_golden.json target/obs_gate.metrics.json
+
 # Behaviour gate: the golden-run sweep must match the committed TSV
 # byte-for-byte (the workspace test run above already includes it; running
 # it by name makes a golden failure unmistakable in the log).

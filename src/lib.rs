@@ -9,6 +9,8 @@
 //! * [`dash_sim`] — the DASH-like memory-hierarchy simulator.
 //! * [`cool_sim`] — the simulated COOL runtime (reproduces paper figures).
 //! * [`cool_rt`] — a real threaded work-stealing runtime with the same API.
+//! * [`cool_obs`] — scheduler observability: Perfetto/Chrome trace export
+//!   and the `cool-metrics-v1` summary over both backends' event streams.
 //! * [`sparse`] — sparse Cholesky substrate (etree, symbolic, panels, blocks).
 //! * [`workloads`] — deterministic SPLASH-style input generators.
 //! * [`apps`] — the case studies: Ocean, LocusRoute, Panel Cholesky,
@@ -16,6 +18,7 @@
 
 pub use apps;
 pub use cool_core;
+pub use cool_obs;
 pub use cool_rt;
 pub use cool_sim;
 pub use dash_sim;
