@@ -1,14 +1,22 @@
-//! A name-indexed driver over the six case studies at their fast scale —
-//! shared by the analyzer (`cool-analyze`), the figure harness's
-//! `--trace-out` mode, and the CI observability gate — plus helpers that
-//! turn a run's recorded [`ObsTrace`](cool_core::obs::ObsTrace) into the
-//! export artifacts: a Perfetto-loadable Chrome trace and the schema'd
-//! `cool-metrics-v1` summary.
+//! A name-indexed driver over the six case studies — shared by the analyzer
+//! (`cool-analyze`), the figure harness, the `cool-repro` sweep engine, and
+//! the CI observability gate — plus helpers that turn a run's recorded
+//! [`ObsTrace`](cool_core::obs::ObsTrace) into the export artifacts: a
+//! Perfetto-loadable Chrome trace and the schema'd `cool-metrics-v1`
+//! summary.
 //!
-//! The per-app parameters here are the analyzer scale: small enough that a
-//! full sweep is test-suite fast, large enough that stealing, mutex
-//! contention and affinity sets all occur. They are pinned — the committed
-//! `analyze_findings.json` and the trace/metrics goldens depend on them.
+//! Three pinned parameter scales live here, so every harness that runs "app
+//! X at scale Y" agrees byte-for-byte on what that means:
+//!
+//! * [`run_app`] — the *analyzer* scale: small enough that a full sweep is
+//!   test-suite fast, large enough that stealing, mutex contention and
+//!   affinity sets all occur. Pinned — the committed
+//!   `analyze_findings.json` and the trace/metrics goldens depend on it.
+//! * [`run_app_scaled`] with [`AppScale::Small`] — the *bench* small scale
+//!   behind the golden-figures TSV and the perf trajectory.
+//! * [`run_app_scaled`] with [`AppScale::Full`] — the paper-sized inputs
+//!   (working sets exceeding the simulated caches, as the paper's did)
+//!   behind the committed reproduction tables in `results/`.
 
 use cool_core::FaultPlan;
 use cool_sim::SimConfig;
@@ -89,6 +97,226 @@ pub fn run_app(
             crate::panel_cholesky::run_with_faults(cfg, &prob, version, faults)
         }
         _ => panic!("unknown app {app:?} (expected one of {APP_NAMES:?})"),
+    }
+}
+
+/// The two experiment scales the figure/reproduction harnesses run at:
+/// `Small` for tests and CI smoke sweeps (scaled-down machine and inputs),
+/// `Full` for the committed paper reproduction (DASH-sized machine, inputs
+/// that exceed the simulated caches as the paper's did).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AppScale {
+    /// Scaled-down machine (`MachineConfig::dash_small`) and inputs.
+    Small,
+    /// DASH-sized machine (`MachineConfig::dash`) and paper-sized inputs.
+    Full,
+}
+
+impl AppScale {
+    /// Lower-case name used in record schemas and file paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppScale::Small => "small",
+            AppScale::Full => "full",
+        }
+    }
+
+    /// Parse [`AppScale::name`] back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(AppScale::Small),
+            "full" => Some(AppScale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Ocean inputs at a given scale.
+pub fn ocean_params(scale: AppScale) -> workloads::ocean::OceanParams {
+    match scale {
+        AppScale::Small => workloads::ocean::OceanParams {
+            n: 24,
+            num_grids: 4,
+            regions: 8,
+            sweeps: 2,
+            seed: 3,
+        },
+        // 25 grids of 128×128 doubles ≈ 3 MB of state: well beyond the
+        // 256 KB L2, as in the paper's runs. 32 regions of 4 rows = 4 KB
+        // each — exactly one page, so `migrate` (page-granular, as on DASH)
+        // places each region cleanly.
+        AppScale::Full => workloads::ocean::OceanParams {
+            n: 128,
+            num_grids: 25,
+            regions: 32,
+            sweeps: 3,
+            seed: 3,
+        },
+    }
+}
+
+/// LocusRoute inputs at a given scale.
+pub fn locus_params(scale: AppScale) -> crate::locusroute::LocusParams {
+    use workloads::circuit::{Circuit, CircuitParams};
+    let circuit = match scale {
+        AppScale::Small => Circuit::generate(CircuitParams {
+            width: 64,
+            height: 16,
+            regions: 8,
+            wires_per_region: 16,
+            crossing_fraction: 0.1,
+            multi_pin_fraction: 0.15,
+            seed: 11,
+        }),
+        // 256×128 cells × 8 B = 256 KB CostArray; 32 regions of dense local
+        // wires — the paper's synthetic dense-wire input.
+        AppScale::Full => Circuit::generate(CircuitParams {
+            width: 256,
+            height: 128,
+            regions: 32,
+            wires_per_region: 48,
+            crossing_fraction: 0.1,
+            multi_pin_fraction: 0.15,
+            seed: 11,
+        }),
+    };
+    crate::locusroute::LocusParams {
+        circuit,
+        iterations: 2,
+    }
+}
+
+/// Panel Cholesky problem at a given scale (symbolic analysis included).
+pub fn panel_problem(scale: AppScale) -> crate::panel_cholesky::PanelProblem {
+    let (k, width) = match scale {
+        AppScale::Small => (8, 4),
+        // 40×40 grid Laplacian: n = 1600, ample fill — the factor exceeds
+        // the L2 cache like the paper's sparse matrices did.
+        AppScale::Full => (40, 8),
+    };
+    crate::panel_cholesky::PanelProblem::analyse(&crate::panel_cholesky::PanelParams {
+        matrix: workloads::matrices::grid_laplacian(k),
+        max_panel_width: width,
+    })
+}
+
+/// Block Cholesky inputs at a given scale.
+pub fn block_params(scale: AppScale) -> crate::block_cholesky::BlockParams {
+    match scale {
+        AppScale::Small => crate::block_cholesky::BlockParams { n: 48, block: 8 },
+        AppScale::Full => crate::block_cholesky::BlockParams { n: 192, block: 16 },
+    }
+}
+
+/// Barnes-Hut inputs at a given scale.
+pub fn bh_params(scale: AppScale) -> crate::barnes_hut::BhParams {
+    match scale {
+        AppScale::Small => crate::barnes_hut::BhParams {
+            nbodies: 128,
+            groups: 16,
+            timesteps: 2,
+            theta: 0.6,
+            dt: 0.01,
+            seed: 4,
+        },
+        AppScale::Full => crate::barnes_hut::BhParams {
+            nbodies: 2048,
+            groups: 64,
+            timesteps: 3,
+            theta: 0.6,
+            dt: 0.01,
+            seed: 4,
+        },
+    }
+}
+
+/// Gaussian-elimination inputs at a given scale.
+pub fn gauss_params(scale: AppScale) -> crate::gauss::GaussParams {
+    match scale {
+        AppScale::Small => crate::gauss::GaussParams { n: 32, seed: 7 },
+        AppScale::Full => crate::gauss::GaussParams { n: 192, seed: 7 },
+    }
+}
+
+/// Run one app by name at a bench/repro scale. This is the single dispatch
+/// point behind the figure drivers, the golden perf sweep, and the
+/// `cool-repro` matrix, so all of them agree on the inputs. Panics on an
+/// unknown name.
+pub fn run_app_scaled(app: &str, cfg: SimConfig, scale: AppScale, version: Version) -> AppReport {
+    match app {
+        "barnes_hut" => crate::barnes_hut::run(cfg, &bh_params(scale), version),
+        "block_cholesky" => crate::block_cholesky::run(cfg, &block_params(scale), version),
+        "gauss" => crate::gauss::run(cfg, &gauss_params(scale), version),
+        "locusroute" => crate::locusroute::run(cfg, &locus_params(scale), version),
+        "ocean" => crate::ocean::run(cfg, &ocean_params(scale), version),
+        "panel_cholesky" => crate::panel_cholesky::run(cfg, &panel_problem(scale), version),
+        _ => panic!("unknown app {app:?} (expected one of {APP_NAMES:?})"),
+    }
+}
+
+/// A short, stable fingerprint of one app's generator inputs at a scale.
+/// Feeds the `cool-repro` memoization key: any change to the pinned
+/// parameters above must change this string (and thereby every affected
+/// config hash), so stale cached records can never satisfy a mutated
+/// matrix point.
+pub fn params_fingerprint(app: &str, scale: AppScale) -> String {
+    let body = match (app, scale) {
+        ("ocean", _) => {
+            let p = ocean_params(scale);
+            format!(
+                "n{} g{} r{} s{} seed{}",
+                p.n, p.num_grids, p.regions, p.sweeps, p.seed
+            )
+        }
+        ("locusroute", AppScale::Small) => "w64 h16 r8 wpr16 cf0.1 mpf0.15 seed11 it2".into(),
+        ("locusroute", AppScale::Full) => "w256 h128 r32 wpr48 cf0.1 mpf0.15 seed11 it2".into(),
+        ("panel_cholesky", AppScale::Small) => "lap8 w4".into(),
+        ("panel_cholesky", AppScale::Full) => "lap40 w8".into(),
+        ("block_cholesky", _) => {
+            let p = block_params(scale);
+            format!("n{} b{}", p.n, p.block)
+        }
+        ("barnes_hut", _) => {
+            let p = bh_params(scale);
+            format!(
+                "n{} g{} t{} theta{} dt{} seed{}",
+                p.nbodies, p.groups, p.timesteps, p.theta, p.dt, p.seed
+            )
+        }
+        ("gauss", _) => {
+            let p = gauss_params(scale);
+            format!("n{} seed{}", p.n, p.seed)
+        }
+        _ => panic!("unknown app {app:?} (expected one of {APP_NAMES:?})"),
+    };
+    format!("{app}@{} {body}", scale.name())
+}
+
+/// The scheduling-version ladder the paper presents for each app, in figure
+/// order. The `cool-repro` matrix sweeps exactly these.
+pub fn versions_for(app: &str) -> &'static [Version] {
+    match app {
+        "ocean" | "gauss" => &[Version::Base, Version::Distr, Version::AffinityDistr],
+        "locusroute" => &[Version::Base, Version::Affinity, Version::AffinityDistr],
+        "panel_cholesky" => &[
+            Version::Base,
+            Version::Distr,
+            Version::AffinityDistr,
+            Version::AffinityDistrCluster,
+        ],
+        "block_cholesky" | "barnes_hut" => &[Version::Base, Version::AffinityDistr],
+        _ => panic!("unknown app {app:?} (expected one of {APP_NAMES:?})"),
+    }
+}
+
+/// The processor counts the paper sweeps for an app: 1–32 in powers of two,
+/// except Panel Cholesky at full scale, which the paper stops at 24 "due to
+/// limitations in the amount of physical memory".
+pub fn procs_for(app: &str, scale: AppScale) -> &'static [usize] {
+    if app == "panel_cholesky" && scale == AppScale::Full {
+        &[1, 2, 4, 8, 16, 24]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
     }
 }
 

@@ -18,14 +18,14 @@
 
 pub mod ablation;
 pub mod perf;
+pub mod repro;
 
+use apps::driver::{self, AppScale};
 use apps::{
     barnes_hut, block_cholesky, common, gauss, locusroute, ocean, panel_cholesky, AppReport,
     Version,
 };
 use cool_sim::{MachineConfig, SimConfig};
-use workloads::circuit::{Circuit, CircuitParams};
-use workloads::matrices::grid_laplacian;
 use workloads::ocean::OceanParams;
 
 /// One data point of a figure: a (series, processor-count) cell with every
@@ -73,23 +73,11 @@ impl FigureRow {
     }
 }
 
-/// Print rows as a TSV table with a header.
+/// Print rows as a TSV table with a header (formatted by the repro
+/// renderer, so the `figures` binary and the sweep engine share one
+/// definition of the table).
 pub fn print_rows(rows: &[FigureRow]) {
-    println!("figure\tseries\tprocs\tspeedup\telapsed\tmisses\tlocal%\tadherence\tmax_err");
-    for r in rows {
-        println!(
-            "{}\t{}\t{}\t{:.3}\t{}\t{}\t{:.1}\t{:.1}\t{:.2e}",
-            r.figure,
-            r.series,
-            r.nprocs,
-            r.speedup,
-            r.elapsed,
-            r.misses,
-            r.local_frac * 100.0,
-            r.adherence * 100.0,
-            r.max_error
-        );
-    }
+    print!("{}", repro::render::figure_rows_tsv(rows));
 }
 
 /// Experiment scale: `Small` for tests and criterion (scaled-down machine
@@ -102,6 +90,16 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The equivalent [`AppScale`] (the apps crate owns the pinned per-app
+    /// parameter tables; `Scale` adds the bench-side machine/config
+    /// helpers).
+    pub fn app_scale(self) -> AppScale {
+        match self {
+            Scale::Small => AppScale::Small,
+            Scale::Full => AppScale::Full,
+        }
+    }
+
     fn machine(self, nprocs: usize) -> MachineConfig {
         match self {
             Scale::Small => MachineConfig::dash_small(nprocs),
@@ -109,7 +107,8 @@ impl Scale {
         }
     }
 
-    fn config(self, nprocs: usize, v: Version) -> SimConfig {
+    /// Simulator config for `nprocs` processors under version `v`'s policy.
+    pub fn config(self, nprocs: usize, v: Version) -> SimConfig {
         SimConfig::new(self.machine(nprocs)).with_policy(v.policy())
     }
 
@@ -124,26 +123,7 @@ impl Scale {
 }
 
 fn ocean_params(scale: Scale) -> OceanParams {
-    match scale {
-        Scale::Small => OceanParams {
-            n: 24,
-            num_grids: 4,
-            regions: 8,
-            sweeps: 2,
-            seed: 3,
-        },
-        // 25 grids of 128×128 doubles ≈ 3 MB of state: well beyond the
-        // 256 KB L2, as in the paper's runs. 32 regions of 4 rows = 4 KB
-        // each — exactly one page, so `migrate` (page-granular, as on DASH)
-        // places each region cleanly.
-        Scale::Full => OceanParams {
-            n: 128,
-            num_grids: 25,
-            regions: 32,
-            sweeps: 3,
-            seed: 3,
-        },
-    }
+    driver::ocean_params(scale.app_scale())
 }
 
 /// Figures 5–7: Ocean speedups and miss behaviour for Base / Distr /
@@ -164,32 +144,7 @@ pub fn fig_ocean(procs: &[usize], scale: Scale) -> Vec<FigureRow> {
 }
 
 fn locus_params(scale: Scale) -> locusroute::LocusParams {
-    let circuit = match scale {
-        Scale::Small => Circuit::generate(CircuitParams {
-            width: 64,
-            height: 16,
-            regions: 8,
-            wires_per_region: 16,
-            crossing_fraction: 0.1,
-            multi_pin_fraction: 0.15,
-            seed: 11,
-        }),
-        // 256×128 cells × 8 B = 256 KB CostArray; 32 regions of dense local
-        // wires — the paper's synthetic dense-wire input.
-        Scale::Full => Circuit::generate(CircuitParams {
-            width: 256,
-            height: 128,
-            regions: 32,
-            wires_per_region: 48,
-            crossing_fraction: 0.1,
-            multi_pin_fraction: 0.15,
-            seed: 11,
-        }),
-    };
-    locusroute::LocusParams {
-        circuit,
-        iterations: 2,
-    }
+    driver::locus_params(scale.app_scale())
 }
 
 /// Figures 8–11: LocusRoute speedups (Base / Affinity / Affinity+ObjDistr)
@@ -215,16 +170,7 @@ pub fn fig_locusroute(procs: &[usize], scale: Scale) -> Vec<FigureRow> {
 }
 
 fn panel_problem(scale: Scale) -> panel_cholesky::PanelProblem {
-    let (k, width) = match scale {
-        Scale::Small => (8, 4),
-        // 40×40 grid Laplacian: n = 1600, ample fill — the factor exceeds
-        // the L2 cache like the paper's sparse matrices did.
-        Scale::Full => (40, 8),
-    };
-    panel_cholesky::PanelProblem::analyse(&panel_cholesky::PanelParams {
-        matrix: grid_laplacian(k),
-        max_panel_width: width,
-    })
+    driver::panel_problem(scale.app_scale())
 }
 
 /// Figures 12–15: Panel Cholesky speedups (Base / Distr / Distr+Aff /
@@ -259,10 +205,7 @@ pub fn fig_panel_cholesky(procs: &[usize], scale: Scale) -> Vec<FigureRow> {
 }
 
 fn block_params(scale: Scale) -> block_cholesky::BlockParams {
-    match scale {
-        Scale::Small => block_cholesky::BlockParams { n: 48, block: 8 },
-        Scale::Full => block_cholesky::BlockParams { n: 192, block: 16 },
-    }
+    driver::block_params(scale.app_scale())
 }
 
 /// Figure 16 (right): Block Cholesky with and without affinity hints.
@@ -287,24 +230,7 @@ pub fn fig_block_cholesky(procs: &[usize], scale: Scale) -> Vec<FigureRow> {
 }
 
 fn bh_params(scale: Scale) -> barnes_hut::BhParams {
-    match scale {
-        Scale::Small => barnes_hut::BhParams {
-            nbodies: 128,
-            groups: 16,
-            timesteps: 2,
-            theta: 0.6,
-            dt: 0.01,
-            seed: 4,
-        },
-        Scale::Full => barnes_hut::BhParams {
-            nbodies: 2048,
-            groups: 64,
-            timesteps: 3,
-            theta: 0.6,
-            dt: 0.01,
-            seed: 4,
-        },
-    }
+    driver::bh_params(scale.app_scale())
 }
 
 /// Figure 16 (left): Barnes-Hut with and without affinity hints.
@@ -329,10 +255,7 @@ pub fn fig_barnes_hut(procs: &[usize], scale: Scale) -> Vec<FigureRow> {
 }
 
 fn gauss_params(scale: Scale) -> gauss::GaussParams {
-    match scale {
-        Scale::Small => gauss::GaussParams { n: 32, seed: 7 },
-        Scale::Full => gauss::GaussParams { n: 192, seed: 7 },
-    }
+    driver::gauss_params(scale.app_scale())
 }
 
 /// Figure 3's example as an experiment: column GE with the TASK+OBJECT

@@ -41,19 +41,12 @@ pub struct SweepCell {
     pub report: AppReport,
 }
 
-/// Run one pinned-scale application instance.
+/// Run one pinned-scale application instance (the shared scaled dispatch
+/// in `apps::driver` guarantees these are the same inputs the figure
+/// drivers and the repro matrix use).
 pub fn run_app(app: &str, v: Version, nprocs: usize) -> AppReport {
     let scale = Scale::Small;
-    let cfg = scale.config(nprocs, v);
-    match app {
-        "ocean" => apps::ocean::run(cfg, &crate::ocean_params(scale), v),
-        "locusroute" => apps::locusroute::run(cfg, &crate::locus_params(scale), v),
-        "panel_cholesky" => apps::panel_cholesky::run(cfg, &crate::panel_problem(scale), v),
-        "block_cholesky" => apps::block_cholesky::run(cfg, &crate::block_params(scale), v),
-        "barnes_hut" => apps::barnes_hut::run(cfg, &crate::bh_params(scale), v),
-        "gauss" => apps::gauss::run(cfg, &crate::gauss_params(scale), v),
-        other => panic!("unknown sweep app {other}"),
-    }
+    apps::driver::run_app_scaled(app, scale.config(nprocs, v), scale.app_scale(), v)
 }
 
 /// Run every cell of one application's slice of the sweep.

@@ -1,0 +1,160 @@
+//! Per-point result memoization keyed by config hash.
+//!
+//! Every matrix point's measurements are a pure function of its config
+//! string (inputs + version + simulator fingerprint + repro epoch), so the
+//! sweep engine caches each finished [`ReproRecord`] in a file named by the
+//! FNV-1a hash of that string and skips re-running unchanged points on
+//! re-invocation. The full config string is stored *inside* the record and
+//! re-checked on lookup, so a hash collision (or a stale file from an older
+//! epoch) degrades to a cache miss, never to a wrong result.
+//!
+//! The cache lives under `target/` by default — it is a derived artifact,
+//! never committed, and `cargo clean` (or deleting the directory) is the
+//! way to force a full re-run after a behaviour change that forgot to bump
+//! `REPRO_EPOCH`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use super::matrix::MatrixPoint;
+use super::record::ReproRecord;
+
+/// A directory of memoized records, shared by reference across the job
+/// pool's workers (lookup/store take `&self`; hit/miss counters are
+/// atomics).
+#[derive(Debug)]
+pub struct MemoCache {
+    dir: PathBuf,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl MemoCache {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(MemoCache {
+            dir,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        })
+    }
+
+    /// The default location: `target/repro-cache` next to the workspace
+    /// `Cargo.toml` when run via cargo, else relative to the CWD.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/repro-cache")
+    }
+
+    fn path_for(&self, point: &MatrixPoint) -> PathBuf {
+        self.dir.join(format!("{}.json", point.hash_hex()))
+    }
+
+    /// Look a point up. A readable record whose embedded config string
+    /// matches the point's is a hit; anything else (absent file, parse
+    /// failure, config mismatch) is a miss.
+    pub fn lookup(&self, point: &MatrixPoint) -> Option<ReproRecord> {
+        let found = fs::read_to_string(self.path_for(point))
+            .ok()
+            .and_then(|text| ReproRecord::parse(&text).ok())
+            .filter(|rec| rec.config == point.config_string());
+        match found {
+            Some(rec) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rec)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed record. Written to a worker-unique temp
+    /// file then renamed, so concurrent writers and readers never observe a
+    /// torn record.
+    pub fn store(&self, rec: &ReproRecord) -> io::Result<()> {
+        let path = self.dir.join(format!("{}.json", rec.hash));
+        let tmp = self.dir.join(format!("{}.tmp-{:?}", rec.hash, std::thread::current().id()));
+        fs::write(&tmp, format!("{}\n", rec.to_json(0)))?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repro::matrix::{build_matrix, MatrixPoint};
+    use crate::Scale;
+    use apps::Version;
+
+    fn tmp_cache(tag: &str) -> MemoCache {
+        let dir = std::env::temp_dir().join(format!(
+            "cool-repro-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        MemoCache::open(dir).unwrap()
+    }
+
+    fn point() -> MatrixPoint {
+        build_matrix(&["gauss"], None, Some(&[2]), Scale::Small)
+            .into_iter()
+            .find(|p| p.nprocs == 2 && p.version == Version::Base)
+            .unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let cache = tmp_cache("roundtrip");
+        let p = point();
+        assert!(cache.lookup(&p).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let rec = p.run();
+        cache.store(&rec).unwrap();
+        let back = cache.lookup(&p).expect("stored record found");
+        assert_eq!(back, rec);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn mutated_config_misses_and_collision_degrades_to_miss() {
+        let cache = tmp_cache("mutate");
+        let p = point();
+        let rec = p.run();
+        cache.store(&rec).unwrap();
+        // A different processor count is a different hash → plain miss.
+        let other = MatrixPoint { nprocs: 4, ..p };
+        assert!(cache.lookup(&other).is_none());
+        // Simulate a hash collision / stale epoch: a file at the right name
+        // whose embedded config disagrees must be treated as a miss.
+        let mut forged = rec.clone();
+        forged.config = format!("{} | forged", rec.config);
+        fs::write(
+            cache.dir().join(format!("{}.json", p.hash_hex())),
+            forged.to_json(0),
+        )
+        .unwrap();
+        assert!(cache.lookup(&p).is_none(), "config mismatch is a miss");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

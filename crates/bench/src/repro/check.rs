@@ -1,0 +1,150 @@
+//! The tolerance-band drift gate: freshly swept records vs a committed
+//! golden document.
+//!
+//! The simulator is deterministic, so on an unchanged tree the comparison
+//! holds exactly; the relative tolerance band exists so an *intentional*
+//! small behaviour change (a cost-constant tweak, a latency adjustment) can
+//! be landed together with refreshed prose while CI still catches real
+//! regressions. Identity must match exactly: the two documents must cover
+//! the same matrix points, and a config-fingerprint mismatch is always
+//! drift (it means the machine, the inputs or the epoch changed and the
+//! goldens need regeneration, a reviewable act).
+
+use super::record::ReproRecord;
+
+/// Relative difference of two counts, safe at zero.
+fn rel(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+fn key(r: &ReproRecord) -> (String, String, usize, String) {
+    (r.app.clone(), r.series.clone(), r.nprocs, r.scale.clone())
+}
+
+/// Compare `fresh` against `golden` within relative tolerance `tol`
+/// (e.g. `0.02` = 2%). Returns every violation found, empty on success.
+pub fn drift(fresh: &[ReproRecord], golden: &[ReproRecord], tol: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    for g in golden {
+        let Some(f) = fresh.iter().find(|f| key(f) == key(g)) else {
+            problems.push(format!(
+                "missing point: {}/{}@{}({}) in fresh sweep",
+                g.app, g.series, g.nprocs, g.scale
+            ));
+            continue;
+        };
+        let id = format!("{}/{}@{}({})", g.app, g.series, g.nprocs, g.scale);
+        if f.config != g.config {
+            problems.push(format!(
+                "{id}: config drift\n  golden: {}\n  fresh:  {}",
+                g.config, f.config
+            ));
+            continue;
+        }
+        let fields: [(&str, f64, f64); 12] = [
+            ("speedup", f.speedup, g.speedup),
+            ("elapsed", f.elapsed as f64, g.elapsed as f64),
+            ("busy", f.busy as f64, g.busy as f64),
+            ("idle", f.idle as f64, g.idle as f64),
+            ("overhead", f.overhead as f64, g.overhead as f64),
+            ("refs", f.refs as f64, g.refs as f64),
+            ("l1_hits", f.l1_hits as f64, g.l1_hits as f64),
+            ("l2_hits", f.l2_hits as f64, g.l2_hits as f64),
+            ("local_misses", f.local_misses as f64, g.local_misses as f64),
+            ("remote_misses", f.remote_misses as f64, g.remote_misses as f64),
+            ("invalidations", f.invalidations as f64, g.invalidations as f64),
+            ("adherence", f.adherence, g.adherence),
+        ];
+        for (name, fv, gv) in fields {
+            let r = rel(fv, gv);
+            if r > tol {
+                problems.push(format!(
+                    "{id}: {name} drifted {:.2}% (golden {gv}, fresh {fv}, tolerance {:.2}%)",
+                    r * 100.0,
+                    tol * 100.0
+                ));
+            }
+        }
+        if f.max_error > 1e-6 {
+            problems.push(format!("{id}: numeric error {:.3e} exceeds 1e-6", f.max_error));
+        }
+    }
+    for f in fresh {
+        if !golden.iter().any(|g| key(g) == key(f)) {
+            problems.push(format!(
+                "extra point: {}/{}@{}({}) not in golden",
+                f.app, f.series, f.nprocs, f.scale
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(elapsed: u64) -> ReproRecord {
+        ReproRecord {
+            app: "gauss".into(),
+            series: "Base".into(),
+            nprocs: 4,
+            scale: "small".into(),
+            config: "cfg".into(),
+            hash: "0".into(),
+            speedup: 1.0,
+            elapsed,
+            busy: 100,
+            idle: 0,
+            overhead: 0,
+            refs: 100,
+            l1_hits: 90,
+            l2_hits: 0,
+            local_misses: 5,
+            remote_misses: 5,
+            invalidations: 0,
+            adherence: 1.0,
+            max_error: 0.0,
+        }
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        assert!(drift(&[rec(1000)], &[rec(1000)], 0.0).is_empty());
+    }
+
+    #[test]
+    fn small_drift_within_band_passes_large_fails() {
+        assert!(drift(&[rec(1010)], &[rec(1000)], 0.02).is_empty());
+        let problems = drift(&[rec(1500)], &[rec(1000)], 0.02);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("elapsed"), "{problems:?}");
+    }
+
+    #[test]
+    fn missing_extra_and_config_drift_reported() {
+        let mut other = rec(1000);
+        other.nprocs = 8;
+        let problems = drift(&[other], &[rec(1000)], 0.5);
+        assert!(problems.iter().any(|p| p.starts_with("missing point")));
+        assert!(problems.iter().any(|p| p.starts_with("extra point")));
+
+        let mut forged = rec(1000);
+        forged.config = "other-cfg".into();
+        let problems = drift(&[forged], &[rec(1000)], 0.5);
+        assert!(problems.iter().any(|p| p.contains("config drift")), "{problems:?}");
+    }
+
+    #[test]
+    fn numeric_error_always_gates() {
+        let mut bad = rec(1000);
+        bad.max_error = 1e-3;
+        let problems = drift(&[bad], &[rec(1000)], 1.0);
+        assert!(problems.iter().any(|p| p.contains("numeric error")), "{problems:?}");
+    }
+}

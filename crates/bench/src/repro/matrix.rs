@@ -1,0 +1,238 @@
+//! The experiment matrix: which (app, version, processor-count, scale)
+//! points the reproduction sweeps, and how one point runs.
+
+use apps::driver;
+use apps::Version;
+
+use super::record::{fnv1a64, ReproRecord, REPRO_EPOCH};
+use crate::Scale;
+
+/// One cell of the experiment matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixPoint {
+    /// Application name (one of [`driver::APP_NAMES`]).
+    pub app: &'static str,
+    /// Scheduling version.
+    pub version: Version,
+    /// Simulated processors.
+    pub nprocs: usize,
+    /// Experiment scale.
+    pub scale: Scale,
+}
+
+impl MatrixPoint {
+    /// Short display label, e.g. `gauss/Base@4(small)`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}@{}({})",
+            self.app,
+            self.version.label(),
+            self.nprocs,
+            self.scale.app_scale().name()
+        )
+    }
+
+    /// The full config fingerprint this point memoizes under: pinned app
+    /// inputs, scheduling version, the complete simulator fingerprint
+    /// (machine + policy + cost constants), and the repro epoch.
+    pub fn config_string(&self) -> String {
+        let cfg = self.scale.config(self.nprocs, self.version);
+        format!(
+            "{} | v={} | {} | epoch={}",
+            driver::params_fingerprint(self.app, self.scale.app_scale()),
+            self.version.label(),
+            cfg.fingerprint(),
+            REPRO_EPOCH,
+        )
+    }
+
+    /// The memoization key: `fnv1a64(config_string)` in lower-case hex.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", fnv1a64(&self.config_string()))
+    }
+
+    /// Run the simulation for this point and package the measurements.
+    /// Deterministic: equal points produce byte-identical records wherever
+    /// and whenever they run.
+    pub fn run(&self) -> ReproRecord {
+        let cfg = self.scale.config(self.nprocs, self.version);
+        let report = driver::run_app_scaled(self.app, cfg, self.scale.app_scale(), self.version);
+        ReproRecord::from_report(
+            self.app,
+            self.version,
+            self.nprocs,
+            self.scale.app_scale().name(),
+            self.config_string(),
+            &report,
+        )
+    }
+}
+
+/// The full reproduction matrix at `scale`: every app, its paper version
+/// ladder ([`driver::versions_for`]), and the paper's processor counts
+/// ([`driver::procs_for`] — 1–32, Panel Cholesky capped at 24 at full
+/// scale).
+pub fn full_matrix(scale: Scale) -> Vec<MatrixPoint> {
+    build_matrix(&driver::APP_NAMES, None, None, scale)
+}
+
+/// Apps of the CI smoke matrix.
+pub const SMOKE_APPS: [&str; 2] = ["gauss", "ocean"];
+/// Versions of the CI smoke matrix (the two extremes of the ladder).
+pub const SMOKE_VERSIONS: [Version; 2] = [Version::Base, Version::AffinityDistr];
+/// Processor counts of the CI smoke matrix.
+pub const SMOKE_PROCS: [usize; 2] = [1, 4];
+
+/// The pinned CI smoke matrix: 2 apps × 2 versions × {1, 4} processors at
+/// small scale, validated against `results/smoke/records.json` by the CI
+/// drift gate.
+pub fn smoke_matrix() -> Vec<MatrixPoint> {
+    build_matrix(
+        &SMOKE_APPS,
+        Some(&SMOKE_VERSIONS),
+        Some(&SMOKE_PROCS),
+        Scale::Small,
+    )
+}
+
+/// Build a matrix from filters. `versions`/`procs` of `None` mean "the
+/// paper's ladder/counts for each app". Unknown version labels or counts
+/// are the caller's problem (the point will panic when run); unknown app
+/// names panic here. Every app's 1-processor `Base` baseline is always
+/// included so speedups are well-defined on any slice.
+pub fn build_matrix(
+    apps: &[&'static str],
+    versions: Option<&[Version]>,
+    procs: Option<&[usize]>,
+    scale: Scale,
+) -> Vec<MatrixPoint> {
+    let mut points = Vec::new();
+    for &app in apps {
+        let ladder = driver::versions_for(app);
+        let counts = driver::procs_for(app, scale.app_scale());
+        let baseline = MatrixPoint {
+            app,
+            version: Version::Base,
+            nprocs: 1,
+            scale,
+        };
+        if !points.contains(&baseline) {
+            points.push(baseline);
+        }
+        for &v in ladder {
+            if let Some(sel) = versions {
+                if !sel.contains(&v) {
+                    continue;
+                }
+            }
+            for &p in counts {
+                if let Some(sel) = procs {
+                    if !sel.contains(&p) {
+                        continue;
+                    }
+                }
+                let point = MatrixPoint {
+                    app,
+                    version: v,
+                    nprocs: p,
+                    scale,
+                };
+                if !points.contains(&point) {
+                    points.push(point);
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Parse a version label (as printed by `Version::label`) back to the enum.
+pub fn parse_version(label: &str) -> Option<Version> {
+    Version::ALL.iter().copied().find(|v| v.label() == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_covers_every_ladder_and_count() {
+        let m = full_matrix(Scale::Small);
+        // 6 apps; ladder sizes 3+3+4+2+2+3 = 17 series × 6 counts = 102.
+        assert_eq!(m.len(), 17 * 6);
+        for &app in &driver::APP_NAMES {
+            assert!(m
+                .iter()
+                .any(|p| p.app == app && p.version == Version::Base && p.nprocs == 1));
+        }
+        // Panel Cholesky at full scale stops at 24 processors.
+        let f = full_matrix(Scale::Full);
+        assert!(f
+            .iter()
+            .filter(|p| p.app == "panel_cholesky")
+            .all(|p| p.nprocs <= 24));
+        assert!(f.iter().any(|p| p.app == "panel_cholesky" && p.nprocs == 24));
+    }
+
+    #[test]
+    fn smoke_matrix_is_pinned() {
+        let m = smoke_matrix();
+        assert_eq!(m.len(), 8);
+        assert!(m.iter().all(|p| p.scale == Scale::Small));
+        assert!(m
+            .iter()
+            .any(|p| p.app == "ocean" && p.version == Version::AffinityDistr && p.nprocs == 4));
+    }
+
+    #[test]
+    fn filtered_matrix_keeps_baselines() {
+        let m = build_matrix(
+            &["gauss"],
+            Some(&[Version::AffinityDistr]),
+            Some(&[8]),
+            Scale::Small,
+        );
+        assert_eq!(m.len(), 2, "baseline + the selected point: {m:?}");
+        assert!(m.contains(&MatrixPoint {
+            app: "gauss",
+            version: Version::Base,
+            nprocs: 1,
+            scale: Scale::Small,
+        }));
+    }
+
+    #[test]
+    fn config_strings_separate_every_axis() {
+        let base = MatrixPoint {
+            app: "gauss",
+            version: Version::Base,
+            nprocs: 4,
+            scale: Scale::Small,
+        };
+        let others = vec![
+            MatrixPoint { app: "ocean", ..base },
+            MatrixPoint {
+                version: Version::AffinityDistr,
+                ..base
+            },
+            MatrixPoint { nprocs: 8, ..base },
+            MatrixPoint {
+                scale: Scale::Full,
+                ..base
+            },
+        ];
+        let c0 = base.config_string();
+        for o in others {
+            assert_ne!(o.config_string(), c0, "{o:?}");
+            assert_ne!(o.hash_hex(), base.hash_hex());
+        }
+    }
+
+    #[test]
+    fn version_labels_roundtrip() {
+        for v in Version::ALL {
+            assert_eq!(parse_version(v.label()), Some(v));
+        }
+        assert_eq!(parse_version("nope"), None);
+    }
+}

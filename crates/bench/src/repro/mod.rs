@@ -1,0 +1,44 @@
+//! # cool-repro — the paper-figure reproduction sweep engine
+//!
+//! Enumerates the full experiment matrix of the paper's evaluation — six
+//! applications × their scheduling-version ladders (no hints / affinity
+//! hints / object distribution / +cluster stealing) × processor counts
+//! 1–32 — and runs the deterministic simulations **in parallel across host
+//! threads**:
+//!
+//! * [`matrix`] — the matrix itself: point enumeration, per-point config
+//!   fingerprints, and the pinned CI smoke subset.
+//! * [`pool`] — a work-stealing job pool over host threads with a
+//!   progress/ETA reporter riding the `cool-obs` event stream (the sweep is
+//!   itself exportable as a Perfetto trace).
+//! * [`cache`] — per-point memoization keyed by config hash: re-invocations
+//!   skip every unchanged point.
+//! * [`record`] — the schema'd `cool-repro-v1` JSON record (speedup,
+//!   execution-time breakdown, PerfMonitor cache/local/remote attribution)
+//!   and its byte-stable reader/writer.
+//! * [`render`] — Markdown/TSV speedup tables and miss-breakdown tables
+//!   mapped one-to-one onto the paper's figures (committed under
+//!   `results/`).
+//! * [`check`] — the tolerance-band drift gate CI runs against the
+//!   committed goldens.
+//!
+//! The `repro` binary (`cargo run --release -p bench --bin repro`) is the
+//! command-line front end; `REPRODUCTION.md` at the repo root documents the
+//! exact commands behind every committed artifact.
+
+pub mod cache;
+pub mod check;
+pub mod matrix;
+pub mod pool;
+pub mod record;
+pub mod render;
+
+pub use cache::MemoCache;
+pub use check::drift;
+pub use matrix::{build_matrix, full_matrix, smoke_matrix, MatrixPoint};
+pub use pool::{run_serial, run_sweep, SweepOptions, SweepOutcome};
+pub use record::{
+    derive_speedups, fnv1a64, parse_records_doc, records_doc, ReproRecord, REPRO_EPOCH,
+    REPRO_SCHEMA,
+};
+pub use render::{markdown_report, records_tsv};

@@ -81,7 +81,7 @@ impl Race {
 /// Result of the happens-before pass.
 #[derive(Clone, Debug, Default)]
 pub struct RaceReport {
-    /// Deduplicated races (capped at [`MAX_RACES`] stored entries).
+    /// Deduplicated races (capped at `MAX_RACES` stored entries).
     pub races: Vec<Race>,
     /// Total conflicting pairs found before deduplication.
     pub raw_conflicts: u64,

@@ -87,24 +87,36 @@ impl AccessKind {
 #[derive(Clone, Debug, PartialEq)]
 pub enum RtEvent {
     /// A `run_phase` began (the `waitfor` block opened).
-    PhaseBegin { seq: u32 },
+    PhaseBegin {
+        /// Phase sequence number (monotone per run).
+        seq: u32,
+    },
     /// The phase ran to quiescence: all transitively spawned tasks are done.
-    PhaseEnd { seq: u32 },
+    PhaseEnd {
+        /// Phase sequence number (matches the corresponding begin).
+        seq: u32,
+    },
     /// A task was created and enqueued. `parent` is `None` for spawns from
     /// outside any task (the root context).
     Spawn {
+        /// Spawning task, or `None` for the root context.
         parent: Option<TaskUid>,
+        /// Identity of the new task.
         child: TaskUid,
+        /// Human-readable task label, when the app provided one.
         label: Option<&'static str>,
         /// OBJECT-affinity object, if hinted.
         object: Option<ObjRef>,
         /// Server the affinity resolution selected.
         target: ProcId,
+        /// Virtual cycle of the spawning server.
         time: u64,
     },
     /// A task began executing (after any mutex acquisition succeeded).
     TaskStart {
+        /// Task being dispatched.
         task: TaskUid,
+        /// Server executing the task.
         proc: ProcId,
         /// Server the spawn-time affinity resolution selected.
         target: ProcId,
@@ -114,42 +126,87 @@ pub enum RtEvent {
         /// The object's home server resolved *now* (dispatch time) — differs
         /// from `target` when the object migrated after the spawn.
         object_home: Option<ProcId>,
+        /// Virtual cycle of the dispatching server.
         time: u64,
     },
     /// The task body completed (after mutex release).
-    TaskEnd { task: TaskUid, proc: ProcId, time: u64 },
+    TaskEnd {
+        /// Task that finished.
+        task: TaskUid,
+        /// Server it ran on.
+        proc: ProcId,
+        /// Virtual cycle of completion.
+        time: u64,
+    },
     /// A `with_mutex` lock was acquired (emitted once per lock, in the
     /// task's declared acquisition order).
-    MutexAcquire { task: TaskUid, lock: ObjRef, time: u64 },
+    MutexAcquire {
+        /// Acquiring task.
+        task: TaskUid,
+        /// Lock object.
+        lock: ObjRef,
+        /// Virtual cycle of acquisition.
+        time: u64,
+    },
     /// A `with_mutex` lock was released (reverse acquisition order).
-    MutexRelease { task: TaskUid, lock: ObjRef, time: u64 },
+    MutexRelease {
+        /// Releasing task.
+        task: TaskUid,
+        /// Lock object.
+        lock: ObjRef,
+        /// Virtual cycle of release.
+        time: u64,
+    },
     /// A mirrored memory access.
     Access {
+        /// Accessing task.
         task: TaskUid,
+        /// Base of the accessed range.
         obj: ObjRef,
+        /// Length of the accessed range in bytes.
         len: u64,
+        /// Read/write/atomic classification.
         kind: AccessKind,
+        /// Server the access executed on.
         proc: ProcId,
+        /// Virtual cycle of the access.
         time: u64,
     },
     /// Release-acquire synchronisation point on `token` (zero-cost; models
     /// the runtime's completion counters — see module docs).
-    Sync { task: TaskUid, token: ObjRef, time: u64 },
+    Sync {
+        /// Synchronising task.
+        task: TaskUid,
+        /// Token object carrying the release-acquire edge.
+        token: ObjRef,
+        /// Virtual cycle of the sync.
+        time: u64,
+    },
     /// A prefetch issued at task dispatch. `cost` is the cycles the issue
     /// charged (0 when the lines were already cached).
     Prefetch {
+        /// Task whose dispatch issued the prefetch.
         task: TaskUid,
+        /// Object being prefetched.
         obj: ObjRef,
+        /// Bytes fetched.
         bytes: u64,
+        /// Cycles charged for the issue (0 if already cached).
         cost: u64,
+        /// Virtual cycle of the issue.
         time: u64,
     },
     /// `migrate()` moved `bytes` at `obj` to `to`'s local memory.
     Migrate {
+        /// Task that requested the migration.
         task: TaskUid,
+        /// Object that moved.
         obj: ObjRef,
+        /// Bytes moved.
         bytes: u64,
+        /// Destination server (its cluster's local memory).
         to: ProcId,
+        /// Virtual cycle of the move.
         time: u64,
     },
 }

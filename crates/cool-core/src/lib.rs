@@ -36,6 +36,8 @@
 //! numbers) and the real threaded runtime (`cool-rt`) are built on these
 //! types, so the scheduling behaviour under test is literally the same code.
 
+#![warn(missing_docs)]
+
 pub mod affinity;
 pub mod error;
 pub mod events;

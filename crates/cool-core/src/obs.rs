@@ -71,8 +71,11 @@ impl MemDelta {
 pub enum ObsEvent {
     /// A task body is about to run.
     TaskBegin {
+        /// Task being dispatched.
         task: TaskUid,
+        /// Human-readable task label, when the app provided one.
         label: Option<&'static str>,
+        /// Server executing the task.
         proc: ProcId,
         /// Task-affinity set (queue token) the task was queued under.
         set: Option<ObjRef>,
@@ -80,60 +83,100 @@ pub enum ObsEvent {
         hinted: bool,
         /// Whether it runs on the server its hint resolved to.
         on_target: bool,
+        /// Backend timestamp (see enum docs).
         time: u64,
     },
     /// The task body finished. `mem` is the PerfMonitor delta across the
     /// body (absent on backends without a memory model, i.e. `cool-rt`).
     TaskEnd {
+        /// Task that finished.
         task: TaskUid,
+        /// Server it ran on.
         proc: ProcId,
+        /// PerfMonitor reference delta across the body, when modelled.
         mem: Option<MemDelta>,
+        /// Backend timestamp (see enum docs).
         time: u64,
     },
     /// A steal succeeded: `ntasks` tasks moved from `victim` to `thief`.
     /// `token` is the stolen set's affinity token (`None` for single-task
     /// steals).
     StealSuccess {
+        /// Stealing server.
         thief: ProcId,
+        /// Server the work was taken from.
         victim: ProcId,
+        /// Affinity token of the stolen set (`None` for single tasks).
         token: Option<ObjRef>,
+        /// Number of tasks moved.
         ntasks: usize,
+        /// Backend timestamp (see enum docs).
         time: u64,
     },
     /// A steal scan found nothing after probing `probes` victims.
     StealFail {
+        /// Scanning server.
         thief: ProcId,
+        /// Victims probed before giving up.
         probes: usize,
+        /// Backend timestamp (see enum docs).
         time: u64,
     },
     /// An empty affinity slot became linked (a new task-affinity set started
     /// queueing) on `proc`.
     SlotLink {
+        /// Server owning the queue.
         proc: ProcId,
+        /// Affinity-slot index.
         slot: usize,
+        /// Affinity token hashed into the slot.
         token: ObjRef,
+        /// Backend timestamp (see enum docs).
         time: u64,
     },
     /// Local service drained an affinity slot (the set ran to completion
     /// back to back).
-    SlotDrain { proc: ProcId, slot: usize, time: u64 },
+    SlotDrain {
+        /// Server owning the queue.
+        proc: ProcId,
+        /// Affinity-slot index.
+        slot: usize,
+        /// Backend timestamp (see enum docs).
+        time: u64,
+    },
     /// A task found its declared mutex held and was set aside.
     MutexWait {
+        /// Waiting task.
         task: TaskUid,
+        /// Contended lock object.
         lock: ObjRef,
+        /// Server the task was dispatched on.
         proc: ProcId,
+        /// Backend timestamp (see enum docs).
         time: u64,
     },
     /// `migrate()` moved `bytes` at `obj` to `to`'s local memory.
     Migrate {
+        /// Task that requested the migration.
         task: TaskUid,
+        /// Object that moved.
         obj: ObjRef,
+        /// Bytes moved.
         bytes: u64,
+        /// Destination server (its cluster's local memory).
         to: ProcId,
+        /// Backend timestamp (see enum docs).
         time: u64,
     },
     /// Queue-depth sample on `proc`, taken at dispatch points.
-    QueueDepth { proc: ProcId, depth: usize, time: u64 },
+    QueueDepth {
+        /// Sampled server.
+        proc: ProcId,
+        /// Tasks queued (all slots plus the default queue).
+        depth: usize,
+        /// Backend timestamp (see enum docs).
+        time: u64,
+    },
 }
 
 impl ObsEvent {

@@ -111,6 +111,19 @@ impl Default for StealPolicy {
 }
 
 impl StealPolicy {
+    /// A compact, stable fingerprint of the policy knobs, used in the
+    /// `cool-repro` memoization key.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "steal={} avoid={} sets={} cluster={} lr={}",
+            u8::from(self.enabled),
+            u8::from(self.avoid_object_affinity),
+            u8::from(self.steal_whole_sets),
+            u8::from(self.cluster_only),
+            self.last_resort_after,
+        )
+    }
+
     /// No stealing at all.
     pub fn disabled() -> Self {
         StealPolicy {

@@ -88,7 +88,9 @@ pub struct SlotUpdate {
 /// A dequeued task plus the queue bookkeeping the observability layer wants.
 #[derive(Debug)]
 pub struct Popped<T> {
+    /// Affinity classification the task was queued with.
     pub kind: AffinityKind,
+    /// The task itself.
     pub payload: T,
     /// Token the task was queued under (`None` for the default queue).
     pub token: Option<ObjRef>,

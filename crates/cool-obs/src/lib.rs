@@ -13,12 +13,18 @@
 //!   remote breakdown attributed from PerfMonitor deltas at task
 //!   boundaries (so the per-set totals sum to the end-of-run aggregates).
 //!
+//! * [`progress`] — a progress/ETA meter folded incrementally over the same
+//!   event stream, used by the `cool-repro` sweep engine's host-parallel
+//!   job pool.
+//!
 //! Everything is hand-rolled string formatting over a fixed key order — no
 //! JSON dependency, matching the offline build constraints and the
 //! `cool-bench-v1` precedent in the bench crate.
 
 pub mod chrome;
 pub mod metrics;
+pub mod progress;
 
 pub use chrome::chrome_trace_json;
 pub use metrics::{validate_metrics_json, MetricsSummary, METRICS_SCHEMA};
+pub use progress::ProgressMeter;

@@ -5,8 +5,8 @@
 //! A task body that panics does not take the runtime down with it. Execution
 //! is wrapped in `catch_unwind`, and the two pieces of scheduler state a task
 //! can hold — its slot in the enclosing `waitfor` scope and the `mutex_on`
-//! object it may have locked — are released by RAII guards ([`ScopeTicket`],
-//! [`HeldGuard`]) that run on the unwind path too. The worker thread then
+//! object it may have locked — are released by RAII guards (`ScopeTicket`,
+//! `HeldGuard`) that run on the unwind path too. The worker thread then
 //! keeps scheduling; the failure is reported to the scope's waiter as a
 //! [`TaskError`] inside [`ScopeError::Panicked`], and counted in
 //! `SchedStats::panics`.

@@ -117,6 +117,24 @@ impl SimConfig {
         self.record_trace = true;
         self
     }
+
+    /// A compact, stable fingerprint of every knob that influences the
+    /// simulated schedule: the machine, the steal policy, and the scheduler
+    /// cost constants. Recording flags are deliberately excluded — they are
+    /// observers, never inputs (recording a run must not change it).
+    /// `cool-repro` hashes this into its memoization key.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{} {} slots={} probe={} xfer={} mrt={} spawn={}",
+            self.machine.fingerprint(),
+            self.policy.fingerprint(),
+            self.affinity_slots,
+            self.steal_probe_cost,
+            self.steal_xfer_cost,
+            self.mutex_retry_cost,
+            self.spawn_cost,
+        )
+    }
 }
 
 /// A task bound to its scheduling decision.

@@ -133,6 +133,33 @@ impl MachineConfig {
         }
     }
 
+    /// A compact, stable fingerprint of every parameter that influences
+    /// simulated behaviour. Feeds the `cool-repro` memoization key: two
+    /// configs with equal fingerprints produce identical simulations, and
+    /// any parameter change changes the string.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "p{}x{} l1={}/{}/{} l2={}/{}/{} lat={}/{}/{}/{}/{} pg={} do={} mig={} occ={}",
+            self.nprocs,
+            self.procs_per_cluster,
+            self.l1.size_bytes,
+            self.l1.line_bytes,
+            self.l1.assoc,
+            self.l2.size_bytes,
+            self.l2.line_bytes,
+            self.l2.assoc,
+            self.lat.l1_hit,
+            self.lat.l2_hit,
+            self.lat.local_mem,
+            self.lat.remote_mem,
+            self.lat.dirty_penalty,
+            self.page_bytes,
+            self.dispatch_overhead,
+            self.page_migrate_cost,
+            self.mem_occupancy,
+        )
+    }
+
     /// Scheduler-facing topology.
     pub fn topology(&self) -> Topology {
         Topology::clustered(self.nprocs, self.procs_per_cluster)

@@ -83,7 +83,7 @@ impl Permutation {
 
 impl CscMatrix {
     /// Symmetric permutation `P·A·Pᵀ`: entry (i, j) of the result is entry
-    /// (perm[i], perm[j]) of `self`.
+    /// `(perm[i], perm[j])` of `self`.
     pub fn permute_sym(&self, p: &Permutation) -> CscMatrix {
         assert_eq!(p.len(), self.n());
         let inv = p.inverse();

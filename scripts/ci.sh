@@ -49,4 +49,21 @@ run cargo test -q --offline --test golden_figures
 # failure on a >25% wall-clock regression at the pinned scale.
 run scripts/bench.sh --smoke
 
+# Docs gate: rustdoc for the whole workspace must build warning-free —
+# this catches broken intra-doc links and (via cool-core's
+# #![warn(missing_docs)]) undocumented public API.
+RUSTDOCFLAGS="-D warnings" run cargo doc --offline --workspace --no-deps -q
+
+# Reproduction gate: sweep the pinned smoke matrix (2 apps × 2 versions ×
+# {1,4} procs) through the parallel pool with a fresh memo cache, race it
+# against the serial reference (records must be byte-identical; wall-clock
+# logged), and drift-check the records against the committed golden within
+# a 2% band. The rendered tables must match the committed ones exactly.
+rm -rf target/repro-smoke target/repro-cache-ci
+run cargo run --release --offline -q -p bench --bin repro -- \
+    --smoke --race-serial --out target/repro-smoke \
+    --check results/smoke/records.json --tolerance 0.02
+run cmp results/smoke/tables.md target/repro-smoke/tables.md
+run cmp results/smoke/tables.tsv target/repro-smoke/tables.tsv
+
 echo "CI OK"

@@ -1,7 +1,7 @@
 //! Bit-level determinism of every case study: the same configuration always
 //! produces the same virtual time, the same miss breakdown and the same
-//! scheduler statistics — the property that makes `figures_output.txt`
-//! reproducible and regressions diffable.
+//! scheduler statistics — the property that makes the committed `results/`
+//! artifacts reproducible and regressions diffable.
 
 use cool_repro::apps::{self, Version};
 use cool_repro::cool_sim::{MachineConfig, SimConfig};
