@@ -20,6 +20,9 @@
 //!   on the source column + OBJECT affinity on the destination column.
 //! * [`threaded`] — the same task structures on the real threaded runtime
 //!   (`cool-rt`), headlined by a genuinely parallel Panel Cholesky.
+//! * [`serve_adapter`] — LocusRoute nets as route-requests for the
+//!   `cool-serve` work server (region → shard key, cell evaluations →
+//!   admission cost), backing the service load generator in `bench`.
 //!
 //! All apps share the conventions in [`common`]: every task does the real
 //! computation on real data *and* mirrors its accesses into the machine, and
@@ -37,6 +40,7 @@ pub mod gauss;
 pub mod locusroute;
 pub mod ocean;
 pub mod panel_cholesky;
+pub mod serve_adapter;
 pub mod threaded;
 
 pub use common::{AppReport, Version};

@@ -209,8 +209,9 @@ fn route_net(
 }
 
 /// Candidate routes: the two L-shaped single-bend routes and Z-shaped routes
-/// with the vertical jog at a few intermediate columns.
-fn candidate_routes(wire: Wire, _w: usize, _h: usize) -> Vec<Route> {
+/// with the vertical jog at a few intermediate columns. Crate-visible so the
+/// service adapter routes with the same candidate generator.
+pub(crate) fn candidate_routes(wire: Wire, _w: usize, _h: usize) -> Vec<Route> {
     let (x0, y0) = wire.from;
     let (x1, y1) = wire.to;
     let mut out = Vec::new();

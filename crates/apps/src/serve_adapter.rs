@@ -1,0 +1,199 @@
+//! Request adapter: LocusRoute wire-routing as service requests for the
+//! `cool-rt` work server (`cool-serve`).
+//!
+//! The batch LocusRoute (see [`locusroute`](crate::locusroute)) routes every
+//! net of a circuit in converging phases; the service replay treats each net
+//! as one *route-request*: evaluate the candidate routes for the net's pin
+//! chain against the live occupancy array, pick the cheapest, and commit it.
+//! The mapping onto the service model is exactly the paper's affinity
+//! structure turned into sharding:
+//!
+//! * the request's **shard key is the net's geographic region**
+//!   (`Region(CurrentWire)` of Figure 9), so all requests touching one
+//!   vertical strip of the CostArray land on the same domain pool and reuse
+//!   that strip in its workers' caches;
+//! * the request's **cost estimate** is the cells a candidate evaluation
+//!   will examine (the same quantity the simulator charges cycles for),
+//!   which is what admission control budgets against;
+//! * the shared CostArray becomes a `Vec<AtomicU32>` with relaxed ordering —
+//!   the SPLASH "benign race" the batch version documents, now under real
+//!   threads.
+//!
+//! Each request also records how many cells its committed route occupies,
+//! which gives the load harness a *conservation invariant*: after a run, the
+//! total occupancy in the cost array must equal the sum of committed cells
+//! over completed requests. A lost request, a double-executed body, or a
+//! failed request that leaked occupancy all break the equality.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use workloads::circuit::Circuit;
+
+use crate::driver::{locus_params, AppScale};
+use crate::locusroute::{candidate_routes, Route};
+
+/// A circuit's nets viewed as a replayable set of route-requests over a
+/// shared atomic occupancy array. Cloning is cheap and shares the array.
+#[derive(Clone)]
+pub struct RouteRequestSet {
+    circuit: Arc<Circuit>,
+    /// Live occupancy per routing cell (`x * height + y`), updated with
+    /// relaxed atomics by concurrent route commits.
+    cost: Arc<Vec<AtomicU32>>,
+    /// Cells committed by each request's route (0 until it completes).
+    committed: Arc<Vec<AtomicU32>>,
+}
+
+impl RouteRequestSet {
+    /// The request set for the pinned LocusRoute circuit at `scale` (the
+    /// same generator `apps::driver` uses for the batch harnesses).
+    pub fn new(scale: AppScale) -> Self {
+        Self::from_circuit(locus_params(scale).circuit)
+    }
+
+    /// A request set over an explicit circuit.
+    pub fn from_circuit(circuit: Circuit) -> Self {
+        let cells = circuit.width * circuit.height;
+        let nets = circuit.nets.len();
+        RouteRequestSet {
+            circuit: Arc::new(circuit),
+            cost: Arc::new((0..cells).map(|_| AtomicU32::new(0)).collect()),
+            committed: Arc::new((0..nets).map(|_| AtomicU32::new(0)).collect()),
+        }
+    }
+
+    /// Number of route-requests (one per net).
+    pub fn nrequests(&self) -> usize {
+        self.circuit.nets.len()
+    }
+
+    /// The circuit being routed.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Shard key for request `i`: the net's geographic region, the paper's
+    /// `Region(CurrentWire)` affinity anchor.
+    pub fn shard_of(&self, i: usize) -> u64 {
+        self.circuit.region_of_net(&self.circuit.nets[i]) as u64
+    }
+
+    /// Estimated service units for request `i`: routing-cell evaluations a
+    /// candidate sweep will perform (≈ candidates × route length).
+    pub fn cost_units(&self, i: usize) -> u64 {
+        let net = &self.circuit.nets[i];
+        net.segments()
+            .map(|w| (w.hpwl() as u64 + 2) * 5)
+            .sum::<u64>()
+            .max(1)
+    }
+
+    /// The request body for net `i`: evaluate candidates against the live
+    /// occupancy, commit the cheapest route, and record the committed cell
+    /// count. Idempotent per *successful* execution — the conservation
+    /// check catches any double commit.
+    pub fn request_body(
+        &self,
+        i: usize,
+    ) -> impl Fn(u32) -> Result<(), String> + Send + Sync + 'static {
+        let net = self.circuit.nets[i].clone();
+        let (w, h) = (self.circuit.width, self.circuit.height);
+        let cost = self.cost.clone();
+        let committed = self.committed.clone();
+        move |_attempt| {
+            let mut cells: Vec<(usize, usize)> = Vec::new();
+            for wire in net.segments() {
+                let mut best: Option<(u64, Route)> = None;
+                for cand in candidate_routes(wire, w, h) {
+                    let mut total = 0u64;
+                    for &(x, y) in &cand.cells {
+                        total += cost[x * h + y].load(Ordering::Relaxed) as u64;
+                    }
+                    // Same tie-break as the batch router: penalise length.
+                    total = total * 4 + cand.cells.len() as u64;
+                    if best.as_ref().is_none_or(|(b, _)| total < *b) {
+                        best = Some((total, cand));
+                    }
+                }
+                let (_, chosen) = best.ok_or_else(|| "no candidate route".to_string())?;
+                cells.extend_from_slice(&chosen.cells);
+            }
+            cells.sort_unstable();
+            cells.dedup();
+            for &(x, y) in &cells {
+                cost[x * h + y].fetch_add(1, Ordering::Relaxed);
+            }
+            committed[i].store(cells.len() as u32, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    /// Cells the committed route of request `i` occupies (0 if it never
+    /// completed).
+    pub fn committed_cells(&self, i: usize) -> u64 {
+        self.committed[i].load(Ordering::Relaxed) as u64
+    }
+
+    /// Total occupancy across the cost array.
+    pub fn occupancy_total(&self) -> u64 {
+        self.cost.iter().map(|c| c.load(Ordering::Relaxed) as u64).sum()
+    }
+
+    /// Conservation check over a finished run: the array's total occupancy
+    /// must equal the committed cells summed over exactly the requests in
+    /// `completed` (request indices). Returns `Err` describing the imbalance
+    /// if a route was lost, double-committed, or leaked by a failed request.
+    pub fn verify_conservation(&self, completed: &[usize]) -> Result<(), String> {
+        let expect: u64 = completed.iter().map(|&i| self.committed_cells(i)).sum();
+        let got = self.occupancy_total();
+        if completed.iter().any(|&i| self.committed_cells(i) == 0) {
+            return Err("a completed request committed no cells".into());
+        }
+        if got != expect {
+            return Err(format!(
+                "occupancy {got} != committed {expect} over {} completed requests",
+                completed.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_replay_conserves_occupancy() {
+        let set = RouteRequestSet::new(AppScale::Small);
+        let n = set.nrequests();
+        assert!(n > 0);
+        for i in 0..n {
+            let body = set.request_body(i);
+            body(0).unwrap();
+        }
+        let all: Vec<usize> = (0..n).collect();
+        set.verify_conservation(&all).unwrap();
+        assert!(set.occupancy_total() > 0);
+    }
+
+    #[test]
+    fn shards_follow_regions_and_costs_are_positive() {
+        let set = RouteRequestSet::new(AppScale::Small);
+        let regions = set.circuit().regions as u64;
+        for i in 0..set.nrequests() {
+            assert!(set.shard_of(i) < regions);
+            assert!(set.cost_units(i) >= 1);
+        }
+    }
+
+    #[test]
+    fn double_commit_breaks_conservation() {
+        let set = RouteRequestSet::new(AppScale::Small);
+        let body = set.request_body(0);
+        body(0).unwrap();
+        body(1).unwrap(); // a double execution the server must prevent
+        assert!(set.verify_conservation(&[0]).is_err());
+    }
+}

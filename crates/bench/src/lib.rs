@@ -19,6 +19,7 @@
 pub mod ablation;
 pub mod perf;
 pub mod repro;
+pub mod serve;
 
 use apps::driver::{self, AppScale};
 use apps::{

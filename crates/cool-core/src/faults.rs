@@ -15,6 +15,12 @@
 //! the task's first dispatch fails before the body runs and the untouched
 //! body is requeued, so a retried task still executes exactly once and
 //! application results stay correct and comparable.
+//!
+//! The service layer (`cool-rt::serve`) consumes a second family of faults —
+//! request-keyed transient failures, slow domain pools, and request-keyed
+//! intake stalls — keyed by request id or shard domain rather than by
+//! arrival order, so the injected event set is identical under any
+//! submission interleaving (asserted by the serve chaos tests).
 
 /// A one-shot processor stall: before `proc`'s `nth_dispatch`-th task
 /// dispatch (0-based), the server freezes for `units`.
@@ -43,6 +49,17 @@ pub struct FaultPlan {
     fail_spawns: Vec<u64>,
     /// Extra units charged each time a server goes idle / scans for steals.
     wakeup: Vec<(usize, u64)>,
+    /// Service layer: request ids whose first attempt fails transiently
+    /// (sorted). Keyed by request id, not arrival order, so the injected
+    /// event set is independent of submission interleaving.
+    fail_requests: Vec<u64>,
+    /// Service layer: extra units charged to every job a domain pool
+    /// executes (slow-worker). Domains are resolved from the request's
+    /// shard key, so which requests are slowed does not depend on timing.
+    slow_domains: Vec<(usize, u64)>,
+    /// Service layer: intake stalls keyed by request id — admitting the
+    /// request freezes the intake path for the given units.
+    intake_stalls: Vec<(u64, u64)>,
 }
 
 /// The xorshift* step used to derive pseudo-random injection points from the
@@ -75,6 +92,9 @@ impl FaultPlan {
             && self.stalls.is_empty()
             && self.fail_spawns.is_empty()
             && self.wakeup.is_empty()
+            && self.fail_requests.is_empty()
+            && self.slow_domains.is_empty()
+            && self.intake_stalls.is_empty()
     }
 
     /// Make `proc` a straggler: every task it dispatches costs `units` extra.
@@ -165,6 +185,85 @@ impl FaultPlan {
             .map(|&(_, u)| u)
             .sum()
     }
+
+    // ---- Service-scoped faults (the `cool-rt` serve layer) ----------------
+    //
+    // Every service fault is keyed by request id or by shard domain — never
+    // by arrival order or dispatch count — so replaying the same request set
+    // against the same plan injects the same events no matter how arrivals
+    // interleave across submitter threads.
+
+    /// Fail the first service attempt of the request with id `id`. The
+    /// failure is transient: the server retries the request (with backoff),
+    /// and the job body still runs exactly once on success.
+    pub fn fail_request(mut self, id: u64) -> Self {
+        if let Err(pos) = self.fail_requests.binary_search(&id) {
+            self.fail_requests.insert(pos, id);
+        }
+        self
+    }
+
+    /// Fail `count` distinct request ids drawn deterministically from the
+    /// seed, uniform over `0..upto`.
+    pub fn fail_random_requests(mut self, count: usize, upto: u64) -> Self {
+        assert!(upto > 0, "fail_random_requests needs a non-empty range");
+        // Offset the state so request victims differ from task victims
+        // drawn from the same seed.
+        let mut state = (self.seed ^ 0xF00D_5EED_0BAD_CAFE) | 1;
+        let mut added = 0;
+        let mut attempts = 0usize;
+        while added < count && attempts < count * 64 {
+            attempts += 1;
+            let n = xorshift(&mut state) % upto;
+            if let Err(pos) = self.fail_requests.binary_search(&n) {
+                self.fail_requests.insert(pos, n);
+                added += 1;
+            }
+        }
+        self
+    }
+
+    /// Make every job executed by service domain `domain` cost `units`
+    /// extra (a slow worker pool).
+    pub fn slow_domain(mut self, domain: usize, units: u64) -> Self {
+        self.slow_domains.push((domain, units));
+        self
+    }
+
+    /// Freeze the intake path for `units` while admitting the request with
+    /// id `id` (a stalled intake, attributable to one request).
+    pub fn stall_intake(mut self, id: u64, units: u64) -> Self {
+        self.intake_stalls.push((id, units));
+        self
+    }
+
+    /// Should the first service attempt of request `id` fail?
+    pub fn should_fail_request(&self, id: u64) -> bool {
+        self.fail_requests.binary_search(&id).is_ok()
+    }
+
+    /// Number of request-keyed transient failures in the plan.
+    pub fn request_fail_count(&self) -> usize {
+        self.fail_requests.len()
+    }
+
+    /// Slow-worker surcharge per job executed by service domain `domain`.
+    pub fn domain_slow_units(&self, domain: usize) -> u64 {
+        self.slow_domains
+            .iter()
+            .filter(|&&(d, _)| d == domain)
+            .map(|&(_, u)| u)
+            .sum()
+    }
+
+    /// Intake stall owed while admitting request `id`.
+    pub fn intake_stall_units(&self, id: u64) -> u64 {
+        self.intake_stalls
+            .iter()
+            .filter(|&&(r, _)| r == id)
+            .map(|&(_, u)| u)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +310,42 @@ mod tests {
         for n in 0..1000 {
             assert_eq!(a.should_fail(n), b.should_fail(n));
         }
+    }
+
+    #[test]
+    fn service_faults_are_keyed_by_id_and_domain() {
+        let p = FaultPlan::new(3)
+            .fail_request(7)
+            .fail_request(2)
+            .fail_request(7)
+            .slow_domain(1, 500)
+            .slow_domain(1, 250)
+            .stall_intake(9, 4_000);
+        assert!(p.should_fail_request(2) && p.should_fail_request(7));
+        assert!(!p.should_fail_request(3));
+        assert_eq!(p.request_fail_count(), 2, "fail_request must deduplicate");
+        assert_eq!(p.domain_slow_units(1), 750);
+        assert_eq!(p.domain_slow_units(0), 0);
+        assert_eq!(p.intake_stall_units(9), 4_000);
+        assert_eq!(p.intake_stall_units(8), 0);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn random_request_failures_are_seed_deterministic_and_independent() {
+        let a = FaultPlan::new(42).fail_random_requests(8, 1000);
+        let b = FaultPlan::new(42).fail_random_requests(8, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.request_fail_count(), 8);
+        // Request victims are drawn from a different stream than task
+        // victims of the same seed, so one plan can carry both without the
+        // two fault populations shadowing each other.
+        let both = FaultPlan::new(42)
+            .fail_random_tasks(8, 1000)
+            .fail_random_requests(8, 1000);
+        let tasks: Vec<u64> = (0..1000).filter(|&n| both.should_fail(n)).collect();
+        let reqs: Vec<u64> = (0..1000).filter(|&n| both.should_fail_request(n)).collect();
+        assert_ne!(tasks, reqs, "victim streams must differ");
     }
 
     #[test]

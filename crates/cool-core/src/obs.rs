@@ -177,6 +177,59 @@ pub enum ObsEvent {
         /// Backend timestamp (see enum docs).
         time: u64,
     },
+    /// Service layer: admission accepted a request into a domain's intake
+    /// queue.
+    RequestAdmit {
+        /// Request (idempotency) id.
+        req: u64,
+        /// Shard domain the request was routed to.
+        domain: usize,
+        /// Outstanding requests on the domain after admission.
+        depth: usize,
+        /// Backend timestamp (see enum docs).
+        time: u64,
+    },
+    /// Service layer: admission shed a request (queue depth or service-time
+    /// budget exceeded, or the server is draining).
+    RequestShed {
+        /// Request (idempotency) id.
+        req: u64,
+        /// Shard domain the request would have landed on.
+        domain: usize,
+        /// Outstanding requests on the domain at the shed decision.
+        depth: usize,
+        /// Backend timestamp (see enum docs).
+        time: u64,
+    },
+    /// Service layer: a failed attempt scheduled a retry after a backoff.
+    RequestRetry {
+        /// Request (idempotency) id.
+        req: u64,
+        /// Attempt number that failed (0-based).
+        attempt: u32,
+        /// Jittered backoff before the next attempt, in nanoseconds.
+        backoff_ns: u64,
+        /// Shard domain serving the request.
+        domain: usize,
+        /// Backend timestamp (see enum docs).
+        time: u64,
+    },
+    /// Service layer: a request reached a terminal state (completed, failed
+    /// permanently, or timed out past its deadline).
+    RequestDone {
+        /// Request (idempotency) id.
+        req: u64,
+        /// Attempts consumed (1 = first attempt succeeded).
+        attempts: u32,
+        /// Whether the request completed successfully.
+        ok: bool,
+        /// Admission-to-completion latency in nanoseconds.
+        latency_ns: u64,
+        /// Shard domain that served the request.
+        domain: usize,
+        /// Backend timestamp (see enum docs).
+        time: u64,
+    },
 }
 
 impl ObsEvent {
@@ -191,11 +244,16 @@ impl ObsEvent {
             | ObsEvent::SlotDrain { time, .. }
             | ObsEvent::MutexWait { time, .. }
             | ObsEvent::Migrate { time, .. }
-            | ObsEvent::QueueDepth { time, .. } => *time,
+            | ObsEvent::QueueDepth { time, .. }
+            | ObsEvent::RequestAdmit { time, .. }
+            | ObsEvent::RequestShed { time, .. }
+            | ObsEvent::RequestRetry { time, .. }
+            | ObsEvent::RequestDone { time, .. } => *time,
         }
     }
 
-    /// The processor the event is attributed to (thief for steals).
+    /// The processor the event is attributed to (thief for steals, the
+    /// shard domain for service-request events).
     pub fn proc(&self) -> ProcId {
         match self {
             ObsEvent::TaskBegin { proc, .. }
@@ -206,6 +264,10 @@ impl ObsEvent {
             | ObsEvent::QueueDepth { proc, .. } => *proc,
             ObsEvent::StealSuccess { thief, .. } | ObsEvent::StealFail { thief, .. } => *thief,
             ObsEvent::Migrate { to, .. } => *to,
+            ObsEvent::RequestAdmit { domain, .. }
+            | ObsEvent::RequestShed { domain, .. }
+            | ObsEvent::RequestRetry { domain, .. }
+            | ObsEvent::RequestDone { domain, .. } => ProcId(*domain),
         }
     }
 }

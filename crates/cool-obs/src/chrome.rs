@@ -239,6 +239,72 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
                     p = proc.index()
                 );
             }
+            ObsEvent::RequestAdmit {
+                req,
+                domain,
+                depth,
+                time,
+            } => {
+                sep(&mut out);
+                push_instant(
+                    &mut out,
+                    "admit",
+                    *time,
+                    *domain,
+                    &format!("\"req\": {req}, \"depth\": {depth}"),
+                );
+            }
+            ObsEvent::RequestShed {
+                req,
+                domain,
+                depth,
+                time,
+            } => {
+                sep(&mut out);
+                push_instant(
+                    &mut out,
+                    "shed",
+                    *time,
+                    *domain,
+                    &format!("\"req\": {req}, \"depth\": {depth}"),
+                );
+            }
+            ObsEvent::RequestRetry {
+                req,
+                attempt,
+                backoff_ns,
+                domain,
+                time,
+            } => {
+                sep(&mut out);
+                push_instant(
+                    &mut out,
+                    "retry",
+                    *time,
+                    *domain,
+                    &format!("\"req\": {req}, \"attempt\": {attempt}, \"backoff_ns\": {backoff_ns}"),
+                );
+            }
+            ObsEvent::RequestDone {
+                req,
+                attempts,
+                ok,
+                latency_ns,
+                domain,
+                time,
+            } => {
+                sep(&mut out);
+                push_instant(
+                    &mut out,
+                    "done",
+                    *time,
+                    *domain,
+                    &format!(
+                        "\"req\": {req}, \"attempts\": {attempts}, \"ok\": {ok}, \
+                         \"latency_ns\": {latency_ns}"
+                    ),
+                );
+            }
         }
     }
     // Tasks still open at the end of the stream (clipped trace): close them

@@ -66,6 +66,16 @@ pub struct MetricsSummary {
     pub slot_drains: u64,
     /// Per-set attribution; the `None` row collects unhinted tasks.
     pub sets: BTreeMap<Option<ObjRef>, SetRow>,
+    /// Service layer: requests admitted into an intake queue.
+    pub req_admitted: u64,
+    /// Service layer: requests shed by admission control.
+    pub req_shed: u64,
+    /// Service layer: retry attempts scheduled after failed attempts.
+    pub req_retries: u64,
+    /// Service layer: requests that reached a successful terminal state.
+    pub req_completed: u64,
+    /// Service layer: requests that failed permanently or timed out.
+    pub req_failed: u64,
     /// Events lost to ring overflow.
     pub dropped: u64,
 }
@@ -126,6 +136,16 @@ impl MetricsSummary {
                 ObsEvent::Migrate { .. } => m.migrations += 1,
                 ObsEvent::QueueDepth { depth, .. } => {
                     *m.queue_depth.entry(depth_bucket(*depth)).or_default() += 1;
+                }
+                ObsEvent::RequestAdmit { .. } => m.req_admitted += 1,
+                ObsEvent::RequestShed { .. } => m.req_shed += 1,
+                ObsEvent::RequestRetry { .. } => m.req_retries += 1,
+                ObsEvent::RequestDone { ok, .. } => {
+                    if *ok {
+                        m.req_completed += 1;
+                    } else {
+                        m.req_failed += 1;
+                    }
                 }
             }
         }
@@ -201,6 +221,12 @@ impl MetricsSummary {
         let _ = writeln!(s, "  \"migrations\": {},", self.migrations);
         let _ = writeln!(s, "  \"slot_links\": {},", self.slot_links);
         let _ = writeln!(s, "  \"slot_drains\": {},", self.slot_drains);
+        let _ = writeln!(
+            s,
+            "  \"service\": {{\"admitted\": {}, \"shed\": {}, \"retries\": {}, \
+             \"completed\": {}, \"failed\": {}}},",
+            self.req_admitted, self.req_shed, self.req_retries, self.req_completed, self.req_failed
+        );
         let _ = writeln!(s, "  \"dropped\": {},", self.dropped);
         s.push_str("  \"sets\": [\n");
         let rows: Vec<String> = self
@@ -263,6 +289,7 @@ pub fn validate_metrics_json(json: &str) -> Result<(), String> {
         "\"steals\"",
         "\"batch_sizes\"",
         "\"queue_depth\"",
+        "\"service\"",
         "\"dropped\"",
         "\"sets\"",
         "\"total\"",

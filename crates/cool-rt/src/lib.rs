@@ -24,7 +24,12 @@
 //!   ([`RtConfig::with_stall_timeout`]) turns silent hangs into diagnostic
 //!   [`StallDump`]s, and deterministic fault plans
 //!   ([`Runtime::with_faults`]) inject stragglers, stalls and transient
-//!   task failures for chaos testing.
+//!   task failures for chaos testing;
+//! * a long-running service layer ([`serve::WorkServer`]): affinity-keyed
+//!   shard pools with bounded admission and backpressure, idempotency-keyed
+//!   dedup, per-request deadlines with deterministic jittered-backoff
+//!   retries, drain-and-refuse shutdown, and watchdog-driven pool restarts
+//!   — the same scheduling structure under sustained open-loop traffic.
 //!
 //! The machine here is whatever you run on (UMA, most likely), so *memory*
 //! locality effects are not observable; what carries over from the paper is
@@ -59,10 +64,15 @@
 mod faults;
 pub mod placement;
 pub mod runtime;
+pub mod serve;
 pub mod watchdog;
 
 pub use placement::Placement;
 pub use runtime::{RtConfig, RtCtx, RtTask, Runtime, ScopeError, ScopeResult};
+pub use serve::{
+    Backpressure, Outcome, Request, RequestRecord, ServeConfig, ServeStats, SubmitError,
+    WorkServer,
+};
 pub use watchdog::StallDump;
 
 pub use cool_core::{

@@ -39,6 +39,11 @@ pub struct StallDump {
     pub open_scopes: usize,
     /// Tasks executed since startup (the liveness counter that went quiet).
     pub tasks_executed: u64,
+    /// Ids of work in flight at dump time, sorted: task uids for a scope
+    /// stall, request (idempotency) ids for a service-pool stall. The
+    /// difference between these and the queue depths is what makes a dump
+    /// diagnosable — it names the work that is stuck, not just how much.
+    pub in_flight: Vec<u64>,
 }
 
 impl fmt::Display for StallDump {
@@ -60,6 +65,15 @@ impl fmt::Display for StallDump {
             write!(f, "  held mutexes:")?;
             for o in &self.held_mutexes {
                 write!(f, " {o:?}")?;
+            }
+            writeln!(f)?;
+        }
+        if self.in_flight.is_empty() {
+            writeln!(f, "  in flight: none")?;
+        } else {
+            write!(f, "  in flight:")?;
+            for id in &self.in_flight {
+                write!(f, " #{id}")?;
             }
             writeln!(f)?;
         }
@@ -98,12 +112,14 @@ mod tests {
             stats: SchedStats::default(),
             open_scopes: 1,
             tasks_executed: 42,
+            in_flight: vec![11, 29],
         };
         let s = d.to_string();
         assert!(s.contains("s0=3"), "{s}");
         assert!(s.contains("s2=1"), "{s}");
         assert!(s.contains("ObjRef(7)"), "{s}");
         assert!(s.contains("1 scope(s) open"), "{s}");
+        assert!(s.contains("#11") && s.contains("#29"), "{s}");
         assert_eq!(d.total_queued(), 4);
     }
 }

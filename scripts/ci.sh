@@ -39,6 +39,19 @@ run grep -q '"schema": "cool-metrics-v1"' target/obs_gate.metrics.json
 run grep -q '"traceEvents"' target/obs_gate.trace.json
 run cmp tests/gauss_metrics_golden.json target/obs_gate.metrics.json
 
+# Service gate: a fixed-seed chaos replay through the cool-serve work
+# server (tight queues, slowed domain, injected request failures and an
+# intake stall) must shed and retry — and still lose nothing and double-run
+# nothing. The binary exits non-zero if any --require-* fact is missing or
+# the accounting invariants break; the --check pass re-validates the
+# written cool-serve-v1 document (schema, balanced books, canonical byte
+# form) exactly as a consumer would.
+run cargo run --release --offline -q -p bench --bin cool-serve -- \
+    --smoke --faults --seed 42 --out target/serve_smoke.json \
+    --require-zero-lost --require-shed --require-retries
+run cargo run --release --offline -q -p bench --bin cool-serve -- \
+    --check target/serve_smoke.json
+
 # Behaviour gate: the golden-run sweep must match the committed TSV
 # byte-for-byte (the workspace test run above already includes it; running
 # it by name makes a golden failure unmistakable in the log).
