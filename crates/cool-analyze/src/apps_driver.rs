@@ -83,8 +83,10 @@ pub fn analyze_app(app: &str, version: Version, faulted: bool) -> RunFindings {
 }
 
 /// Analyze every app: all five scheduling versions on the default schedule
-/// plus one fault-injected run each. Output order is stable (apps
-/// alphabetical, versions in `Version::ALL` order, faulted last).
+/// plus one fault-injected run each, then the service matrix (the work
+/// server's request-lifecycle streams — see [`crate::service`]). Output
+/// order is stable (apps alphabetical, versions in `Version::ALL` order,
+/// faulted last, service rows at the end).
 pub fn analyze_all() -> Vec<RunFindings> {
     let mut out = Vec::new();
     for app in APPS {
@@ -93,5 +95,6 @@ pub fn analyze_all() -> Vec<RunFindings> {
         }
         out.push(analyze_app(app, FAULTED_VERSION, true));
     }
+    out.extend(crate::service::analyze_service());
     out
 }

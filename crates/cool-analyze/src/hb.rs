@@ -10,10 +10,17 @@
 //! Conflicts require **actual byte overlap**, not merely a shared 64-byte
 //! block: false sharing (e.g. Ocean's unaligned region columns) is a
 //! performance problem, not a race, and must not be reported as one.
+//!
+//! Serve-layer request lifecycles (`ReqAdmit`/`ReqAttempt`/`ReqOutcome`/
+//! `ReqDrain`) map onto the same machinery: the admit is a spawn-style edge
+//! plus a release onto the domain's queue channel, each attempt acquires
+//! that channel and the worker's program order, each outcome releases both
+//! (the channel only on retry, modelling the requeue) and feeds the drain
+//! barrier, and the drain joins everything back into the root.
 
 use std::collections::{HashMap, HashSet};
 
-use cool_core::{AccessKind, ObjRef, RtEvent, TaskUid};
+use cool_core::{AccessKind, ObjRef, ProcId, RtEvent, TaskUid};
 
 use crate::vc::VectorClock;
 
@@ -33,12 +40,15 @@ const MAX_RACES: usize = 64;
 /// One side of a reported race.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AccessInfo {
+    /// Task that performed the access.
     pub task: TaskUid,
     /// Spawn label of the task, when it had one.
     pub label: Option<&'static str>,
+    /// Read, write, or atomic flavour of the access.
     pub kind: AccessKind,
     /// Byte range `[addr, addr + len)` of the access.
     pub addr: u64,
+    /// Length in bytes of the access.
     pub len: u64,
     /// Virtual time the access was issued at.
     pub time: u64,
@@ -158,6 +168,12 @@ pub fn detect_races(events: &[RtEvent]) -> RaceReport {
     // Join of every completed task's clock in the current (and earlier)
     // phases; folded into the root at each PhaseEnd barrier.
     let mut phase_join = VectorClock::new();
+    // Per-worker program order for serve attempts: a worker thread runs its
+    // attempts sequentially, so each outcome releases into the worker's
+    // clock and the next attempt on that worker acquires it.
+    let mut worker_vcs: HashMap<ProcId, VectorClock> = HashMap::new();
+    // Join of every request outcome; folded into the root at ReqDrain.
+    let mut drain_join = VectorClock::new();
     let mut histories: HashMap<u64, Vec<Record>> = HashMap::new();
     let mut reported: HashSet<(u64, String, &'static str, String, &'static str)> = HashSet::new();
     let mut out = RaceReport::default();
@@ -286,6 +302,66 @@ pub fn detect_races(events: &[RtEvent]) -> RaceReport {
                         len,
                         time: *time,
                     });
+                }
+            }
+            RtEvent::ReqAdmit { req, domain, .. } => {
+                // Spawn-style: the submitting (root) context happens-before
+                // the request; then release onto the domain queue channel so
+                // the attempt that pops it acquires the admit.
+                out.tasks += 1;
+                let inherited = match states.get_mut(&TaskUid::ROOT) {
+                    Some(p) => {
+                        let vc = p.vc.clone();
+                        p.bump();
+                        vc
+                    }
+                    None => VectorClock::new(),
+                };
+                // The channel release carries the *submitter's* clock only —
+                // joining the request's own clock would falsely order later
+                // poppers after the request's first-epoch accesses.
+                token_vcs.entry(*domain).or_default().join(&inherited);
+                states.insert(*req, TaskState::new(next_slot, inherited));
+                next_slot += 1;
+            }
+            RtEvent::ReqAttempt {
+                req, domain, proc, ..
+            } => {
+                // Acquire the domain queue channel (joins the admit and any
+                // retry requeues) and the worker's program order.
+                if let Some(st) = states.get_mut(req) {
+                    if let Some(tv) = token_vcs.get(domain) {
+                        st.vc.join(tv);
+                    }
+                    if let Some(wv) = worker_vcs.get(proc) {
+                        st.vc.join(wv);
+                    }
+                }
+            }
+            RtEvent::ReqOutcome {
+                req,
+                ok,
+                domain,
+                proc,
+                ..
+            } => {
+                // Release the worker's program order and feed the drain
+                // barrier; a retry also releases onto the domain channel
+                // (the requeue happens-before the next attempt's pop).
+                if let Some(st) = states.get_mut(req) {
+                    worker_vcs.insert(*proc, st.vc.clone());
+                    drain_join.join(&st.vc);
+                    if !*ok {
+                        token_vcs.entry(*domain).or_default().join(&st.vc);
+                    }
+                    st.bump();
+                }
+            }
+            RtEvent::ReqDrain { .. } => {
+                // Barrier: the drainer happens-after every outcome so far.
+                if let Some(root) = states.get_mut(&TaskUid::ROOT) {
+                    root.vc.join(&drain_join);
+                    root.bump();
                 }
             }
             RtEvent::Prefetch { .. } | RtEvent::Migrate { .. } => {}
@@ -536,6 +612,136 @@ mod tests {
         ];
         let rep = detect_races(&evs);
         assert_eq!(rep.races.len(), 2, "one per 64-byte block");
+    }
+
+    fn admit(req: u64, domain: u64) -> RtEvent {
+        RtEvent::ReqAdmit {
+            req: TaskUid(req),
+            domain: ObjRef(domain),
+            time: 0,
+        }
+    }
+
+    fn attempt(req: u64, n: u32, domain: u64, proc: usize) -> RtEvent {
+        RtEvent::ReqAttempt {
+            req: TaskUid(req),
+            attempt: n,
+            domain: ObjRef(domain),
+            proc: ProcId(proc),
+            time: 0,
+        }
+    }
+
+    fn outcome(req: u64, n: u32, ok: bool, domain: u64, proc: usize) -> RtEvent {
+        RtEvent::ReqOutcome {
+            req: TaskUid(req),
+            attempt: n,
+            ok,
+            domain: ObjRef(domain),
+            proc: ProcId(proc),
+            time: 0,
+        }
+    }
+
+    #[test]
+    fn admit_orders_submitter_before_attempt() {
+        let evs = vec![
+            access(0, 0x100, 8, AccessKind::Write), // root prepares the request
+            admit(10, 0xD0),
+            attempt(10, 1, 0xD0, 0),
+            access(10, 0x100, 8, AccessKind::Write),
+        ];
+        assert!(detect_races(&evs).races.is_empty());
+    }
+
+    #[test]
+    fn concurrent_requests_on_distinct_workers_race() {
+        let evs = vec![
+            admit(10, 0xD0),
+            admit(11, 0xD8),
+            attempt(10, 1, 0xD0, 0),
+            attempt(11, 1, 0xD8, 1),
+            access(10, 0x100, 8, AccessKind::Write),
+            access(11, 0x100, 8, AccessKind::Write),
+        ];
+        assert_eq!(detect_races(&evs).races.len(), 1);
+    }
+
+    #[test]
+    fn retry_requeue_releases_onto_the_domain_channel() {
+        // Request 10's attempt 1 (worker 0) fails; the requeue releases
+        // onto the domain channel, so request 11's attempt — which pops the
+        // same channel on another worker — is ordered after 10's access.
+        let evs = vec![
+            admit(10, 0xD0),
+            admit(11, 0xD0),
+            attempt(10, 1, 0xD0, 0),
+            access(10, 0x100, 8, AccessKind::Write),
+            outcome(10, 1, false, 0xD0, 0),
+            attempt(11, 1, 0xD0, 1),
+            access(11, 0x100, 8, AccessKind::Write),
+            outcome(11, 1, true, 0xD0, 1),
+        ];
+        assert!(detect_races(&evs).races.is_empty());
+    }
+
+    #[test]
+    fn successful_outcome_does_not_release_onto_the_channel() {
+        // Same shape but attempt 1 *succeeds*: no requeue, so the channel
+        // carries only the admits and the two accesses race.
+        let evs = vec![
+            admit(10, 0xD0),
+            admit(11, 0xD0),
+            attempt(10, 1, 0xD0, 0),
+            access(10, 0x100, 8, AccessKind::Write),
+            outcome(10, 1, true, 0xD0, 0),
+            attempt(11, 1, 0xD0, 1),
+            access(11, 0x100, 8, AccessKind::Write),
+            outcome(11, 1, true, 0xD0, 1),
+        ];
+        assert_eq!(detect_races(&evs).races.len(), 1);
+    }
+
+    #[test]
+    fn worker_program_order_serializes_its_requests() {
+        // Two independent requests run back-to-back on one worker: the
+        // second acquires the worker clock released by the first's outcome.
+        let evs = vec![
+            admit(10, 0xD0),
+            admit(11, 0xD8),
+            attempt(10, 1, 0xD0, 0),
+            access(10, 0x100, 8, AccessKind::Write),
+            outcome(10, 1, true, 0xD0, 0),
+            attempt(11, 1, 0xD8, 0),
+            access(11, 0x100, 8, AccessKind::Write),
+            outcome(11, 1, true, 0xD8, 0),
+        ];
+        assert!(detect_races(&evs).races.is_empty());
+    }
+
+    #[test]
+    fn drain_barrier_orders_outcomes_before_root() {
+        let evs = vec![
+            admit(10, 0xD0),
+            attempt(10, 1, 0xD0, 0),
+            access(10, 0x100, 8, AccessKind::Write),
+            outcome(10, 1, true, 0xD0, 0),
+            RtEvent::ReqDrain { time: 1 },
+            access(0, 0x100, 8, AccessKind::Write), // root reads results
+        ];
+        assert!(detect_races(&evs).races.is_empty());
+    }
+
+    #[test]
+    fn root_access_without_drain_races_with_request() {
+        let evs = vec![
+            admit(10, 0xD0),
+            attempt(10, 1, 0xD0, 0),
+            access(10, 0x100, 8, AccessKind::Write),
+            outcome(10, 1, true, 0xD0, 0),
+            access(0, 0x100, 8, AccessKind::Write), // no drain first
+        ];
+        assert_eq!(detect_races(&evs).races.len(), 1);
     }
 
     #[test]

@@ -30,14 +30,20 @@
 //!
 //! [`RtEvent`]: cool_core::RtEvent
 
+#![warn(missing_docs)]
+
 pub mod apps_driver;
+pub mod check;
 pub mod hb;
 pub mod lints;
 pub mod locks;
 pub mod report;
+pub mod service;
 pub mod vc;
 
 pub use apps_driver::{analyze_all, analyze_app, analyze_events, run_app, APPS};
+pub use check::{explore, run_scenario, ExploreStats, ScenarioResult, ScheduleViolation};
+pub use service::analyze_service;
 pub use hb::{detect_races, Race, RaceReport};
 pub use lints::{run_lints, Lint, LintKind};
 pub use locks::{analyze_locks, LockCycle, LockReport};

@@ -21,8 +21,11 @@ use cool_core::{ObjRef, ProcId, RtEvent, TaskUid};
 /// Lint categories, used as stable machine-readable keys.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum LintKind {
+    /// OBJECT-affinity dispatch whose object migrated after spawn.
     StaleObjectHint,
+    /// Prefetch of data the task never touched.
     UnusedPrefetch,
+    /// Object migrated back to a node it recently left.
     MigrationThrash,
 }
 
@@ -47,6 +50,7 @@ impl LintKind {
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Lint {
+    /// Category of the finding.
     pub kind: LintKind,
     /// Task involved (the dispatched task, the prefetching task, or the
     /// migrating task that closed the thrash loop).

@@ -14,7 +14,9 @@ use cool_core::{ObjRef, RtEvent, TaskUid};
 /// A `held -> acquired` edge with one witness task.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LockEdge {
+    /// Lock held when the acquisition happened.
     pub from: ObjRef,
+    /// Lock acquired while `from` was held.
     pub to: ObjRef,
     /// Label of one task that exhibited the order (or its uid string).
     pub witness: String,

@@ -13,8 +13,11 @@ use crate::locks::{LockCycle, LockReport};
 /// All three passes over one run's event stream.
 #[derive(Clone, Debug, Default)]
 pub struct Analysis {
+    /// Happens-before race detection results.
     pub races: RaceReport,
+    /// Lock-order graph and any acquisition cycles.
     pub locks: LockReport,
+    /// Affinity-hint lint findings.
     pub lints: Vec<Lint>,
 }
 
@@ -98,6 +101,7 @@ pub struct RunFindings {
     pub version: String,
     /// "default" or "faulted".
     pub schedule: String,
+    /// The three analysis passes over the run's event stream.
     pub analysis: Analysis,
 }
 

@@ -146,7 +146,11 @@ fn seeded_stale_object_hint_is_detected() {
 #[test]
 fn all_six_apps_are_clean_in_every_schedule() {
     let findings = analyze_all();
-    assert_eq!(findings.len(), 36, "6 apps x (5 versions + 1 faulted)");
+    assert_eq!(
+        findings.len(),
+        39,
+        "6 apps x (5 versions + 1 faulted) + 3 service rows"
+    );
     for f in &findings {
         let a = &f.analysis;
         let who = format!("{} {} {}", f.app, f.version, f.schedule);

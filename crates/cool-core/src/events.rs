@@ -209,6 +209,71 @@ pub enum RtEvent {
         /// Virtual cycle of the move.
         time: u64,
     },
+    /// A serve-layer request was admitted into a shard domain's pool
+    /// (emitted under the admission lock, before the queue push).
+    ///
+    /// Happens-before: spawn-style — everything the submitter did before
+    /// the admit happens-before everything the request does — plus a
+    /// *release* onto the domain's queue channel (the shard-pool mutex +
+    /// condvar): the admit happens-before any attempt that pops it.
+    ReqAdmit {
+        /// Identity of the admitted request (requests share the task-uid
+        /// namespace; the serve layer offsets its ids past task uids).
+        req: TaskUid,
+        /// Channel token of the domain pool the request entered.
+        domain: ObjRef,
+        /// Milliseconds since the server started (informational).
+        time: u64,
+    },
+    /// A worker popped a request from its domain queue and is about to
+    /// run one attempt of its body.
+    ///
+    /// Happens-before: an *acquire* of the domain queue channel (joins
+    /// every earlier push: the admit, and requeues of retried requests)
+    /// and of the worker's own program order (a single worker's attempts
+    /// are serialized by its thread).
+    ReqAttempt {
+        /// The request being attempted.
+        req: TaskUid,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Channel token of the domain pool.
+        domain: ObjRef,
+        /// Worker identity (worker threads share the proc namespace).
+        proc: ProcId,
+        /// Milliseconds since the server started.
+        time: u64,
+    },
+    /// An attempt finished: terminal success/failure, or a retry about to
+    /// be requeued.
+    ///
+    /// Happens-before: a *release* of the worker's program order and — for
+    /// retries — of the domain queue channel (the requeue happens-before
+    /// the next attempt's pop). Every outcome also releases into the
+    /// drain barrier.
+    ReqOutcome {
+        /// The request whose attempt finished.
+        req: TaskUid,
+        /// 1-based attempt number that finished.
+        attempt: u32,
+        /// Whether the body succeeded (terminal completion).
+        ok: bool,
+        /// Channel token of the domain pool.
+        domain: ObjRef,
+        /// Worker identity.
+        proc: ProcId,
+        /// Milliseconds since the server started.
+        time: u64,
+    },
+    /// The server drained: every admitted request reached a terminal
+    /// outcome and `drain()` returned.
+    ///
+    /// Happens-before: a barrier — every [`RtEvent::ReqOutcome`] emitted
+    /// before this happens-before everything the drainer does after.
+    ReqDrain {
+        /// Milliseconds since the server started.
+        time: u64,
+    },
 }
 
 impl RtEvent {
@@ -225,6 +290,10 @@ impl RtEvent {
             | RtEvent::Sync { task, .. }
             | RtEvent::Prefetch { task, .. }
             | RtEvent::Migrate { task, .. } => Some(*task),
+            RtEvent::ReqAdmit { req, .. }
+            | RtEvent::ReqAttempt { req, .. }
+            | RtEvent::ReqOutcome { req, .. } => Some(*req),
+            RtEvent::ReqDrain { .. } => None,
         }
     }
 }

@@ -31,6 +31,11 @@
 //! * [`faults`] — seeded, deterministic [`FaultPlan`] descriptions of
 //!   injected perturbations (stragglers, stalls, transient task failures)
 //!   consumed by both runtimes' chaos hooks.
+//! * [`vsched`] — the virtual-scheduler abstraction for model checking:
+//!   [`VirtualProgram`] lifts a concurrent state machine onto explicit
+//!   decision points, and [`QueueMachine`] models multi-server
+//!   push/pop/steal over the real [`ServerQueues`] for the `cool-check`
+//!   exhaustive-interleaving explorer.
 //!
 //! Both the simulated runtime (`cool-sim`, which reproduces the paper's DASH
 //! numbers) and the real threaded runtime (`cool-rt`) are built on these
@@ -47,6 +52,7 @@ pub mod obs;
 pub mod policy;
 pub mod queues;
 pub mod stats;
+pub mod vsched;
 
 pub use affinity::{AffinityKind, AffinitySpec};
 pub use error::TaskError;
@@ -57,3 +63,4 @@ pub use obs::{MemDelta, ObsEvent, ObsRecorder, ObsTrace};
 pub use policy::{StealPolicy, Topology};
 pub use queues::{Popped, ServerQueues, SlotClass, SlotUpdate, StolenBatch};
 pub use stats::SchedStats;
+pub use vsched::{PushSpec, QueueDefect, QueueMachine, QueueOp, VirtualProgram};

@@ -42,7 +42,7 @@ pub enum SlotClass {
 
 /// A task queued with its steal classification and the affinity token it was
 /// queued under (`None` only on the default queue).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Entry<T> {
     token: Option<ObjRef>,
     kind: AffinityKind,
@@ -50,7 +50,7 @@ struct Entry<T> {
 }
 
 /// One affinity-queue slot plus its intrusive list links.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Slot<T> {
     queue: VecDeque<Entry<T>>,
     /// Index of the previous non-empty slot, or `NIL`.
@@ -65,7 +65,7 @@ const NIL: usize = usize::MAX;
 
 /// A batch of tasks stolen together. Whole task-affinity sets travel as one
 /// batch so the thief still executes them back to back (Section 4.2).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct StolenBatch<T> {
     /// The affinity token of the stolen set, if a whole set was taken from
     /// an affinity slot (`None` when a single task was stolen, from the
@@ -101,7 +101,7 @@ pub struct Popped<T> {
 }
 
 /// The dual task-queue structure owned by one server.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerQueues<T> {
     slots: Vec<Slot<T>>,
     /// Head/tail of the intrusive list of non-empty slots (service order:

@@ -1,0 +1,462 @@
+//! Virtual-scheduler abstraction for model checking.
+//!
+//! The concurrent machinery in this workspace — the serve admission /
+//! retry / drain state machine in `cool-rt` and the affinity
+//! [`ServerQueues`] steal structure here — normally runs under real
+//! threads, where the schedule is whatever the OS produces. This module
+//! lifts those state machines onto *explicit decision points*: a
+//! [`VirtualProgram`] exposes the set of enabled operations in the
+//! current state, applies one at a time, and checks its invariants after
+//! every transition. An explorer (see `cool-analyze`'s `check` module)
+//! can then enumerate every interleaving of a bounded configuration —
+//! with sleep-set partial-order reduction — instead of sampling a few
+//! random ones.
+//!
+//! Two programs live in the workspace:
+//!
+//! * [`QueueMachine`] (here) — `K` servers pushing, popping and stealing
+//!   over the *real* [`ServerQueues`] structure, asserting structural
+//!   integrity and task conservation on every step;
+//! * `ServeMachine` (in `cool-rt::vserve`) — a logical-time model of the
+//!   work-server admission/dedup/retry/drain protocol.
+//!
+//! Both support *seeded defects*: deliberately broken variants of one
+//! transition rule, used by tests to prove the explorer's invariants
+//! actually fire.
+
+use crate::affinity::AffinityKind;
+use crate::ids::ObjRef;
+use crate::queues::ServerQueues;
+use std::collections::VecDeque;
+
+/// A deterministic, explorable concurrent program.
+///
+/// Implementations are small bounded state machines: `enabled` lists the
+/// operations runnable in the current state (in a deterministic order),
+/// `step` applies one, and `check` validates the program's invariants
+/// after each transition. States are cloned by the explorer at every
+/// branch point, so keep them compact.
+pub trait VirtualProgram: Clone {
+    /// One atomic operation at a scheduling decision point.
+    type Op: Copy + PartialEq + Eq + std::fmt::Debug;
+
+    /// Operations enabled in the current state, in deterministic order.
+    ///
+    /// An empty result means the program has terminated (the explorer
+    /// then runs [`VirtualProgram::check_terminal`]).
+    fn enabled(&self) -> Vec<Self::Op>;
+
+    /// Apply one operation previously returned by [`VirtualProgram::enabled`].
+    fn step(&mut self, op: Self::Op);
+
+    /// Invariants that must hold in every reachable state.
+    ///
+    /// `Err` names the violated invariant; the explorer records it with
+    /// the schedule that reached it.
+    fn check(&self) -> Result<(), String>;
+
+    /// Invariants that must hold in terminal states only (e.g. "nothing
+    /// was lost once all work has been drained").
+    fn check_terminal(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Whether two operations are *dependent* (their order can matter).
+    ///
+    /// Used by the sleep-set pruner: independent operations commute, so
+    /// exploring both orders is redundant. This must over-approximate —
+    /// when unsure, return `true`; claiming independence for dependent
+    /// ops makes the exploration unsound.
+    fn dependent(&self, a: Self::Op, b: Self::Op) -> bool;
+
+    /// Stable fingerprint of the current state, for distinct-state
+    /// counting in reports. Must be deterministic across runs.
+    fn state_key(&self) -> u64;
+}
+
+/// Deterministic FNV-1a hash, used by [`VirtualProgram::state_key`]
+/// implementations so reports are byte-stable across runs and hosts.
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A scripted push a server will perform in the [`QueueMachine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PushSpec {
+    /// Task identity (must be unique within a scenario, and < 64 so the
+    /// machine can track execution with a bitmask).
+    pub id: u32,
+    /// Affinity token, or `None` for the default FIFO queue.
+    pub token: Option<ObjRef>,
+    /// Affinity classification the task is queued with.
+    pub kind: AffinityKind,
+}
+
+/// Seeded defects for the [`QueueMachine`] — each breaks exactly one
+/// transition rule so tests can prove the corresponding invariant fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueDefect {
+    /// Correct behaviour.
+    None,
+    /// Drop the last task of every stolen batch on the floor before
+    /// handing it to the thief (models the pre-PR-5 steal collision).
+    /// Caught by the task-conservation invariant.
+    LoseOnSteal,
+    /// Duplicate the first task of every stolen batch. Caught by the
+    /// exactly-once execution invariant.
+    DupOnSteal,
+}
+
+/// One scheduling operation of the [`QueueMachine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueOp {
+    /// Server `server` performs its next scripted push.
+    Push {
+        /// Acting server.
+        server: usize,
+    },
+    /// Server `server` pops and executes one local task.
+    Pop {
+        /// Acting server.
+        server: usize,
+    },
+    /// Idle server `thief` steals from `victim` and enqueues the batch.
+    Steal {
+        /// The stealing server (must be locally idle).
+        thief: usize,
+        /// The victim server (must have queued work).
+        victim: usize,
+    },
+}
+
+impl QueueOp {
+    fn touches(&self, s: usize) -> bool {
+        match *self {
+            QueueOp::Push { server } | QueueOp::Pop { server } => server == s,
+            QueueOp::Steal { thief, victim } => thief == s || victim == s,
+        }
+    }
+
+    fn servers(&self) -> [usize; 2] {
+        match *self {
+            QueueOp::Push { server } | QueueOp::Pop { server } => [server, server],
+            QueueOp::Steal { thief, victim } => [thief, victim],
+        }
+    }
+}
+
+/// A bounded multi-server push/pop/steal program over the real
+/// [`ServerQueues`] structure.
+///
+/// Each server owns a `ServerQueues<u32>` (payloads are task ids) and a
+/// script of pushes it will perform; a server whose local queues are
+/// empty and whose script is exhausted may steal from any server with
+/// queued work. Invariants checked on every transition:
+///
+/// * every queue's internal structure is intact
+///   ([`ServerQueues::check_invariants`]);
+/// * task conservation — `pushed == executed + queued` at all times;
+/// * exactly-once execution — no task id is ever popped twice.
+///
+/// Terminal states additionally require that every pushed task was
+/// executed (nothing stranded, nothing lost).
+#[derive(Clone, Debug)]
+pub struct QueueMachine {
+    queues: Vec<ServerQueues<u32>>,
+    scripts: Vec<VecDeque<PushSpec>>,
+    executed: Vec<u32>,
+    executed_mask: u64,
+    pushed: usize,
+    double_exec: Option<u32>,
+    defect: QueueDefect,
+    /// Steals remaining. Two idle servers could otherwise ping-pong a
+    /// batch forever, making the schedule tree infinite; the budget (2 per
+    /// server) keeps exploration bounded while still covering every
+    /// steal/steal-back interleaving of interest.
+    steal_budget: u32,
+}
+
+impl QueueMachine {
+    /// Build a machine with one queue of `array_size` affinity slots per
+    /// script entry; `scripts[s]` is the ordered pushes server `s` will
+    /// perform.
+    pub fn new(array_size: usize, scripts: Vec<Vec<PushSpec>>, defect: QueueDefect) -> Self {
+        let n = scripts.len();
+        QueueMachine {
+            queues: (0..n).map(|_| ServerQueues::new(array_size)).collect(),
+            scripts: scripts.into_iter().map(VecDeque::from).collect(),
+            executed: Vec::new(),
+            executed_mask: 0,
+            pushed: 0,
+            double_exec: None,
+            defect,
+            steal_budget: 2 * n as u32,
+        }
+    }
+
+    /// Task ids in the order they were executed, for post-hoc assertions.
+    pub fn executed(&self) -> &[u32] {
+        &self.executed
+    }
+
+    fn record_exec(&mut self, id: u32) {
+        let bit = 1u64 << (id as u64 % 64);
+        if self.executed_mask & bit != 0 && self.double_exec.is_none() {
+            self.double_exec = Some(id);
+        }
+        self.executed_mask |= bit;
+        self.executed.push(id);
+    }
+}
+
+impl VirtualProgram for QueueMachine {
+    type Op = QueueOp;
+
+    fn enabled(&self) -> Vec<QueueOp> {
+        let mut ops = Vec::new();
+        for s in 0..self.queues.len() {
+            if !self.scripts[s].is_empty() {
+                ops.push(QueueOp::Push { server: s });
+            }
+            if !self.queues[s].is_empty() {
+                ops.push(QueueOp::Pop { server: s });
+            }
+        }
+        // A server steals only when it is locally idle (queue empty and
+        // script exhausted), mirroring the runtimes' idle-steal loops.
+        if self.steal_budget == 0 {
+            return ops;
+        }
+        for thief in 0..self.queues.len() {
+            if self.queues[thief].is_empty() && self.scripts[thief].is_empty() {
+                for victim in 0..self.queues.len() {
+                    if victim != thief && !self.queues[victim].is_empty() {
+                        ops.push(QueueOp::Steal { thief, victim });
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    fn step(&mut self, op: QueueOp) {
+        match op {
+            QueueOp::Push { server } => {
+                let spec = self.scripts[server].pop_front().expect("push enabled");
+                match spec.token {
+                    Some(tok) => {
+                        self.queues[server].push_affinity(tok, spec.kind, spec.id);
+                    }
+                    None => self.queues[server].push_default(spec.kind, spec.id),
+                }
+                self.pushed += 1;
+            }
+            QueueOp::Pop { server } => {
+                let (_, id) = self.queues[server].pop_local().expect("pop enabled");
+                self.record_exec(id);
+            }
+            QueueOp::Steal { thief, victim } => {
+                self.steal_budget = self.steal_budget.checked_sub(1).expect("steal enabled");
+                // Prefer a whole stealable set (avoiding object-affinity
+                // work), fall back to the last-resort single steal — the
+                // same victim-side policy the runtimes use.
+                let mut batch = match self.queues[victim].steal(true) {
+                    Some(b) => b,
+                    None => self.queues[victim].steal(false).expect("victim non-empty"),
+                };
+                match self.defect {
+                    QueueDefect::None => {}
+                    QueueDefect::LoseOnSteal => {
+                        batch.tasks.pop();
+                    }
+                    QueueDefect::DupOnSteal => {
+                        if let Some(&first) = batch.tasks.first() {
+                            batch.tasks.push(first);
+                        }
+                    }
+                }
+                let kind = if batch.token.is_some() {
+                    AffinityKind::Task
+                } else {
+                    AffinityKind::None
+                };
+                if !batch.tasks.is_empty() {
+                    self.queues[thief].push_stolen(batch, kind);
+                }
+            }
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        for (s, q) in self.queues.iter().enumerate() {
+            q.check_invariants()
+                .map_err(|e| format!("queue structure (server {s}): {e}"))?;
+        }
+        if let Some(id) = self.double_exec {
+            return Err(format!("exactly-once execution: task {id} executed twice"));
+        }
+        let queued: usize = self.queues.iter().map(|q| q.len()).sum();
+        if queued + self.executed.len() != self.pushed {
+            return Err(format!(
+                "task conservation: pushed {} != queued {} + executed {}",
+                self.pushed,
+                queued,
+                self.executed.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_terminal(&self) -> Result<(), String> {
+        let total: usize = self.pushed;
+        if self.executed.len() != total {
+            return Err(format!(
+                "termination: {} of {} pushed tasks executed",
+                self.executed.len(),
+                total
+            ));
+        }
+        Ok(())
+    }
+
+    fn dependent(&self, a: QueueOp, b: QueueOp) -> bool {
+        if self.defect != QueueDefect::None {
+            // Defective machines get full exploration: pruning assumes
+            // the independence argument below, which a seeded defect may
+            // invalidate.
+            return true;
+        }
+        a.servers().iter().any(|&s| b.touches(s))
+    }
+
+    fn state_key(&self) -> u64 {
+        // The Debug rendering covers queue contents (slot order, tokens,
+        // payloads), remaining scripts, the execution log and the steal
+        // budget — a faithful state fingerprint, and deterministic.
+        stable_hash(
+            format!(
+                "{:?}{:?}{:?}{}",
+                self.queues, self.scripts, self.executed, self.steal_budget
+            )
+            .as_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u32, tok: Option<u64>, kind: AffinityKind) -> PushSpec {
+        PushSpec {
+            id,
+            token: tok.map(ObjRef),
+            kind,
+        }
+    }
+
+    fn run_serial(mut m: QueueMachine) -> QueueMachine {
+        loop {
+            let ops = m.enabled();
+            match ops.first() {
+                Some(&op) => {
+                    m.step(op);
+                    m.check().unwrap();
+                }
+                None => break,
+            }
+        }
+        m.check_terminal().unwrap();
+        m
+    }
+
+    #[test]
+    fn serial_run_executes_everything_exactly_once() {
+        let m = QueueMachine::new(
+            4,
+            vec![
+                vec![
+                    spec(0, Some(7), AffinityKind::Task),
+                    spec(1, Some(7), AffinityKind::Task),
+                    spec(2, None, AffinityKind::None),
+                ],
+                vec![spec(3, Some(9), AffinityKind::Object)],
+            ],
+            QueueDefect::None,
+        );
+        let m = run_serial(m);
+        assert_eq!(m.executed().len(), 4);
+    }
+
+    #[test]
+    fn steal_path_conserves_tasks() {
+        // Server 1 has no script: it must steal server 0's set.
+        let mut m = QueueMachine::new(
+            4,
+            vec![
+                vec![
+                    spec(0, Some(7), AffinityKind::Task),
+                    spec(1, Some(7), AffinityKind::Task),
+                ],
+                vec![],
+            ],
+            QueueDefect::None,
+        );
+        m.step(QueueOp::Push { server: 0 });
+        m.step(QueueOp::Push { server: 0 });
+        m.check().unwrap();
+        m.step(QueueOp::Steal { thief: 1, victim: 0 });
+        m.check().unwrap();
+        m.step(QueueOp::Pop { server: 1 });
+        m.step(QueueOp::Pop { server: 1 });
+        m.check().unwrap();
+        m.check_terminal().unwrap();
+        assert_eq!(m.executed(), &[0, 1]);
+    }
+
+    #[test]
+    fn lose_on_steal_defect_breaks_conservation() {
+        let mut m = QueueMachine::new(
+            4,
+            vec![vec![spec(0, Some(7), AffinityKind::Task)], vec![]],
+            QueueDefect::LoseOnSteal,
+        );
+        m.step(QueueOp::Push { server: 0 });
+        m.step(QueueOp::Steal { thief: 1, victim: 0 });
+        let err = m.check().unwrap_err();
+        assert!(err.contains("conservation"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn dup_on_steal_defect_breaks_exactly_once() {
+        let mut m = QueueMachine::new(
+            4,
+            vec![vec![spec(0, Some(7), AffinityKind::Task)], vec![]],
+            QueueDefect::DupOnSteal,
+        );
+        m.step(QueueOp::Push { server: 0 });
+        m.step(QueueOp::Steal { thief: 1, victim: 0 });
+        m.step(QueueOp::Pop { server: 1 });
+        m.step(QueueOp::Pop { server: 1 });
+        let err = m.check().unwrap_err();
+        assert!(err.contains("exactly-once"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn state_key_is_deterministic_and_distinguishes_states() {
+        let m1 = QueueMachine::new(
+            4,
+            vec![vec![spec(0, None, AffinityKind::None)]],
+            QueueDefect::None,
+        );
+        let mut m2 = m1.clone();
+        assert_eq!(m1.state_key(), m2.state_key());
+        m2.step(QueueOp::Push { server: 0 });
+        assert_ne!(m1.state_key(), m2.state_key());
+    }
+}

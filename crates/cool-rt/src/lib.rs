@@ -61,18 +61,22 @@
 //! assert_eq!(hits.load(Ordering::Relaxed), 16);
 //! ```
 
+#![warn(missing_docs)]
+
 mod faults;
 pub mod placement;
 pub mod runtime;
 pub mod serve;
+pub mod vserve;
 pub mod watchdog;
 
 pub use placement::Placement;
 pub use runtime::{RtConfig, RtCtx, RtTask, Runtime, ScopeError, ScopeResult};
 pub use serve::{
-    Backpressure, Outcome, Request, RequestRecord, ServeConfig, ServeStats, SubmitError,
-    WorkServer,
+    domain_token, req_uid, Backpressure, Outcome, Request, RequestRecord, ServeConfig,
+    ServeStats, SubmitError, WorkServer, REQ_UID_BASE,
 };
+pub use vserve::{ServeDefect, ServeMachine, ServeOp, SubmitSpec, VOutcome};
 pub use watchdog::StallDump;
 
 pub use cool_core::{

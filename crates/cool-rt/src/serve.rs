@@ -34,7 +34,12 @@
 //! Everything the server does is observable: admissions, sheds, retries and
 //! completions flow into the shared [`ObsEvent`] stream (drained with
 //! [`WorkServer::take_obs`]), so a service run exports to Perfetto exactly
-//! like a batch run.
+//! like a batch run. With [`ServeConfig::with_events`] the request
+//! lifecycle is additionally recorded as [`RtEvent`]s
+//! (admit/attempt/outcome/drain plus [`Request::with_accesses`]-declared
+//! byte ranges), emitted under the locks that create the corresponding
+//! happens-before edges so `cool-analyze`'s vector-clock race detector can
+//! consume the stream in one forward pass.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
@@ -47,9 +52,25 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use cool_core::obs::{ObsEvent, ObsRecorder, ObsTrace};
-use cool_core::{FaultPlan, SchedStats, TaskUid};
+use cool_core::{AccessKind, FaultPlan, ObjRef, ProcId, RtEvent, SchedStats, TaskUid};
 
 use crate::watchdog::StallDump;
+
+/// Requests share the task-uid namespace with batch tasks; serve-layer
+/// [`RtEvent`]s attribute request work to `TaskUid(REQ_UID_BASE + id)` so
+/// request ids can never collide with task uids (or the root).
+pub const REQ_UID_BASE: u64 = 1 << 48;
+
+/// The [`ObjRef`] token carrying a domain pool's queue-channel
+/// happens-before edges in the recorded [`RtEvent`] stream.
+pub fn domain_token(domain: usize) -> ObjRef {
+    ObjRef(0xC001_0000_0000_0000 | domain as u64)
+}
+
+/// The request-uid for an application request id (see [`REQ_UID_BASE`]).
+pub fn req_uid(id: u64) -> TaskUid {
+    TaskUid(REQ_UID_BASE + id)
+}
 
 /// Configuration for a [`WorkServer`].
 #[derive(Clone, Debug)]
@@ -82,6 +103,13 @@ pub struct ServeConfig {
     /// Record [`ObsEvent`]s (admissions, sheds, retries, completions, and
     /// per-attempt task slices), drained with [`WorkServer::take_obs`].
     pub record_trace: bool,
+    /// Record [`RtEvent`]s for the request lifecycle (admit/attempt/outcome/
+    /// drain plus declared accesses), drained with
+    /// [`WorkServer::take_events`] and fed to `cool-analyze`'s race
+    /// detector. Events are emitted under the same locks that create the
+    /// real happens-before edges, so the stream order is consistent with
+    /// them.
+    pub record_events: bool,
 }
 
 impl ServeConfig {
@@ -99,6 +127,7 @@ impl ServeConfig {
             stall_timeout: None,
             max_pool_restarts: 4,
             record_trace: false,
+            record_events: false,
         }
     }
 
@@ -146,6 +175,12 @@ impl ServeConfig {
         self.record_trace = true;
         self
     }
+
+    /// Enable [`RtEvent`] recording (see [`ServeConfig::record_events`]).
+    pub fn with_events(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
 }
 
 /// A request body: called with the attempt number (0 = first), returns
@@ -163,6 +198,10 @@ pub struct Request {
     /// Estimated service units (whatever unit the budget is expressed in).
     pub cost: u64,
     body: ServeBody,
+    /// Byte ranges the body touches, declared for event recording:
+    /// `(addr, len, kind)` triples mirrored as [`RtEvent::Access`]es on
+    /// every body-running attempt.
+    accesses: Arc<Vec<(u64, u64, AccessKind)>>,
 }
 
 impl Request {
@@ -178,7 +217,16 @@ impl Request {
             shard,
             cost,
             body: Arc::new(body),
+            accesses: Arc::new(Vec::new()),
         }
+    }
+
+    /// Declare the byte ranges the body touches, for [`RtEvent`] recording
+    /// (no effect unless the server was built with
+    /// [`ServeConfig::with_events`]).
+    pub fn with_accesses(mut self, accesses: Vec<(u64, u64, AccessKind)>) -> Self {
+        self.accesses = Arc::new(accesses);
+        self
     }
 }
 
@@ -309,6 +357,7 @@ struct Job {
     admitted: Instant,
     deadline: Instant,
     body: ServeBody,
+    accesses: Arc<Vec<(u64, u64, AccessKind)>>,
 }
 
 /// One domain's intake: ready work plus backed-off retries.
@@ -360,6 +409,11 @@ struct ServeInner {
     /// Replacement workers started by the watchdog (joined at drop).
     extra_workers: Mutex<Vec<JoinHandle<()>>>,
     obs: Option<ObsRecorder>,
+    /// Serve-lifecycle [`RtEvent`] stream (admit/attempt/outcome/drain and
+    /// declared accesses); `None` unless `record_events` is set. Appends
+    /// happen under the locks that create the corresponding happens-before
+    /// edges, so the buffer order is analyzer-consistent.
+    events: Option<Mutex<Vec<RtEvent>>>,
     epoch: Instant,
     /// Per-attempt uid source for observability task slices.
     next_uid: AtomicU64,
@@ -373,6 +427,18 @@ impl ServeInner {
     fn obs_emit(&self, ring: usize, ev: ObsEvent) {
         if let Some(obs) = &self.obs {
             obs.record(ring, ev);
+        }
+    }
+
+    /// Milliseconds since the server started (the time base of serve
+    /// [`RtEvent`]s).
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn rt_emit(&self, ev: RtEvent) {
+        if let Some(events) = &self.events {
+            events.lock().push(ev);
         }
     }
 
@@ -414,6 +480,16 @@ impl ServeInner {
                 },
             );
         }
+        // Emitted before the outstanding decrement so the drain barrier
+        // event always follows every terminal outcome in the stream.
+        self.rt_emit(RtEvent::ReqOutcome {
+            req: req_uid(job.id),
+            attempt: attempts.max(1),
+            ok,
+            domain: domain_token(domain),
+            proc: ProcId(worker),
+            time: self.now_ms(),
+        });
         if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _g = self.drain_lock.lock();
             self.drained.notify_all();
@@ -519,6 +595,7 @@ impl WorkServer {
             dumps: Mutex::new(Vec::new()),
             extra_workers: Mutex::new(Vec::new()),
             obs: cfg.record_trace.then(|| ObsRecorder::with_default_capacity(nrings)),
+            events: cfg.record_events.then(|| Mutex::new(Vec::new())),
             epoch: Instant::now(),
             next_uid: AtomicU64::new(1),
             cfg,
@@ -617,9 +694,17 @@ impl WorkServer {
             admitted: now,
             deadline: now + inner.cfg.deadline,
             body: req.body,
+            accesses: req.accesses,
         });
         let depth = q.depth();
         pool.wake.notify_one();
+        // Emitted while the queue lock is held: the admit event lands in
+        // the stream before any attempt event of the worker that pops it.
+        inner.rt_emit(RtEvent::ReqAdmit {
+            req: req_uid(req.id),
+            domain: domain_token(domain),
+            time: inner.now_ms(),
+        });
         drop(q);
         if inner.obs.is_some() {
             let (ring, time) = (inner.intake_ring(), inner.now_ns());
@@ -649,6 +734,10 @@ impl WorkServer {
                 .drained
                 .wait_for(&mut g, Duration::from_millis(1));
         }
+        drop(g);
+        self.inner.rt_emit(RtEvent::ReqDrain {
+            time: self.inner.now_ms(),
+        });
     }
 
     /// Service counters since startup.
@@ -679,6 +768,17 @@ impl WorkServer {
     /// Requests admitted but not yet terminal.
     pub fn outstanding(&self) -> usize {
         self.inner.outstanding.load(Ordering::SeqCst)
+    }
+
+    /// Drain the serve-lifecycle [`RtEvent`] stream recorded so far (empty
+    /// unless built with [`ServeConfig::with_events`]). Call after
+    /// [`WorkServer::drain`] for a stream that ends with the drain barrier.
+    pub fn take_events(&self) -> Vec<RtEvent> {
+        self.inner
+            .events
+            .as_ref()
+            .map(|e| std::mem::take(&mut *e.lock()))
+            .unwrap_or_default()
     }
 }
 
@@ -761,6 +861,13 @@ fn run_job(inner: &ServeInner, domain: usize, windex: usize, mut job: Job) {
     inner.beat(domain);
     inner.in_flight.lock().insert(job.id);
     inner.stats.lock().attempts += 1;
+    inner.rt_emit(RtEvent::ReqAttempt {
+        req: req_uid(job.id),
+        attempt: job.attempt + 1,
+        domain: domain_token(domain),
+        proc: ProcId(windex),
+        time: inner.now_ms(),
+    });
     let result = if Instant::now() >= job.deadline {
         Attempt::DeadlineExceeded
     } else if job.attempt == 0
@@ -803,6 +910,18 @@ fn run_job(inner: &ServeInner, domain: usize, windex: usize, mut job: Job) {
             .get_mut(&job.id)
             .expect("running unadmitted request")
             .body_runs += 1;
+        if inner.events.is_some() {
+            for &(addr, len, kind) in job.accesses.iter() {
+                inner.rt_emit(RtEvent::Access {
+                    task: req_uid(job.id),
+                    obj: ObjRef(addr),
+                    len,
+                    kind,
+                    proc: ProcId(windex),
+                    time: inner.now_ms(),
+                });
+            }
+        }
         let body = job.body.clone();
         let attempt = job.attempt;
         let outcome = catch_unwind(AssertUnwindSafe(move || body(attempt)));
@@ -874,6 +993,16 @@ fn run_job(inner: &ServeInner, domain: usize, windex: usize, mut job: Job) {
                     },
                 );
             }
+            // Emitted before the requeue is published: the next attempt's
+            // pop (and its event) can only follow this retry outcome.
+            inner.rt_emit(RtEvent::ReqOutcome {
+                req: req_uid(job.id),
+                attempt: attempts,
+                ok: false,
+                domain: domain_token(domain),
+                proc: ProcId(windex),
+                time: inner.now_ms(),
+            });
             job.attempt = attempts;
             let cost = job.cost;
             let mut q = pool.q.lock();
@@ -1225,6 +1354,66 @@ mod tests {
         let distinct: HashSet<Duration> =
             (0..50u64).map(|id| retry_backoff(id, 3, base, max)).collect();
         assert!(distinct.len() > 10, "jitter too coarse: {}", distinct.len());
+    }
+
+    #[test]
+    fn recorded_events_respect_lifecycle_order() {
+        let cfg = ServeConfig::new(2, 2)
+            .with_retry(3, Duration::from_micros(50), Duration::from_micros(200))
+            .with_events();
+        let srv = WorkServer::with_faults(cfg, FaultPlan::new(0).fail_request(3));
+        for i in 0..8u64 {
+            srv.submit(
+                Request::new(i, i, 1, |_| Ok(()))
+                    .with_accesses(vec![(0x1000 + i * 64, 8, AccessKind::Write)]),
+            )
+            .unwrap();
+        }
+        srv.drain();
+        let evs = srv.take_events();
+        assert!(matches!(evs.last(), Some(RtEvent::ReqDrain { .. })));
+        // Per request: admit strictly precedes attempt 1; a retry outcome
+        // (ok=false) strictly precedes the next attempt; every request has
+        // exactly one terminal outcome before the drain event.
+        for id in 0..8u64 {
+            let uid = req_uid(id);
+            let admit = evs
+                .iter()
+                .position(|e| matches!(e, RtEvent::ReqAdmit { req, .. } if *req == uid))
+                .expect("admit recorded");
+            let first_attempt = evs
+                .iter()
+                .position(
+                    |e| matches!(e, RtEvent::ReqAttempt { req, attempt: 1, .. } if *req == uid),
+                )
+                .expect("attempt recorded");
+            assert!(admit < first_attempt, "request {id}");
+        }
+        // Request 3 was injected to fail once: retry outcome then attempt 2.
+        let uid = req_uid(3);
+        let retry = evs
+            .iter()
+            .position(|e| {
+                matches!(e, RtEvent::ReqOutcome { req, ok: false, .. } if *req == uid)
+            })
+            .expect("retry outcome recorded");
+        let second = evs
+            .iter()
+            .position(|e| matches!(e, RtEvent::ReqAttempt { req, attempt: 2, .. } if *req == uid))
+            .expect("second attempt recorded");
+        assert!(retry < second);
+        let accesses = evs
+            .iter()
+            .filter(|e| matches!(e, RtEvent::Access { .. }))
+            .count();
+        assert_eq!(accesses, 8, "one declared access per body run");
+        let terminals = evs
+            .iter()
+            .filter(|e| matches!(e, RtEvent::ReqOutcome { ok: true, .. }))
+            .count();
+        assert_eq!(terminals, 8);
+        // Drained stream: a second take is empty.
+        assert!(srv.take_events().is_empty());
     }
 
     #[test]

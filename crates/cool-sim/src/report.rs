@@ -21,6 +21,12 @@ pub struct RunReport {
     pub idle_cycles: u64,
     /// Total scheduling-overhead cycles across processors.
     pub overhead_cycles: u64,
+    /// Coherence transitions validated (0 unless the run was configured
+    /// with [`SimConfig::with_checked`](crate::SimConfig::with_checked)).
+    pub coherence_transitions: u64,
+    /// Coherence-invariant violations detected in checked mode (always 0
+    /// for a healthy protocol; nonzero fails the cool-check gate).
+    pub coherence_violations: u64,
 }
 
 impl RunReport {
@@ -74,6 +80,8 @@ mod tests {
             busy_cycles: 900,
             idle_cycles: 50,
             overhead_cycles: 50,
+            coherence_transitions: 0,
+            coherence_violations: 0,
         };
         assert!((r.speedup(1000) - 4.0).abs() < 1e-12);
         assert!((r.utilization() - 0.9).abs() < 1e-12);
@@ -89,6 +97,8 @@ mod tests {
             busy_cycles: 0,
             idle_cycles: 0,
             overhead_cycles: 0,
+            coherence_transitions: 0,
+            coherence_violations: 0,
         };
         assert_eq!(r.speedup(100), 0.0);
         assert_eq!(r.utilization(), 0.0);

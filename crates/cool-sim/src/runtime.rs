@@ -82,6 +82,13 @@ pub struct SimConfig {
     /// waits, queue-depth samples. Off by default; recording is pure (it
     /// never changes simulated cycles) and zero-cost when disabled.
     pub record_trace: bool,
+    /// Validate the machine's coherence invariants (SWMR, directory/cache
+    /// agreement, lost invalidations, tracked-count conservation, lookaside
+    /// soundness) on every coherence transition, plus a full-state sweep at
+    /// each phase boundary. Violations are collected on the machine
+    /// (`machine().violations()`), never panicked. Off by default; checking
+    /// is an observer — it cannot change the simulated schedule.
+    pub check_coherence: bool,
 }
 
 impl SimConfig {
@@ -97,6 +104,7 @@ impl SimConfig {
             spawn_cost: 20,
             record_events: false,
             record_trace: false,
+            check_coherence: false,
         }
     }
 
@@ -118,11 +126,19 @@ impl SimConfig {
         self
     }
 
+    /// Enable coherence-invariant checking (see
+    /// [`SimConfig::check_coherence`]).
+    pub fn with_checked(mut self) -> Self {
+        self.check_coherence = true;
+        self
+    }
+
     /// A compact, stable fingerprint of every knob that influences the
     /// simulated schedule: the machine, the steal policy, and the scheduler
-    /// cost constants. Recording flags are deliberately excluded — they are
-    /// observers, never inputs (recording a run must not change it).
-    /// `cool-repro` hashes this into its memoization key.
+    /// cost constants. Recording and checking flags are deliberately
+    /// excluded — they are observers, never inputs (recording or checking
+    /// a run must not change it). `cool-repro` hashes this into its
+    /// memoization key.
     pub fn fingerprint(&self) -> String {
         format!(
             "{} {} slots={} probe={} xfer={} mrt={} spawn={}",
@@ -208,8 +224,12 @@ impl SimRuntime {
     /// Build a cold runtime (cold caches, empty queues, zero clocks).
     pub fn new(cfg: SimConfig) -> Self {
         let n = cfg.machine.nprocs;
+        let mut machine = Machine::new(cfg.machine);
+        if cfg.check_coherence {
+            machine.enable_checked();
+        }
         SimRuntime {
-            machine: Machine::new(cfg.machine),
+            machine,
             topology: cfg.machine.topology(),
             queues: (0..n).map(|_| ServerQueues::new(cfg.affinity_slots)).collect(),
             clocks: vec![0; n],
@@ -378,6 +398,8 @@ impl SimRuntime {
             busy_cycles: total.busy_cycles,
             idle_cycles: total.idle_cycles,
             overhead_cycles: total.overhead_cycles,
+            coherence_transitions: self.machine.transitions_checked(),
+            coherence_violations: self.machine.violation_count(),
         }
     }
 
@@ -487,6 +509,11 @@ impl SimRuntime {
         self.emit(RtEvent::PhaseBegin { seq });
         self.spawn(Task::new(seed).with_label("phase-seed"));
         let out = self.drain();
+        if self.cfg.check_coherence {
+            // Phase boundary: global invariants (tracked-count
+            // conservation, reverse tag agreement) on the settled state.
+            self.machine.check_full();
+        }
         self.emit(RtEvent::PhaseEnd { seq });
         out
     }

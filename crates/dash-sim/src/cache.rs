@@ -141,6 +141,20 @@ impl Cache {
         self.ways.iter().filter(|&&l| l != EMPTY).count()
     }
 
+    /// Is `line` the most-recently-used way of its set? Used by the checked
+    /// mode to validate the lookaside invariant (its fast path assumes the
+    /// remembered line would be found first, with no LRU update needed).
+    #[doc(hidden)]
+    pub fn is_mru(&self, line: u64) -> bool {
+        self.ways[self.set_index(line) * self.assoc] == line
+    }
+
+    /// Every resident line, in storage order (checked-mode full sweeps).
+    #[doc(hidden)]
+    pub fn resident_lines(&self) -> Vec<u64> {
+        self.ways.iter().copied().filter(|&l| l != EMPTY).collect()
+    }
+
     /// Drop every resident line (used when a page migrates).
     pub fn flush(&mut self) {
         self.ways.fill(EMPTY);
@@ -213,6 +227,13 @@ impl ProcCache {
     /// Does either level hold the line?
     pub fn contains(&self, line: u64) -> bool {
         self.l2.contains(line)
+    }
+
+    /// Every line resident at either level (inclusion makes this the L2
+    /// contents). Checked-mode full sweeps only.
+    #[doc(hidden)]
+    pub fn resident_lines(&self) -> Vec<u64> {
+        self.l2.resident_lines()
     }
 }
 

@@ -26,7 +26,7 @@ const NO_OWNER: u8 = u8::MAX;
 
 /// The directory for the whole machine: one slot per line, indexed by line
 /// number. A line is *tracked* while it has any sharers or a dirty owner.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Directory {
     /// Bitmap of processors holding each line.
     sharers: Vec<u64>,
@@ -174,6 +174,40 @@ impl Directory {
     /// Number of lines with any directory state.
     pub fn tracked_lines(&self) -> usize {
         self.tracked
+    }
+
+    /// Dirty owner of `line`, if any (checked mode / protocol exploration).
+    pub fn owner_of(&self, line: u64) -> Option<usize> {
+        match self.owner.get(line as usize) {
+            Some(&o) if o != NO_OWNER => Some(o as usize),
+            _ => None,
+        }
+    }
+
+    /// Number of line slots currently allocated in the table (checked-mode
+    /// full sweeps iterate `0..table_len()`).
+    #[doc(hidden)]
+    pub fn table_len(&self) -> usize {
+        self.sharers.len()
+    }
+
+    /// Seeded defect: set a sharer bit without any coherence transaction.
+    /// Only for tests proving the checked-mode invariants fire; breaks
+    /// directory/cache agreement (and SWMR, if the line has a dirty owner).
+    #[doc(hidden)]
+    pub fn defect_set_sharer(&mut self, line: u64, p: usize) {
+        let i = self.ensure(line);
+        if self.sharers[i] == 0 && self.owner[i] == NO_OWNER {
+            self.tracked += 1;
+        }
+        self.sharers[i] |= 1 << p;
+    }
+
+    /// Seeded defect: over-count one tracked line. Only for tests proving
+    /// the tracked-count conservation invariant fires.
+    #[doc(hidden)]
+    pub fn defect_bump_tracked(&mut self) {
+        self.tracked += 1;
     }
 }
 

@@ -19,6 +19,11 @@
 //!   stand-in for the DASH performance monitor of Section 6.
 //! * [`machine`] — the façade tying it together: `read`/`write`/`compute`
 //!   charge cycles to a processor and update caches, directory and monitor.
+//! * [`check`] — the coherence-invariant catalogue (SWMR, directory/cache
+//!   agreement, lost invalidations, tracked-count conservation, lookaside
+//!   soundness) validated per-transition in checked mode
+//!   ([`Machine::enable_checked`]), plus an exhaustive 1-line × 2–4-cache
+//!   protocol reachability pass ([`explore_protocol`]).
 //!
 //! The simulation is *execution-driven at task grain*: application code runs
 //! natively and mirrors its memory accesses into the machine, which decides
@@ -40,6 +45,7 @@
 //! ```
 
 pub mod cache;
+pub mod check;
 pub mod config;
 pub mod directory;
 pub mod machine;
@@ -53,6 +59,7 @@ mod equiv_tests;
 #[cfg(test)]
 mod oracle;
 
+pub use check::{explore_protocol, CoherenceViolation, ProtoStats};
 pub use config::{CacheConfig, Latencies, MachineConfig};
 pub use machine::Machine;
 pub use monitor::{MissBreakdown, PerfMonitor, ProcCounters};

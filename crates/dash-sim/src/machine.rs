@@ -10,6 +10,7 @@
 use cool_core::{NodeId, ObjRef, ProcId};
 
 use crate::cache::{Level, ProcCache};
+use crate::check::{CheckState, CoherenceViolation};
 use crate::config::MachineConfig;
 use crate::directory::Directory;
 use crate::monitor::{PerfMonitor, Service};
@@ -72,6 +73,9 @@ pub struct Machine {
     line_shift: u32,
     /// `log2(page_bytes)` (page size is always a power of two).
     page_shift: u32,
+    /// Checked-mode state (`None` when disabled — the per-reference cost
+    /// is then a single branch). See [`crate::check`] for the catalogue.
+    checked: Option<CheckState>,
 }
 
 impl Machine {
@@ -96,6 +100,7 @@ impl Machine {
                 0
             },
             page_shift: cfg.page_bytes.trailing_zeros(),
+            checked: None,
             cfg,
         }
     }
@@ -218,6 +223,13 @@ impl Machine {
             la.line = NO_LINE;
             la.write_ok = false;
         }
+        if self.checked.is_some() {
+            let mut l = lo / line_bytes;
+            while l < end {
+                self.check_line(l);
+                l += 1;
+            }
+        }
         moved * self.cfg.page_migrate_cost
     }
 
@@ -280,6 +292,9 @@ impl Machine {
             } = self.caches[pi].access(line)
             {
                 self.dir.evict(v, pi);
+                if let Some(chk) = self.checked.as_mut() {
+                    chk.pending.push(v);
+                }
             }
             let outcome = self.dir.read_miss(line, pi);
             // A prefetch serviced by a dirty owner downgrades the owner to
@@ -296,6 +311,9 @@ impl Machine {
                 page: addr >> self.page_shift,
                 write_ok: false,
             };
+            if self.checked.is_some() {
+                self.drain_checks(line);
+            }
             // Bandwidth: the servicing module is still occupied.
             if self.cfg.mem_occupancy > 0 {
                 let module = self.space.home(ObjRef(addr)).index();
@@ -373,6 +391,9 @@ impl Machine {
                 page,
                 write_ok,
             };
+            if self.checked.is_some() {
+                self.drain_checks(line);
+            }
             if line == last {
                 break;
             }
@@ -397,6 +418,9 @@ impl Machine {
             Level::Memory { l2_victim } => {
                 if let Some(v) = l2_victim {
                     self.dir.evict(v, pi);
+                    if let Some(chk) = self.checked.as_mut() {
+                        chk.pending.push(v);
+                    }
                 }
                 let outcome = self.dir.read_miss(line, pi);
                 // Serviced by a dirty owner: the owner downgrades to shared,
@@ -420,6 +444,9 @@ impl Machine {
         } = level
         {
             self.dir.evict(v, pi);
+            if let Some(chk) = self.checked.as_mut() {
+                chk.pending.push(v);
+            }
         }
         let outcome = self.dir.write(line, pi);
         // Invalidate the line out of every other sharer's caches (and out of
@@ -509,6 +536,205 @@ impl Machine {
             Service::RemoteMem
         });
         cycles
+    }
+
+    // ----- checked mode (coherence-invariant validation) -----
+
+    /// Enable checked mode: every subsequent coherence transition (miss
+    /// fill, ownership write, eviction, purge) is validated against the
+    /// invariant catalogue in [`crate::check`], and [`Machine::check_full`]
+    /// becomes a full-state sweep. Violations are collected, not panicked,
+    /// so seeded-defect tests can observe them.
+    pub fn enable_checked(&mut self) {
+        if self.checked.is_none() {
+            self.checked = Some(CheckState::default());
+        }
+    }
+
+    /// Is checked mode enabled?
+    pub fn is_checked(&self) -> bool {
+        self.checked.is_some()
+    }
+
+    /// Coherence transitions validated so far (0 when unchecked).
+    pub fn transitions_checked(&self) -> u64 {
+        self.checked.as_ref().map_or(0, |c| c.transitions)
+    }
+
+    /// Total invariant violations detected so far (0 when unchecked).
+    pub fn violation_count(&self) -> u64 {
+        self.checked.as_ref().map_or(0, |c| c.violation_count)
+    }
+
+    /// The first violations detected, verbatim (empty when unchecked).
+    pub fn violations(&self) -> &[CoherenceViolation] {
+        self.checked.as_ref().map_or(&[], |c| &c.violations)
+    }
+
+    /// Validate `line` plus any victim lines evicted by the transition
+    /// (recorded in `pending` by the fill paths). Called once the
+    /// reference's state updates — lookaside included — have settled.
+    fn drain_checks(&mut self, line: u64) {
+        self.check_line(line);
+        while let Some(v) = self.checked.as_mut().and_then(|c| c.pending.pop()) {
+            self.check_line(v);
+        }
+    }
+
+    /// Validate one line's invariants after a coherence transition.
+    fn check_line(&mut self, line: u64) {
+        if self.checked.is_none() {
+            return;
+        }
+        let mut found = Vec::new();
+        self.validate_line(line, &mut found);
+        let chk = self.checked.as_mut().expect("checked");
+        chk.transitions += 1;
+        for v in found {
+            chk.record(v);
+        }
+    }
+
+    /// Line-scope invariant catalogue: SWMR, directory/cache agreement in
+    /// both directions, no lost invalidations, lookaside soundness.
+    fn validate_line(&self, line: u64, out: &mut Vec<CoherenceViolation>) {
+        let sharers = self.dir.sharers(line);
+        let owner = self.dir.owner_of(line);
+        if let Some(o) = owner {
+            if sharers != 1 << o {
+                out.push(CoherenceViolation {
+                    invariant: "swmr",
+                    line,
+                    detail: format!("dirty owner {o} with sharer bitmap {sharers:#b}"),
+                });
+            }
+            for q in 0..self.cfg.nprocs {
+                if q != o && self.caches[q].contains(line) {
+                    out.push(CoherenceViolation {
+                        invariant: "lost-invalidation",
+                        line,
+                        detail: format!("cache {q} still holds a line dirty-owned by {o}"),
+                    });
+                }
+            }
+        }
+        for (q, cache) in self.caches.iter().enumerate() {
+            let bit = sharers & (1 << q) != 0;
+            let resident = cache.contains(line);
+            if bit != resident {
+                out.push(CoherenceViolation {
+                    invariant: "agreement",
+                    line,
+                    detail: format!(
+                        "directory says sharer({q})={bit}, cache tag says resident={resident}"
+                    ),
+                });
+            }
+        }
+        for (q, la) in self.lookaside.iter().enumerate() {
+            if la.line != line {
+                continue;
+            }
+            if !self.caches[q].l1.is_mru(line) {
+                out.push(CoherenceViolation {
+                    invariant: "lookaside",
+                    line,
+                    detail: format!("lookaside {q} promises an L1 hit but the line is not MRU"),
+                });
+            }
+            if la.write_ok && !self.dir.is_exclusive(line, q) {
+                out.push(CoherenceViolation {
+                    invariant: "lookaside",
+                    line,
+                    detail: format!(
+                        "lookaside {q} promises exclusive writes without exclusive ownership"
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Full-state sweep: every tracked line's catalogue, the reverse
+    /// (cache-tag → sharer-bit) direction over all resident lines, and
+    /// tracked-count conservation. Run at task/phase boundaries by the
+    /// scheduler; O(table + cache contents), so not per-reference. Returns
+    /// the number of violations found by this sweep (0 when unchecked).
+    pub fn check_full(&mut self) -> u64 {
+        if self.checked.is_none() {
+            return 0;
+        }
+        let mut found = Vec::new();
+        let mut with_state = 0usize;
+        for line in 0..self.dir.table_len() as u64 {
+            if self.dir.sharers(line) != 0 || self.dir.owner_of(line).is_some() {
+                with_state += 1;
+                self.validate_line(line, &mut found);
+            }
+        }
+        if with_state != self.dir.tracked_lines() {
+            found.push(CoherenceViolation {
+                invariant: "tracked-conservation",
+                line: 0,
+                detail: format!(
+                    "directory tracks {} lines but {} have state",
+                    self.dir.tracked_lines(),
+                    with_state
+                ),
+            });
+        }
+        for (q, cache) in self.caches.iter().enumerate() {
+            for line in cache.resident_lines() {
+                if self.dir.sharers(line) & (1 << q) == 0 {
+                    found.push(CoherenceViolation {
+                        invariant: "agreement",
+                        line,
+                        detail: format!("cache {q} holds a line with no sharer bit"),
+                    });
+                }
+            }
+        }
+        let n = found.len() as u64;
+        let chk = self.checked.as_mut().expect("checked");
+        chk.full_sweeps += 1;
+        for v in found {
+            chk.record(v);
+        }
+        n
+    }
+
+    // ----- seeded defects (tests of the checker itself) -----
+
+    /// Seeded defect: set a phantom sharer bit with no cached copy.
+    /// Fires `agreement` (and `swmr` if the line has a dirty owner).
+    #[doc(hidden)]
+    pub fn defect_phantom_sharer(&mut self, line: u64, p: usize) {
+        self.dir.defect_set_sharer(line, p);
+    }
+
+    /// Seeded defect: fill a cache behind the directory's back — the
+    /// shape of a missed (lost) invalidation. Fires `agreement`, and
+    /// `lost-invalidation` when the line has another dirty owner.
+    #[doc(hidden)]
+    pub fn defect_fill_cache(&mut self, p: usize, line: u64) {
+        self.caches[p].access(line);
+    }
+
+    /// Seeded defect: over-count one tracked line. Fires
+    /// `tracked-conservation` on the next full sweep.
+    #[doc(hidden)]
+    pub fn defect_bump_tracked(&mut self) {
+        self.dir.defect_bump_tracked();
+    }
+
+    /// Seeded defect: force a lookaside entry to keep promising exclusive
+    /// writes. Fires `lookaside` (and models a stale downgrade).
+    #[doc(hidden)]
+    pub fn defect_force_lookaside(&mut self, p: usize, line: u64, write_ok: bool) {
+        self.lookaside[p.min(self.cfg.nprocs - 1)] = Lookaside {
+            line,
+            page: (line * self.cfg.l1.line_bytes) >> self.page_shift,
+            write_ok,
+        };
     }
 
     // ----- test-only introspection (equivalence tests against the oracle) -----
@@ -811,6 +1037,124 @@ mod tests {
             m.read(ProcId(1), obj, 4),
             m.config().lat.local_mem + m.config().lat.dirty_penalty
         );
+    }
+
+    fn checked_machine(nprocs: usize) -> Machine {
+        let mut m = machine(nprocs);
+        m.enable_checked();
+        m
+    }
+
+    fn fired(m: &Machine, invariant: &str) -> bool {
+        m.violations().iter().any(|v| v.invariant == invariant)
+    }
+
+    #[test]
+    fn checked_mode_stays_clean_under_a_coherence_workout() {
+        let mut m = checked_machine(8);
+        let page = m.config().page_bytes;
+        let obj = m.alloc_on_node(NodeId(0), 2 * page);
+        for p in 0..4 {
+            m.read(ProcId(p), obj, 128);
+        }
+        m.write(ProcId(1), obj, 64);
+        m.read(ProcId(5), obj, 64);
+        m.prefetch(ProcId(2), obj.offset(page), 128, 0);
+        m.migrate_to_node(obj, page, NodeId(1));
+        m.write(ProcId(6), obj, 32);
+        assert!(m.transitions_checked() > 0);
+        assert_eq!(m.check_full(), 0);
+        assert_eq!(m.violation_count(), 0, "{:?}", m.violations());
+    }
+
+    #[test]
+    fn seeded_phantom_sharer_fires_agreement() {
+        let mut m = checked_machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read(ProcId(0), obj, 4);
+        let line = obj.0 / m.config().l1.line_bytes;
+        m.defect_phantom_sharer(line, 2);
+        assert!(m.check_full() > 0);
+        assert!(fired(&m, "agreement"), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn seeded_extra_sharer_on_dirty_line_fires_swmr() {
+        let mut m = checked_machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.write(ProcId(0), obj, 4);
+        let line = obj.0 / m.config().l1.line_bytes;
+        // Give processor 1 both the sharer bit and a cached copy, so
+        // forward agreement holds and the single-writer property is what
+        // breaks (the cached copy also surfaces as a lost invalidation).
+        m.defect_phantom_sharer(line, 1);
+        m.defect_fill_cache(1, line);
+        assert!(m.check_full() > 0);
+        assert!(fired(&m, "swmr"), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn seeded_stale_copy_fires_lost_invalidation() {
+        let mut m = checked_machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.write(ProcId(0), obj, 4);
+        let line = obj.0 / m.config().l1.line_bytes;
+        // A cached copy with no sharer bit behind a dirty owner: exactly
+        // the state a missed invalidation leaves behind.
+        m.defect_fill_cache(2, line);
+        assert!(m.check_full() > 0);
+        assert!(fired(&m, "lost-invalidation"), "{:?}", m.violations());
+        assert!(fired(&m, "agreement"));
+    }
+
+    #[test]
+    fn seeded_tracked_bump_fires_conservation() {
+        let mut m = checked_machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read(ProcId(0), obj, 4);
+        m.defect_bump_tracked();
+        assert!(m.check_full() > 0);
+        assert!(fired(&m, "tracked-conservation"), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn seeded_stale_lookaside_fires_lookaside_soundness() {
+        let mut m = checked_machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read(ProcId(0), obj, 4);
+        let line = obj.0 / m.config().l1.line_bytes;
+        // Promise exclusive writes that the directory never granted.
+        m.defect_force_lookaside(0, line, true);
+        // The next write takes the (bogus) fast path's invariant check on
+        // its own transition... but the defect is visible to a sweep even
+        // before any reference.
+        assert!(m.check_full() > 0);
+        assert!(fired(&m, "lookaside"), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn per_transition_checks_catch_defects_without_a_sweep() {
+        let mut m = checked_machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 64);
+        m.read(ProcId(0), obj, 4);
+        let line = obj.0 / m.config().l1.line_bytes;
+        m.defect_phantom_sharer(line, 3);
+        // Another processor's read miss on the same line transitions it
+        // and the per-transition validation fires — no full sweep needed.
+        m.read(ProcId(1), obj, 4);
+        assert!(m.violation_count() > 0);
+        assert!(fired(&m, "agreement"), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn unchecked_machine_reports_nothing() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read(ProcId(0), obj, 4);
+        assert!(!m.is_checked());
+        assert_eq!(m.transitions_checked(), 0);
+        assert_eq!(m.check_full(), 0);
+        assert!(m.violations().is_empty());
     }
 
     #[test]

@@ -27,6 +27,17 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo run --release --offline -q -p cool-analyze -- analyze_findings.json
 run git diff --exit-code -- analyze_findings.json
 
+# cool-check gate: bounded schedule exploration of the serve and queue
+# virtual machines (naive + sleep-set DPOR, zero violations, reduction
+# required), exhaustive small-config protocol reachability, and the pinned
+# app sweep in coherence-checked mode. The byte-stable report is diffed so
+# any change in the explored state space is reviewable; the seeded-defect
+# suite proves each protocol invariant actually fires when its rule is
+# broken.
+run cargo run --release --offline -q -p cool-analyze --bin cool-check -- cool_check.json
+run git diff --exit-code -- cool_check.json
+run cargo test -q --offline -p cool-analyze --test check_seeded
+
 # Observability gate: a fixed-seed traced run of one app must emit a
 # Perfetto-loadable Chrome trace and the schema'd cool-metrics-v1 summary
 # (the producer validates the schema and that per-set rows sum exactly to

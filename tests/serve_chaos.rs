@@ -99,6 +99,77 @@ fn injected_service_faults_ignore_arrival_interleaving() {
     assert_eq!(inj2, inj1);
 }
 
+/// Dedup edge cases: a duplicate of an idempotency key must be refused —
+/// and the original outcome preserved, its body never re-executed — both
+/// while the original is *mid-retry* (failed once, sitting in backoff) and
+/// after it has already completed.
+#[test]
+fn duplicate_mid_retry_and_after_completion_never_reexecutes() {
+    let cfg = ServeConfig::new(1, 1)
+        .with_capacity(8)
+        // A long fixed backoff opens a wide mid-retry window between the
+        // first (failing) attempt and the retry.
+        .with_retry(2, Duration::from_millis(300), Duration::from_millis(300));
+    let srv = WorkServer::new(cfg);
+    let runs: Arc<Vec<AtomicU32>> = Arc::new((0..2).map(|_| AtomicU32::new(0)).collect());
+    let body = |id: u64, fail_first: bool| {
+        let runs = runs.clone();
+        move |attempt: u32| {
+            runs[id as usize].fetch_add(1, Ordering::SeqCst);
+            if fail_first && attempt == 0 {
+                Err("transient".to_string())
+            } else {
+                Ok(())
+            }
+        }
+    };
+    let spin_until = |cond: &dyn Fn() -> bool, what: &str| {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    };
+
+    // Request 0 fails its first attempt and retries after the backoff.
+    srv.submit(Request::new(0, 0, 1, body(0, true))).unwrap();
+    spin_until(&|| runs[0].load(Ordering::SeqCst) == 1, "first attempt of 0");
+    // Mid-retry: attempt 1 failed, the retry is waiting out its backoff.
+    match srv.submit(Request::new(0, 0, 1, body(0, false))) {
+        Err(SubmitError::Duplicate(id)) => assert_eq!(id, 0),
+        other => panic!("mid-retry duplicate not refused: {other:?}"),
+    }
+
+    // Request 1 completes first try; resubmit after its outcome lands.
+    srv.submit(Request::new(1, 0, 1, body(1, false))).unwrap();
+    spin_until(
+        &|| matches!(srv.outcomes().get(&1).and_then(|r| r.outcome.clone()),
+            Some(Outcome::Completed { .. })),
+        "completion of 1",
+    );
+    match srv.submit(Request::new(1, 0, 1, body(1, false))) {
+        Err(SubmitError::Duplicate(id)) => assert_eq!(id, 1),
+        other => panic!("post-completion duplicate not refused: {other:?}"),
+    }
+
+    srv.drain();
+    let outcomes = srv.outcomes();
+    // Original outcomes stand: 0 completed on its retry, 1 on its first
+    // attempt — and the duplicates added zero body executions.
+    match &outcomes[&0].outcome {
+        Some(Outcome::Completed { attempts: 2, .. }) => {}
+        other => panic!("request 0 outcome clobbered: {other:?}"),
+    }
+    match &outcomes[&1].outcome {
+        Some(Outcome::Completed { attempts: 1, .. }) => {}
+        other => panic!("request 1 outcome clobbered: {other:?}"),
+    }
+    assert_eq!(runs[0].load(Ordering::SeqCst), 2, "duplicate re-ran request 0");
+    assert_eq!(runs[1].load(Ordering::SeqCst), 1, "duplicate re-ran request 1");
+    assert_eq!(srv.stats().duplicates, 2);
+    assert_eq!(srv.stats().admitted, 2);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
