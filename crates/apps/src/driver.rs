@@ -326,7 +326,24 @@ pub fn procs_for(app: &str, scale: AppScale) -> &'static [usize] {
 /// returned so a malformed export fails at the producer, not in CI.
 pub fn trace_artifacts(report: &AppReport) -> (String, String) {
     let trace = cool_obs::chrome_trace_json(&report.obs.events);
-    let metrics = cool_obs::MetricsSummary::from_trace(&report.obs).to_json();
+    let mut summary = cool_obs::MetricsSummary::from_trace(&report.obs);
+    // Contention does not flow through the event trace; attach the run
+    // report's per-resource-class statistics (all zeros in zero-contention
+    // mode, so the schema is uniform across modes).
+    summary.contention = report
+        .run
+        .contention
+        .rows()
+        .iter()
+        .map(|&(resource, s)| cool_obs::ContentionRow {
+            resource,
+            requests: s.requests,
+            wait_cycles: s.wait_cycles,
+            busy_cycles: s.busy_cycles,
+            peak_occupancy: s.peak_occupancy,
+        })
+        .collect();
+    let metrics = summary.to_json();
     cool_obs::validate_metrics_json(&metrics)
         .unwrap_or_else(|e| panic!("generated metrics failed validation: {e}"));
     (trace, metrics)

@@ -27,6 +27,7 @@ use apps::{
     Version,
 };
 use cool_sim::{MachineConfig, SimConfig};
+use dash_sim::ContentionConfig;
 use workloads::ocean::OceanParams;
 
 /// One data point of a figure: a (series, processor-count) cell with every
@@ -49,6 +50,9 @@ pub struct FigureRow {
     pub local_frac: f64,
     /// Affinity adherence (fraction of hinted tasks on their hinted server).
     pub adherence: f64,
+    /// Queue-wait cycles summed over all contention resources (0 when the
+    /// run used the zero-contention fast path).
+    pub wait_cycles: u64,
     /// Numeric deviation from the sequential reference (must be ~0).
     pub max_error: f64,
 }
@@ -69,6 +73,7 @@ impl FigureRow {
             misses: rep.run.mem.misses(),
             local_frac: rep.run.mem.local_fraction(),
             adherence: rep.run.stats.adherence(),
+            wait_cycles: rep.run.contention.total_wait(),
             max_error: rep.max_error,
         }
     }
@@ -101,11 +106,18 @@ impl Scale {
         }
     }
 
+    /// Machine for `nprocs` processors. Both scales run the discrete-event
+    /// contention engine with the DASH service times — the figures model
+    /// queueing on buses, the mesh and directories, as the paper's machine
+    /// did. (The zero-contention fast path stays reachable through
+    /// `MachineConfig` directly; the lockstep equivalence suites pin it to
+    /// the frozen oracle.)
     fn machine(self, nprocs: usize) -> MachineConfig {
-        match self {
+        let m = match self {
             Scale::Small => MachineConfig::dash_small(nprocs),
             Scale::Full => MachineConfig::dash(nprocs),
-        }
+        };
+        m.with_contention(ContentionConfig::dash())
     }
 
     /// Simulator config for `nprocs` processors under version `v`'s policy.

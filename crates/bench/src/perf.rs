@@ -72,14 +72,14 @@ pub fn run_sweep() -> Vec<SweepCell> {
 
 /// TSV header of the golden file.
 pub const GOLDEN_HEADER: &str = "app\tseries\tprocs\trefs\tl1_hits\tl2_hits\tlocal_misses\t\
-remote_misses\tinvalidations\telapsed\tbusy\tidle\toverhead\tmax_err";
+remote_misses\tinvalidations\telapsed\tbusy\tidle\toverhead\twait\tmax_err";
 
 /// One cell as a golden TSV row: the full monitor breakdown plus virtual
 /// cycles, formatted with no floating-point beyond the numeric-error column.
 pub fn golden_row(c: &SweepCell) -> String {
     let r = &c.report.run;
     format!(
-        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3e}",
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3e}",
         c.app,
         c.version.label(),
         c.nprocs,
@@ -93,6 +93,7 @@ pub fn golden_row(c: &SweepCell) -> String {
         r.busy_cycles,
         r.idle_cycles,
         r.overhead_cycles,
+        r.contention.total_wait(),
         c.report.max_error,
     )
 }
@@ -231,6 +232,32 @@ pub fn machine_micro(repeats: u32) -> AppTiming {
     }
 }
 
+/// Machine-speed calibration: a fixed pure-CPU xorshift reduction, timed
+/// best-of-`repeats`, in ops per second. The perf gate divides the
+/// `machine_micro` throughput by this before comparing against the
+/// baseline's ratio, so run-level machine-state noise (frequency scaling,
+/// noisy neighbours) cancels and the fast-path budget can be tight.
+pub fn calibration_ops_per_sec(repeats: u32) -> f64 {
+    assert!(repeats >= 1);
+    const OPS: u64 = 20_000_000;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut acc = 0u64;
+        for _ in 0..OPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        std::hint::black_box(acc);
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        best_ms = best_ms.min(ms);
+    }
+    OPS as f64 / (best_ms / 1000.0)
+}
+
 /// Wall-clock of one pass over every figure driver at `Scale::Small` with
 /// the small default processor list — the same code path as
 /// `figures --all --small`, timed in-process.
@@ -276,7 +303,7 @@ mod tests {
         assert_eq!(lines.next(), Some(GOLDEN_HEADER));
         let first = lines.next().expect("at least one row");
         assert!(first.starts_with("gauss\tBase\t4\t"), "{first}");
-        // 14 tab-separated columns.
-        assert_eq!(first.split('\t').count(), 14);
+        // 15 tab-separated columns.
+        assert_eq!(first.split('\t').count(), 15);
     }
 }

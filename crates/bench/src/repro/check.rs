@@ -46,7 +46,7 @@ pub fn drift(fresh: &[ReproRecord], golden: &[ReproRecord], tol: f64) -> Vec<Str
             ));
             continue;
         }
-        let fields: [(&str, f64, f64); 12] = [
+        let fields: [(&str, f64, f64); 14] = [
             ("speedup", f.speedup, g.speedup),
             ("elapsed", f.elapsed as f64, g.elapsed as f64),
             ("busy", f.busy as f64, g.busy as f64),
@@ -58,6 +58,8 @@ pub fn drift(fresh: &[ReproRecord], golden: &[ReproRecord], tol: f64) -> Vec<Str
             ("local_misses", f.local_misses as f64, g.local_misses as f64),
             ("remote_misses", f.remote_misses as f64, g.remote_misses as f64),
             ("invalidations", f.invalidations as f64, g.invalidations as f64),
+            ("wait_cycles", f.wait_cycles as f64, g.wait_cycles as f64),
+            ("peak_occ", f.peak_occ as f64, g.peak_occ as f64),
             ("adherence", f.adherence, g.adherence),
         ];
         for (name, fv, gv) in fields {
@@ -108,6 +110,8 @@ mod tests {
             local_misses: 5,
             remote_misses: 5,
             invalidations: 0,
+            wait_cycles: 0,
+            peak_occ: 0,
             adherence: 1.0,
             max_error: 0.0,
         }

@@ -19,7 +19,11 @@ pub const REPRO_SCHEMA: &str = "cool-repro-v1";
 /// config string and therefore every memoization hash, invalidating cached
 /// records that predate the change. Config mutations (machine, policy,
 /// inputs, processor count) are captured by the fingerprints themselves.
-pub const REPRO_EPOCH: u32 = 1;
+///
+/// Epoch 2: machine-scale sweeps run through the discrete-event contention
+/// engine (bus/net/directory/memory resources with queueing), and records
+/// carry `wait_cycles` / `peak_occ`.
+pub const REPRO_EPOCH: u32 = 2;
 
 /// Canonicalize a float to the precision the JSON writer emits, so a
 /// record holds exactly what its serialization holds and
@@ -85,6 +89,11 @@ pub struct ReproRecord {
     pub remote_misses: u64,
     /// Coherence invalidations sent.
     pub invalidations: u64,
+    /// Queue-wait cycles summed over every contention resource (0 in
+    /// zero-contention mode).
+    pub wait_cycles: u64,
+    /// Peak instantaneous occupancy over all contention resources.
+    pub peak_occ: u64,
     /// Affinity adherence: fraction of hinted tasks on their hinted server.
     pub adherence: f64,
     /// Max numeric deviation from the app's sequential reference.
@@ -145,6 +154,8 @@ impl ReproRecord {
             local_misses: r.mem.local_misses,
             remote_misses: r.mem.remote_misses,
             invalidations: r.mem.invalidations,
+            wait_cycles: r.contention.total_wait(),
+            peak_occ: r.contention.peak_occupancy(),
             adherence: canon6(r.stats.adherence()),
             max_error: canon3e(report.max_error),
         }
@@ -176,6 +187,8 @@ impl ReproRecord {
         s.push_str(&format!("{inner}\"local_misses\": {},\n", self.local_misses));
         s.push_str(&format!("{inner}\"remote_misses\": {},\n", self.remote_misses));
         s.push_str(&format!("{inner}\"invalidations\": {},\n", self.invalidations));
+        s.push_str(&format!("{inner}\"wait_cycles\": {},\n", self.wait_cycles));
+        s.push_str(&format!("{inner}\"peak_occ\": {},\n", self.peak_occ));
         s.push_str(&format!("{inner}\"adherence\": {:.6},\n", self.adherence));
         s.push_str(&format!("{inner}\"max_error\": {:.3e}\n", self.max_error));
         s.push_str(&format!("{pad}}}"));
@@ -233,6 +246,8 @@ impl ReproRecord {
             local_misses: get_u64("local_misses")?,
             remote_misses: get_u64("remote_misses")?,
             invalidations: get_u64("invalidations")?,
+            wait_cycles: get_u64("wait_cycles")?,
+            peak_occ: get_u64("peak_occ")?,
             adherence: get_f64("adherence")?,
             max_error: get_f64("max_error")?,
         })
@@ -364,6 +379,8 @@ mod tests {
             local_misses: 300,
             remote_misses: 200,
             invalidations: 10,
+            wait_cycles: 640,
+            peak_occ: 3,
             adherence: 0.875,
             max_error: 1.25e-13,
         }

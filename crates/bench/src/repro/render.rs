@@ -15,9 +15,10 @@ use std::collections::BTreeSet;
 use super::record::ReproRecord;
 use crate::FigureRow;
 
-/// Header of the nine-column figure TSV.
+/// Header of the ten-column figure TSV (`wait` is the contention
+/// engine's queue-wait total; 0 in zero-contention sweeps).
 pub const TSV_HEADER: &str =
-    "figure\tseries\tprocs\tspeedup\telapsed\tmisses\tlocal%\tadherence\tmax_err";
+    "figure\tseries\tprocs\tspeedup\telapsed\tmisses\tlocal%\tadherence\twait\tmax_err";
 
 /// One formatted TSV line — the single definition both the `figures` binary
 /// and the repro renderer print through.
@@ -31,10 +32,11 @@ pub fn tsv_line(
     misses: u64,
     local_frac: f64,
     adherence: f64,
+    wait_cycles: u64,
     max_error: f64,
 ) -> String {
     format!(
-        "{}\t{}\t{}\t{:.3}\t{}\t{}\t{:.1}\t{:.1}\t{:.2e}",
+        "{}\t{}\t{}\t{:.3}\t{}\t{}\t{:.1}\t{:.1}\t{}\t{:.2e}",
         figure,
         series,
         nprocs,
@@ -43,6 +45,7 @@ pub fn tsv_line(
         misses,
         local_frac * 100.0,
         adherence * 100.0,
+        wait_cycles,
         max_error
     )
 }
@@ -54,7 +57,7 @@ pub fn figure_rows_tsv(rows: &[FigureRow]) -> String {
     for r in rows {
         out.push_str(&tsv_line(
             r.figure, r.series, r.nprocs, r.speedup, r.elapsed, r.misses, r.local_frac,
-            r.adherence, r.max_error,
+            r.adherence, r.wait_cycles, r.max_error,
         ));
         out.push('\n');
     }
@@ -76,6 +79,7 @@ pub fn records_tsv(records: &[ReproRecord]) -> String {
             r.misses(),
             r.local_frac(),
             r.adherence,
+            r.wait_cycles,
             r.max_error,
         ));
         out.push('\n');
@@ -231,6 +235,8 @@ mod tests {
             local_misses: 60,
             remote_misses: 40,
             invalidations: 0,
+            wait_cycles: 0,
+            peak_occ: 0,
             adherence: 1.0,
             max_error: 0.0,
         }
@@ -265,10 +271,21 @@ mod tests {
 
     #[test]
     fn tsv_matches_legacy_format() {
-        let line = tsv_line("fig3_gauss", "Base", 4, 1.684, 27725918, 1883748, 1.0, 0.989, 0.0);
+        let line = tsv_line(
+            "fig3_gauss",
+            "Base",
+            4,
+            1.684,
+            27725918,
+            1883748,
+            1.0,
+            0.989,
+            512,
+            0.0,
+        );
         assert_eq!(
             line,
-            "fig3_gauss\tBase\t4\t1.684\t27725918\t1883748\t100.0\t98.9\t0.00e0"
+            "fig3_gauss\tBase\t4\t1.684\t27725918\t1883748\t100.0\t98.9\t512\t0.00e0"
         );
     }
 }

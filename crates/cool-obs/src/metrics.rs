@@ -34,6 +34,26 @@ pub struct SetRow {
     pub mem: MemDelta,
 }
 
+/// One memory-system contention row: the aggregate occupancy statistics of
+/// a resource class (cluster buses, interconnect links, directory
+/// controllers or memory modules) from the simulator's discrete-event
+/// engine. Contention does not flow through the event trace — the producer
+/// (the apps driver) fills these rows from the run report; they are all
+/// zeros (or absent) for zero-contention and threaded runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContentionRow {
+    /// Resource-class name (`bus`, `net`, `dir`, `mem`).
+    pub resource: &'static str,
+    /// Transactions serviced.
+    pub requests: u64,
+    /// Total cycles transactions spent queued.
+    pub wait_cycles: u64,
+    /// Total cycles the resources spent servicing transactions.
+    pub busy_cycles: u64,
+    /// Largest simultaneous queue-plus-service occupancy observed.
+    pub peak_occupancy: u64,
+}
+
 /// The digested metrics of one run.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSummary {
@@ -76,6 +96,9 @@ pub struct MetricsSummary {
     pub req_completed: u64,
     /// Service layer: requests that failed permanently or timed out.
     pub req_failed: u64,
+    /// Memory-system contention rows (one per resource class), filled by
+    /// the producer from the simulator's run report.
+    pub contention: Vec<ContentionRow>,
     /// Events lost to ring overflow.
     pub dropped: u64,
 }
@@ -227,6 +250,18 @@ impl MetricsSummary {
              \"completed\": {}, \"failed\": {}}},",
             self.req_admitted, self.req_shed, self.req_retries, self.req_completed, self.req_failed
         );
+        let ctn: Vec<String> = self
+            .contention
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"resource\": \"{}\", \"requests\": {}, \"wait_cycles\": {}, \
+                     \"busy_cycles\": {}, \"peak_occupancy\": {}}}",
+                    r.resource, r.requests, r.wait_cycles, r.busy_cycles, r.peak_occupancy
+                )
+            })
+            .collect();
+        let _ = writeln!(s, "  \"contention\": [{}],", ctn.join(", "));
         let _ = writeln!(s, "  \"dropped\": {},", self.dropped);
         s.push_str("  \"sets\": [\n");
         let rows: Vec<String> = self
@@ -290,6 +325,7 @@ pub fn validate_metrics_json(json: &str) -> Result<(), String> {
         "\"batch_sizes\"",
         "\"queue_depth\"",
         "\"service\"",
+        "\"contention\"",
         "\"dropped\"",
         "\"sets\"",
         "\"total\"",
@@ -432,6 +468,37 @@ mod tests {
         assert_ne!(json, tampered, "tamper point must exist");
         assert!(validate_metrics_json(&tampered).is_err());
         assert!(validate_metrics_json("{}").is_err());
+    }
+
+    #[test]
+    fn contention_rows_render_deterministically() {
+        let mut m = MetricsSummary::from_trace(&sample_trace());
+        assert!(m.to_json().contains("\"contention\": [],"));
+        m.contention = vec![
+            ContentionRow {
+                resource: "bus",
+                requests: 10,
+                wait_cycles: 4,
+                busy_cycles: 20,
+                peak_occupancy: 2,
+            },
+            ContentionRow {
+                resource: "mem",
+                requests: 10,
+                wait_cycles: 90,
+                busy_cycles: 120,
+                peak_occupancy: 5,
+            },
+        ];
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"contention\": [{\"resource\": \"bus\", \"requests\": 10, \
+             \"wait_cycles\": 4, \"busy_cycles\": 20, \"peak_occupancy\": 2}, \
+             {\"resource\": \"mem\", \"requests\": 10, \"wait_cycles\": 90, \
+             \"busy_cycles\": 120, \"peak_occupancy\": 5}],"
+        ));
+        assert_eq!(json, m.to_json());
+        validate_metrics_json(&json).unwrap();
     }
 
     #[test]

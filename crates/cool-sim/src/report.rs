@@ -1,7 +1,7 @@
 //! Run reports: the numbers the paper's figures are built from.
 
 use cool_core::SchedStats;
-use dash_sim::MissBreakdown;
+use dash_sim::{ContentionStats, MissBreakdown};
 
 /// Everything measured about one simulated run: elapsed virtual time,
 /// scheduler statistics, and the memory-system breakdown.
@@ -27,6 +27,10 @@ pub struct RunReport {
     /// Coherence-invariant violations detected in checked mode (always 0
     /// for a healthy protocol; nonzero fails the cool-check gate).
     pub coherence_violations: u64,
+    /// Per-resource-class contention statistics from the discrete-event
+    /// engine (queue waits, busy cycles, peak occupancy). All zeros when
+    /// the machine runs in zero-contention mode.
+    pub contention: ContentionStats,
 }
 
 impl RunReport {
@@ -82,6 +86,7 @@ mod tests {
             overhead_cycles: 50,
             coherence_transitions: 0,
             coherence_violations: 0,
+            contention: ContentionStats::default(),
         };
         assert!((r.speedup(1000) - 4.0).abs() < 1e-12);
         assert!((r.utilization() - 0.9).abs() < 1e-12);
@@ -99,6 +104,7 @@ mod tests {
             overhead_cycles: 0,
             coherence_transitions: 0,
             coherence_violations: 0,
+            contention: ContentionStats::default(),
         };
         assert_eq!(r.speedup(100), 0.0);
         assert_eq!(r.utilization(), 0.0);

@@ -400,6 +400,7 @@ impl SimRuntime {
             overhead_cycles: total.overhead_cycles,
             coherence_transitions: self.machine.transitions_checked(),
             coherence_violations: self.machine.violation_count(),
+            contention: self.machine.contention_stats(),
         }
     }
 
@@ -509,6 +510,10 @@ impl SimRuntime {
         self.emit(RtEvent::PhaseBegin { seq });
         self.spawn(Task::new(seed).with_label("phase-seed"));
         let out = self.drain();
+        // Phase boundary: run the contention engine's calendar dry so a
+        // trailing prefetch burst is accounted before reports are cut (a
+        // no-op in zero-contention mode).
+        self.machine.flush_contention();
         if self.cfg.check_coherence {
             // Phase boundary: global invariants (tracked-count
             // conservation, reverse tag agreement) on the settled state.

@@ -20,6 +20,19 @@
 //!   path names the MRU way of its L1 set, and one promising exclusive
 //!   writes names a line the directory agrees is exclusively owned.
 //!
+//! When the discrete-event contention engine is installed
+//! ([`crate::engine`]), checked mode also validates its transaction-level
+//! invariants on every event-queue drain:
+//!
+//! * **txn-fifo** — each modeled resource (cluster bus, interconnect link,
+//!   directory controller, memory module) grants transactions in arrival
+//!   order within a drain: successive grants carry non-decreasing
+//!   `(cycle, sequence)` arrival keys — no transaction is reordered past
+//!   its resource's FIFO;
+//! * **txn-conservation** — in-flight transactions are conserved: every
+//!   transaction issued is either completed or still holds exactly one
+//!   hop event in the queue, so none are lost or duplicated.
+//!
 //! [`explore_protocol`] complements the per-transition checks with an
 //! exhaustive reachability pass over a 1-line × 2–4-cache configuration:
 //! every protocol state reachable through read-miss / write / evict
@@ -33,7 +46,8 @@ use crate::directory::Directory;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoherenceViolation {
     /// Name of the violated invariant (`swmr`, `agreement`,
-    /// `lost-invalidation`, `tracked-conservation`, `lookaside`).
+    /// `lost-invalidation`, `tracked-conservation`, `lookaside`,
+    /// `txn-fifo`, `txn-conservation`).
     pub invariant: &'static str,
     /// The cache line the violation was detected on (0 for global
     /// invariants such as tracked-conservation).

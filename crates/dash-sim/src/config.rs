@@ -3,6 +3,8 @@
 
 use cool_core::{ClusterId, NodeId, ProcId, Topology};
 
+use crate::engine::ContentionConfig;
+
 /// Parameters of one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -87,6 +89,12 @@ pub struct MachineConfig {
     /// utilization of the available memory bandwidth". 0 disables the
     /// contention model.
     pub mem_occupancy: u64,
+    /// Discrete-event contention engine (see [`crate::engine`]). `None`
+    /// selects the zero-contention fast path: the legacy busy-pointer
+    /// model above, cycle-identical to the frozen oracle. `Some` routes
+    /// every miss through per-cluster bus/net/directory/memory resources
+    /// with service times and FIFO queueing, superseding `mem_occupancy`.
+    pub contention: Option<ContentionConfig>,
 }
 
 impl MachineConfig {
@@ -111,7 +119,14 @@ impl MachineConfig {
             dispatch_overhead: 50,
             page_migrate_cost: 2000,
             mem_occupancy: 3,
+            contention: None,
         }
+    }
+
+    /// Install the discrete-event contention engine (builder style).
+    pub fn with_contention(mut self, c: ContentionConfig) -> Self {
+        self.contention = Some(c);
+        self
     }
 
     /// A scaled-down DASH for fast tests: small caches magnify locality
@@ -138,8 +153,12 @@ impl MachineConfig {
     /// configs with equal fingerprints produce identical simulations, and
     /// any parameter change changes the string.
     pub fn fingerprint(&self) -> String {
+        let ctn = match &self.contention {
+            None => "off".to_string(),
+            Some(c) => c.fingerprint(),
+        };
         format!(
-            "p{}x{} l1={}/{}/{} l2={}/{}/{} lat={}/{}/{}/{}/{} pg={} do={} mig={} occ={}",
+            "p{}x{} l1={}/{}/{} l2={}/{}/{} lat={}/{}/{}/{}/{} pg={} do={} mig={} occ={} ctn={}",
             self.nprocs,
             self.procs_per_cluster,
             self.l1.size_bytes,
@@ -157,6 +176,7 @@ impl MachineConfig {
             self.dispatch_overhead,
             self.page_migrate_cost,
             self.mem_occupancy,
+            ctn,
         )
     }
 
@@ -221,6 +241,20 @@ mod tests {
             assoc: 4,
         };
         assert_eq!(c2.sets(), 1024);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_contention_modes() {
+        let base = MachineConfig::dash(8);
+        let contended = base.with_contention(ContentionConfig::dash());
+        assert!(base.fingerprint().ends_with("ctn=off"));
+        assert_ne!(base.fingerprint(), contended.fingerprint());
+        let mut tweaked = contended;
+        tweaked.contention = Some(ContentionConfig {
+            mem_service: 99,
+            ..ContentionConfig::dash()
+        });
+        assert_ne!(contended.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

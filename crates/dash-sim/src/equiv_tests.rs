@@ -9,6 +9,17 @@
 //! corners the lookaside makes dangerous: repeat hits, conflict evictions,
 //! cross-processor invalidations, dirty-owner downgrades, first-touch
 //! claiming and migration purges.
+//!
+//! Since the discrete-event contention engine landed, these suites are also
+//! the gate on *zero-contention mode*: every config here has
+//! `contention: None`, which must select a code path cycle- and
+//! counter-identical to the frozen oracle ([`zero_contention_mode_matches_oracle`]
+//! pins the mode explicitly). Contended configs have no oracle — for them
+//! the contract is determinism: identical config and reference stream give
+//! byte-identical latencies, counters, contention statistics and event
+//! counts ([`contended_mode_is_deterministic`]). The simulator is
+//! single-threaded, so host parallelism cannot perturb it; the repro
+//! harness's `--race-serial` pass proves that end-to-end.
 
 use cool_core::{NodeId, ObjRef, ProcId};
 use proptest::prelude::*;
@@ -248,5 +259,104 @@ proptest! {
             now += cf;
         }
         assert_same_state(&fast, &slow, &regions, nprocs)?;
+    }
+
+    /// Zero-contention mode, pinned explicitly: a config without the
+    /// discrete-event engine must be the *same machine* as the frozen
+    /// oracle — identical cycles, counters and state over mixed streams
+    /// with migrations — and must report no contention activity at all.
+    #[test]
+    fn zero_contention_mode_matches_oracle(
+        ops in prop::collection::vec(
+            (0u8..16, 0usize..32, 0usize..3, 0u64..REGION, 1u64..96),
+            1..250,
+        ),
+        np_sel in 0usize..3,
+    ) {
+        let nprocs = [2, 8, 32][np_sel];
+        let cfg = small_cache_config(nprocs);
+        prop_assert!(cfg.contention.is_none(), "zero-contention mode is the default");
+        let mut fast = Machine::new(cfg);
+        let mut slow = OracleMachine::new(cfg);
+        let regions = alloc_regions(&mut fast, &mut slow);
+        let mut now = 0u64;
+        for (kind, p, region, off, len) in ops {
+            let pi = p % nprocs;
+            let p = ProcId(pi);
+            let off = off % REGION;
+            let len = len.min(REGION - off);
+            let at = regions[region].offset(off);
+            let (cf, cs) = match kind {
+                0..=6 => (fast.read_at(p, at, len, now), slow.read_at(p, at, len, now)),
+                7..=12 => (fast.write_at(p, at, len, now), slow.write_at(p, at, len, now)),
+                13 | 14 => (fast.prefetch(p, at, len, now), slow.prefetch(p, at, len, now)),
+                _ => (
+                    fast.migrate_to_proc(at, len, pi),
+                    slow.migrate_to_proc(at, len, pi),
+                ),
+            };
+            prop_assert_eq!(cf, cs, "cycle divergence at op on line {}", at.0 / 16);
+            now += cf;
+        }
+        assert_same_state(&fast, &slow, &regions, nprocs)?;
+        prop_assert_eq!(fast.contention_stats(), crate::ContentionStats::default());
+        prop_assert_eq!(fast.contention_events(), 0);
+    }
+
+    /// The determinism property for contended configs (no oracle exists for
+    /// them): the same seed/config/stream run twice produces byte-identical
+    /// per-access latencies, monitor counters, contention statistics and
+    /// dispatched-event counts. The engine is part of the single-threaded
+    /// simulator, so this cannot depend on host parallelism.
+    #[test]
+    fn contended_mode_is_deterministic(
+        ops in prop::collection::vec(
+            (0u8..16, 0usize..32, 0usize..3, 0u64..REGION, 1u64..96),
+            1..250,
+        ),
+        np_sel in 0usize..3,
+    ) {
+        let nprocs = [2, 8, 32][np_sel];
+        let cfg = small_cache_config(nprocs)
+            .with_contention(crate::ContentionConfig::dash());
+        let run = |ops: &[(u8, usize, usize, u64, u64)]| {
+            let mut m = Machine::new(cfg);
+            let a = m.alloc_on_node(NodeId(0), REGION);
+            let b = m.alloc_interleaved(REGION);
+            let c = m.alloc_first_touch(REGION);
+            let regions = [a, b, c];
+            let mut now = 0u64;
+            let mut costs = Vec::with_capacity(ops.len());
+            for &(kind, p, region, off, len) in ops {
+                let pi = p % nprocs;
+                let p = ProcId(pi);
+                let off = off % REGION;
+                let len = len.min(REGION - off);
+                let at = regions[region].offset(off);
+                let cost = match kind {
+                    0..=6 => m.read_at(p, at, len, now),
+                    7..=12 => m.write_at(p, at, len, now),
+                    13 | 14 => m.prefetch(p, at, len, now),
+                    _ => m.migrate_to_proc(at, len, pi),
+                };
+                costs.push(cost);
+                now += cost;
+            }
+            m.flush_contention();
+            let counters: Vec<_> = (0..nprocs).map(|p| *m.monitor().proc(p)).collect();
+            (costs, counters, m.contention_stats(), m.contention_events())
+        };
+        let first = run(&ops);
+        let second = run(&ops);
+        prop_assert_eq!(&first.0, &second.0, "per-access latencies diverged");
+        prop_assert_eq!(&first.1, &second.1, "monitor counters diverged");
+        prop_assert_eq!(first.2, second.2, "contention stats diverged");
+        prop_assert_eq!(first.3, second.3, "event counts diverged");
+        // Any reference op on a cold machine misses, so the engine must
+        // have dispatched events (a stream of only migrations dispatches
+        // none).
+        if ops.iter().any(|&(kind, ..)| kind < 15) {
+            prop_assert!(first.3 > 0, "no events dispatched");
+        }
     }
 }

@@ -13,6 +13,7 @@ use crate::cache::{Level, ProcCache};
 use crate::check::{CheckState, CoherenceViolation};
 use crate::config::MachineConfig;
 use crate::directory::Directory;
+use crate::engine::{ContentionStats, Engine, Hop, ResourceKind};
 use crate::monitor::{PerfMonitor, Service};
 use crate::space::AddressSpace;
 
@@ -63,8 +64,14 @@ pub struct Machine {
     dir: Directory,
     mon: PerfMonitor,
     /// Virtual time until which each memory module (cluster memory) is
-    /// occupied servicing earlier requests (contention model).
+    /// occupied servicing earlier requests (legacy contention model; used
+    /// only in zero-contention mode, i.e. when `engine` is `None`).
     node_busy: Vec<u64>,
+    /// Discrete-event contention engine (`Some` iff `cfg.contention` is).
+    /// When installed, misses become multi-hop transactions queueing at
+    /// per-cluster bus/net/directory/memory resources instead of taking
+    /// the busy-pointer shortcut above.
+    engine: Option<Engine>,
     /// Per-processor last-line/last-page lookaside (see [`Lookaside`]).
     lookaside: Vec<Lookaside>,
     /// `log2(line_bytes)` when the line size is a power of two (it is for
@@ -93,6 +100,7 @@ impl Machine {
             dir: Directory::new(),
             mon: PerfMonitor::new(cfg.nprocs),
             node_busy: vec![0; cfg.nclusters()],
+            engine: cfg.contention.map(|c| Engine::new(c, cfg.nclusters())),
             lookaside: vec![Lookaside::EMPTY; cfg.nprocs],
             line_shift: if cfg.l1.line_bytes.is_power_of_two() {
                 cfg.l1.line_bytes.trailing_zeros()
@@ -314,8 +322,40 @@ impl Machine {
             if self.checked.is_some() {
                 self.drain_checks(line);
             }
-            // Bandwidth: the servicing module is still occupied.
-            if self.cfg.mem_occupancy > 0 {
+            // Bandwidth: the fill consumes memory-system capacity even
+            // though its latency is hidden.
+            if self.engine.is_some() {
+                // Post the fill as a clean-miss transaction. It stays on
+                // the event queue and is drained alongside (and ahead of,
+                // when its timestamp is earlier) later demand misses, which
+                // genuinely queue behind it at the shared resources.
+                let home = self.space.home(ObjRef(addr)).index();
+                let rc = self.cfg.cluster_of(p).index();
+                let mut hops = [Hop {
+                    kind: ResourceKind::Bus,
+                    cluster: rc,
+                }; 4];
+                let mut n = 1;
+                if home != rc {
+                    hops[n] = Hop {
+                        kind: ResourceKind::Net,
+                        cluster: home,
+                    };
+                    n += 1;
+                }
+                hops[n] = Hop {
+                    kind: ResourceKind::Dir,
+                    cluster: home,
+                };
+                hops[n + 1] = Hop {
+                    kind: ResourceKind::Mem,
+                    cluster: home,
+                };
+                n += 2;
+                if let Some(eng) = self.engine.as_mut() {
+                    eng.post(now + cycles, &hops[..n]);
+                }
+            } else if self.cfg.mem_occupancy > 0 {
                 let module = self.space.home(ObjRef(addr)).index();
                 let busy = &mut self.node_busy[module];
                 *busy = (*busy).max(now + cycles) + self.cfg.mem_occupancy;
@@ -508,19 +548,77 @@ impl Machine {
         if from_dirty {
             cycles += self.cfg.lat.dirty_penalty;
         }
-        // Contention: the servicing module is occupied for `mem_occupancy`
-        // cycles per request; requests finding it busy queue behind it.
-        // The busy pointer ratchets unbounded (true FIFO bandwidth: a module
-        // can only service 1/occupancy requests per cycle), but the delay
-        // *charged* to any one request is capped at QUEUE_DEPTH×occupancy.
-        // The cap matters because tasks execute atomically at task grain:
-        // processor clocks skew within a task, and charging the raw FIFO
-        // delay would let one late-clock request inflate every earlier-clock
-        // request's cost without bound. With the cap, a saturated module
-        // costs each request up to one full queue — throughput pressure is
-        // felt — while the skew error stays bounded.
-        const QUEUE_DEPTH: u64 = 32;
-        if self.cfg.mem_occupancy > 0 && !from_dirty {
+        if self.engine.is_some() {
+            // Discrete-event mode: the miss is a multi-hop transaction
+            // through per-cluster resources. The requester's bus carries it
+            // out, a remote home adds an interconnect-link hop, the home
+            // directory arbitrates, and either the home memory module
+            // supplies the line or (dirty three-hop) the owner's cluster is
+            // visited instead. Hop service times occupy the resources —
+            // bandwidth is consumed — but only the *queue wait* is charged
+            // on top of the base latency above, so at zero load this mode
+            // costs exactly what the constants cost.
+            let addr = line * self.cfg.l1.line_bytes;
+            let home = self.space.home(ObjRef(addr)).index();
+            let rc = my_cluster.index();
+            let mut hops = [Hop {
+                kind: ResourceKind::Bus,
+                cluster: rc,
+            }; 5];
+            let mut n = 1;
+            if home != rc {
+                hops[n] = Hop {
+                    kind: ResourceKind::Net,
+                    cluster: home,
+                };
+                n += 1;
+            }
+            hops[n] = Hop {
+                kind: ResourceKind::Dir,
+                cluster: home,
+            };
+            n += 1;
+            if from_dirty {
+                let oc = supplier_cluster.index();
+                if oc != home {
+                    hops[n] = Hop {
+                        kind: ResourceKind::Net,
+                        cluster: oc,
+                    };
+                    n += 1;
+                }
+                hops[n] = Hop {
+                    kind: ResourceKind::Bus,
+                    cluster: oc,
+                };
+                n += 1;
+            } else {
+                hops[n] = Hop {
+                    kind: ResourceKind::Mem,
+                    cluster: home,
+                };
+                n += 1;
+            }
+            let eng = self.engine.as_mut().expect("engine mode");
+            let wait = eng.transact(now, &hops[..n]);
+            cycles += wait;
+            self.mon.proc_mut(pi).contention_cycles += wait;
+            self.absorb_engine_violations();
+        } else if self.cfg.mem_occupancy > 0 && !from_dirty {
+            // Legacy (zero-contention-mode) model: the servicing module is
+            // occupied for `mem_occupancy` cycles per request; requests
+            // finding it busy queue behind it. The busy pointer ratchets
+            // unbounded (true FIFO bandwidth: a module can only service
+            // 1/occupancy requests per cycle), but the delay *charged* to
+            // any one request is capped at QUEUE_DEPTH×occupancy. The cap
+            // matters because tasks execute atomically at task grain:
+            // processor clocks skew within a task, and charging the raw
+            // FIFO delay would let one late-clock request inflate every
+            // earlier-clock request's cost without bound. With the cap, a
+            // saturated module costs each request up to one full queue —
+            // throughput pressure is felt — while the skew error stays
+            // bounded.
+            const QUEUE_DEPTH: u64 = 32;
             let module = supplier_cluster.index();
             let busy = &mut self.node_busy[module];
             let start = (*busy).max(now);
@@ -548,6 +646,27 @@ impl Machine {
     pub fn enable_checked(&mut self) {
         if self.checked.is_none() {
             self.checked = Some(CheckState::default());
+        }
+        if let Some(eng) = self.engine.as_mut() {
+            eng.set_checked(true);
+        }
+    }
+
+    /// Move any transaction-invariant violations the contention engine
+    /// found (txn-fifo, txn-conservation) into the checked-mode state, so
+    /// they surface through [`Machine::violations`] like the coherence
+    /// catalogue. No-op when unchecked or in zero-contention mode.
+    fn absorb_engine_violations(&mut self) {
+        if self.checked.is_none() {
+            return;
+        }
+        let vs = match self.engine.as_mut() {
+            Some(eng) => eng.take_violations(),
+            None => return,
+        };
+        let chk = self.checked.as_mut().expect("checked");
+        for v in vs {
+            chk.record(v);
         }
     }
 
@@ -663,6 +782,15 @@ impl Machine {
         if self.checked.is_none() {
             return 0;
         }
+        // Sweep the contention engine too: run its calendar dry (the
+        // conservation check fires at end of drain) and absorb anything it
+        // found into the violation store.
+        let before = self.violation_count();
+        if let Some(eng) = self.engine.as_mut() {
+            eng.drain();
+        }
+        self.absorb_engine_violations();
+        let engine_found = self.violation_count() - before;
         let mut found = Vec::new();
         let mut with_state = 0usize;
         for line in 0..self.dir.table_len() as u64 {
@@ -693,13 +821,40 @@ impl Machine {
                 }
             }
         }
-        let n = found.len() as u64;
+        let n = found.len() as u64 + engine_found;
         let chk = self.checked.as_mut().expect("checked");
         chk.full_sweeps += 1;
         for v in found {
             chk.record(v);
         }
         n
+    }
+
+    // ----- contention engine surface -----
+
+    /// Aggregate contention statistics (queue waits, busy cycles, peak
+    /// occupancy per resource class). All zeros in zero-contention mode.
+    pub fn contention_stats(&self) -> ContentionStats {
+        self.engine.as_ref().map(Engine::stats).unwrap_or_default()
+    }
+
+    /// Hop events the contention engine has dispatched (0 in
+    /// zero-contention mode). Part of the determinism contract: equal
+    /// configs and reference streams give byte-equal event counts.
+    pub fn contention_events(&self) -> u64 {
+        self.engine.as_ref().map_or(0, Engine::events_processed)
+    }
+
+    /// Run the contention engine's event calendar dry, servicing any
+    /// posted (prefetch) transactions still queued. Demand misses drain
+    /// the queue themselves; call this before reading final statistics so
+    /// a trailing prefetch burst is accounted. No-op in zero-contention
+    /// mode.
+    pub fn flush_contention(&mut self) {
+        if let Some(eng) = self.engine.as_mut() {
+            eng.drain();
+        }
+        self.absorb_engine_violations();
     }
 
     // ----- seeded defects (tests of the checker itself) -----
@@ -724,6 +879,26 @@ impl Machine {
     #[doc(hidden)]
     pub fn defect_bump_tracked(&mut self) {
         self.dir.defect_bump_tracked();
+    }
+
+    /// Seeded defect: poison the contention engine's per-resource FIFO
+    /// bookkeeping so its next drain's first grant appears reordered.
+    /// Fires `txn-fifo`. No-op in zero-contention mode.
+    #[doc(hidden)]
+    pub fn defect_reorder_fifo(&mut self) {
+        if let Some(eng) = self.engine.as_mut() {
+            eng.defect_reorder_fifo();
+        }
+    }
+
+    /// Seeded defect: account a transaction that never existed in the
+    /// contention engine. Fires `txn-conservation` at its next drain.
+    /// No-op in zero-contention mode.
+    #[doc(hidden)]
+    pub fn defect_leak_txn(&mut self) {
+        if let Some(eng) = self.engine.as_mut() {
+            eng.defect_leak_txn();
+        }
     }
 
     /// Seeded defect: force a lookaside entry to keep promising exclusive
@@ -1155,6 +1330,153 @@ mod tests {
         assert_eq!(m.transitions_checked(), 0);
         assert_eq!(m.check_full(), 0);
         assert!(m.violations().is_empty());
+    }
+
+    fn contended_machine(nprocs: usize) -> Machine {
+        let mut cfg = MachineConfig::dash_small(nprocs);
+        cfg.mem_occupancy = 0; // isolate the event engine from the legacy model
+        Machine::new(cfg.with_contention(crate::engine::ContentionConfig::dash()))
+    }
+
+    #[test]
+    fn engine_zero_load_costs_match_the_constants() {
+        // At zero load the event engine charges exactly the base latency
+        // table: service times occupy resources but are not added on top.
+        let mut m = contended_machine(8);
+        let local = m.alloc_on_node(NodeId(0), 64);
+        let remote = m.alloc_on_node(NodeId(1), 64);
+        assert_eq!(m.read_at(ProcId(0), local, 4, 0), m.config().lat.local_mem);
+        assert_eq!(
+            m.read_at(ProcId(0), remote, 4, 10_000),
+            m.config().lat.remote_mem
+        );
+        m.write_at(ProcId(0), local, 4, 20_000);
+        let c = m.read_at(ProcId(1), local, 4, 30_000);
+        assert_eq!(c, m.config().lat.local_mem + m.config().lat.dirty_penalty);
+        assert_eq!(m.monitor().total().contention_cycles, 0);
+    }
+
+    #[test]
+    fn engine_simultaneous_misses_queue() {
+        let mut m = contended_machine(8);
+        let obj = m.alloc_on_node(NodeId(0), 4096);
+        let c1 = m.read_at(ProcId(0), obj, 4, 1000);
+        let c2 = m.read_at(ProcId(1), obj.offset(64), 4, 1000);
+        assert_eq!(c1, m.config().lat.local_mem);
+        assert!(c2 > c1, "second miss must queue: {c2} vs {c1}");
+        assert!(m.monitor().proc(1).contention_cycles > 0);
+        let s = m.contention_stats();
+        assert!(s.total_wait() > 0);
+        assert!(s.peak_occupancy() >= 2);
+        assert!(m.contention_events() > 0);
+        // Much later, the resources are free again.
+        let c3 = m.read_at(ProcId(2), obj.offset(128), 4, 100_000);
+        assert_eq!(c3, m.config().lat.local_mem);
+    }
+
+    #[test]
+    fn engine_distinct_clusters_do_not_contend() {
+        let mut m = contended_machine(8);
+        let a = m.alloc_on_node(NodeId(0), 64);
+        let b = m.alloc_on_node(NodeId(1), 64);
+        let c1 = m.read_at(ProcId(0), a, 4, 0);
+        let c2 = m.read_at(ProcId(4), b, 4, 0);
+        assert_eq!(c1, m.config().lat.local_mem);
+        assert_eq!(c2, m.config().lat.local_mem, "different cluster, no queue");
+    }
+
+    #[test]
+    fn engine_prefetch_consumes_bandwidth() {
+        let mut m = contended_machine(8);
+        let obj = m.alloc_on_node(NodeId(0), 4096);
+        // A prefetch burst posted at cycle 0 occupies cluster 0's memory
+        // system; the demand miss at the same instant queues behind it.
+        m.prefetch(ProcId(3), obj, 256, 0);
+        let c = m.read_at(ProcId(0), obj.offset(1024), 4, 0);
+        assert!(
+            c > m.config().lat.local_mem,
+            "demand must queue behind prefetch fills: {c}"
+        );
+        m.flush_contention();
+        let s = m.contention_stats();
+        assert!(s.mem.requests >= 16, "prefetch fills serviced: {s:?}");
+    }
+
+    #[test]
+    fn engine_is_deterministic_across_runs() {
+        let run = || {
+            let mut m = contended_machine(8);
+            let obj = m.alloc_on_node(NodeId(0), 8192);
+            let far = m.alloc_on_node(NodeId(1), 8192);
+            let mut total = 0u64;
+            for i in 0..300u64 {
+                let p = ProcId((i % 8) as usize);
+                let o = if i % 3 == 0 { far } else { obj };
+                total += if i % 5 == 0 {
+                    m.write_at(p, o.offset((i * 16) % 4096), 4, i * 7)
+                } else {
+                    m.read_at(p, o.offset((i * 32) % 4096), 4, i * 7)
+                };
+                if i % 11 == 0 {
+                    m.prefetch(p, o.offset((i * 64) % 4096), 64, i * 7);
+                }
+            }
+            m.flush_contention();
+            (total, m.monitor().total(), m.contention_stats(), m.contention_events())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn engine_checked_workout_is_clean() {
+        let mut m = contended_machine(8);
+        m.enable_checked();
+        let page = m.config().page_bytes;
+        let obj = m.alloc_on_node(NodeId(0), 2 * page);
+        for p in 0..8 {
+            m.read_at(ProcId(p), obj, 128, 0);
+        }
+        m.write_at(ProcId(1), obj, 64, 500);
+        m.read_at(ProcId(5), obj, 64, 600);
+        m.prefetch(ProcId(2), obj.offset(page), 128, 700);
+        m.write_at(ProcId(6), obj, 32, 800);
+        assert_eq!(m.check_full(), 0);
+        assert_eq!(m.violation_count(), 0, "{:?}", m.violations());
+    }
+
+    #[test]
+    fn engine_seeded_reorder_fires_txn_fifo() {
+        let mut m = contended_machine(4);
+        m.enable_checked();
+        m.defect_reorder_fifo();
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read_at(ProcId(0), obj, 4, 0);
+        assert!(m.violation_count() > 0);
+        assert!(fired(&m, "txn-fifo"), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn engine_seeded_leak_fires_txn_conservation() {
+        let mut m = contended_machine(4);
+        m.enable_checked();
+        m.defect_leak_txn();
+        let obj = m.alloc_on_node(NodeId(0), 16);
+        m.read_at(ProcId(0), obj, 4, 0);
+        assert!(m.violation_count() > 0);
+        assert!(fired(&m, "txn-conservation"), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn zero_contention_machine_reports_empty_stats() {
+        let mut m = machine(4);
+        let obj = m.alloc_on_node(NodeId(0), 64);
+        m.read(ProcId(0), obj, 4);
+        assert_eq!(m.contention_stats(), ContentionStats::default());
+        assert_eq!(m.contention_events(), 0);
+        m.flush_contention(); // no-op
+        m.defect_reorder_fifo(); // no-op
+        m.defect_leak_txn(); // no-op
+        assert_eq!(m.violation_count(), 0);
     }
 
     #[test]

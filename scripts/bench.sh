@@ -2,10 +2,10 @@
 # Perf-trajectory measurement: the criterion micro-benches plus the pinned
 # reduced-scale wall-clock sweep, emitted as schema'd JSON (`cool-bench-v1`).
 #
-#   scripts/bench.sh                # full run: benches + 3-repeat sweep -> BENCH_3.json
+#   scripts/bench.sh                # full run: benches + 3-repeat sweep -> BENCH_8.json
 #   scripts/bench.sh --out FILE     # write the trajectory point elsewhere
 #   scripts/bench.sh --smoke        # CI gate: 1-repeat sweep, schema-validated and
-#                                   # compared against the committed BENCH_3.json
+#                                   # compared against the committed BENCH_8.json
 #                                   # (exact refs/cycles, wall-clock within 25%)
 #
 # The full run overwrites the baseline file: commit the result as the next
@@ -14,7 +14,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_3.json"
+OUT="BENCH_8.json"
 SMOKE=0
 while [[ $# -gt 0 ]]; do
     case "$1" in

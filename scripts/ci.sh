@@ -68,9 +68,23 @@ run cargo run --release --offline -q -p bench --bin cool-serve -- \
 # it by name makes a golden failure unmistakable in the log).
 run cargo test -q --offline --test golden_figures
 
+# Contention gate: the discrete-event engine's statistics must satisfy the
+# M/D/1 closed form (mean queueing delay, utilization, monotonicity in
+# offered load) and stay deterministic; the committed full-scale records
+# must carry the epoch-2 contention signature (monotone panel waits, the
+# contended-vs-zero A/B degradation, Distr beating Base on queueing);
+# and the engine + zero-contention-equivalence unit suites run by name so
+# a failure is unmistakable in the log.
+run cargo test -q --release --offline --test contention_laws
+run cargo test -q --release --offline --test contention_repro
+run cargo test -q --offline -p dash-sim --lib engine
+run cargo test -q --offline -p dash-sim --lib equiv
+run cargo test -q --release --offline -p dash-sim --test contention_props
+
 # Perf gate: single-repeat sweep validated against the committed
-# BENCH_3.json — schema check, exact simulated refs/cycles, and a hard
-# failure on a >25% wall-clock regression at the pinned scale.
+# BENCH_8.json — schema check, exact simulated refs/cycles, a hard
+# failure on a >25% wall-clock regression at the pinned scale, and a ≤5%
+# refs/sec budget on the zero-contention machine_micro fast path.
 run scripts/bench.sh --smoke
 
 # Docs gate: rustdoc for the whole workspace must build warning-free —

@@ -4,9 +4,9 @@
 //! Re-runs the pinned reduced-scale sweep (all six apps, the Base and
 //! Affinity+Distr versions, 4 and 32 processors — see `bench::perf`) and
 //! asserts the full performance-monitor breakdown — reference counts, hit
-//! levels, local/remote misses, invalidations, and busy/idle/overhead
-//! virtual cycles — byte-for-byte against the committed
-//! `tests/golden_figures.tsv`.
+//! levels, local/remote misses, invalidations, busy/idle/overhead
+//! virtual cycles, and contention queue-wait cycles — byte-for-byte
+//! against the committed `tests/golden_figures.tsv`.
 //!
 //! If simulated behaviour changes *intentionally* (a new scheduling policy,
 //! a latency-table change), regenerate with:
@@ -69,6 +69,6 @@ fn golden_tsv_is_well_formed() {
     // 6 apps x 2 versions x 2 processor counts.
     assert_eq!(rows.len(), 24, "expected 24 sweep rows");
     for row in rows {
-        assert_eq!(row.split('\t').count(), 14, "malformed row: {row}");
+        assert_eq!(row.split('\t').count(), 15, "malformed row: {row}");
     }
 }
