@@ -24,16 +24,27 @@ pub enum Version {
     /// Affinity + distribution + stealing restricted to the cluster
     /// (`Distr+Aff+ClusterStealing`, Section 6.3).
     AffinityDistrCluster,
+    /// Affinity + distribution + stealing bounded one topology level above
+    /// the cluster (the enclosing socket on a deep machine). The middle
+    /// ground the deep-topology sweeps compare against `ClusterSteal` —
+    /// on a 2-level machine the radius already spans the whole machine.
+    AffinityDistrSocket,
+    /// Affinity + distribution + polite level-by-level widening: each
+    /// consecutive failed scan admits victims one topology level further
+    /// out (the bubble-scheduler discipline).
+    AffinityDistrWiden,
 }
 
 impl Version {
     /// All versions, in the order the figures list them.
-    pub const ALL: [Version; 5] = [
+    pub const ALL: [Version; 7] = [
         Version::Base,
         Version::Distr,
         Version::Affinity,
         Version::AffinityDistr,
         Version::AffinityDistrCluster,
+        Version::AffinityDistrSocket,
+        Version::AffinityDistrWiden,
     ];
 
     /// Short label used in figure output.
@@ -44,6 +55,8 @@ impl Version {
             Version::Affinity => "Affinity",
             Version::AffinityDistr => "Affinity+Distr",
             Version::AffinityDistrCluster => "Affinity+Distr+ClusterSteal",
+            Version::AffinityDistrSocket => "Affinity+Distr+SocketSteal",
+            Version::AffinityDistrWiden => "Affinity+Distr+WidenSteal",
         }
     }
 
@@ -51,7 +64,11 @@ impl Version {
     pub fn distributes(self) -> bool {
         matches!(
             self,
-            Version::Distr | Version::AffinityDistr | Version::AffinityDistrCluster
+            Version::Distr
+                | Version::AffinityDistr
+                | Version::AffinityDistrCluster
+                | Version::AffinityDistrSocket
+                | Version::AffinityDistrWiden
         )
     }
 
@@ -59,7 +76,11 @@ impl Version {
     pub fn hints(self) -> bool {
         matches!(
             self,
-            Version::Affinity | Version::AffinityDistr | Version::AffinityDistrCluster
+            Version::Affinity
+                | Version::AffinityDistr
+                | Version::AffinityDistrCluster
+                | Version::AffinityDistrSocket
+                | Version::AffinityDistrWiden
         )
     }
 
@@ -67,6 +88,8 @@ impl Version {
     pub fn policy(self) -> StealPolicy {
         match self {
             Version::AffinityDistrCluster => StealPolicy::cluster_only(),
+            Version::AffinityDistrSocket => StealPolicy::with_radius(1),
+            Version::AffinityDistrWiden => StealPolicy::widening(),
             _ => StealPolicy::default(),
         }
     }

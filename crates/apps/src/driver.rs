@@ -100,16 +100,21 @@ pub fn run_app(
     }
 }
 
-/// The two experiment scales the figure/reproduction harnesses run at:
+/// The experiment scales the figure/reproduction harnesses run at:
 /// `Small` for tests and CI smoke sweeps (scaled-down machine and inputs),
 /// `Full` for the committed paper reproduction (DASH-sized machine, inputs
-/// that exceed the simulated caches as the paper's did).
+/// that exceed the simulated caches as the paper's did), and `Deep` for the
+/// deep-topology sweep (64-processor 3-level machine, inputs between the
+/// other two so a 64-way run still has parallel slack).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum AppScale {
     /// Scaled-down machine (`MachineConfig::dash_small`) and inputs.
     Small,
     /// DASH-sized machine (`MachineConfig::dash`) and paper-sized inputs.
     Full,
+    /// Deep 3-level machine (`MachineConfig::deep_small`) and mid-sized
+    /// inputs for the topology sweep.
+    Deep,
 }
 
 impl AppScale {
@@ -118,6 +123,7 @@ impl AppScale {
         match self {
             AppScale::Small => "small",
             AppScale::Full => "full",
+            AppScale::Deep => "deep",
         }
     }
 
@@ -126,6 +132,7 @@ impl AppScale {
         match s {
             "small" => Some(AppScale::Small),
             "full" => Some(AppScale::Full),
+            "deep" => Some(AppScale::Deep),
             _ => None,
         }
     }
@@ -150,6 +157,15 @@ pub fn ocean_params(scale: AppScale) -> workloads::ocean::OceanParams {
             num_grids: 25,
             regions: 32,
             sweeps: 3,
+            seed: 3,
+        },
+        // 32 regions of 2 rows = exactly one small-geometry page each; 8
+        // grids keep a 64-way machine fed without full-scale runtimes.
+        AppScale::Deep => workloads::ocean::OceanParams {
+            n: 64,
+            num_grids: 8,
+            regions: 32,
+            sweeps: 2,
             seed: 3,
         },
     }
@@ -179,6 +195,15 @@ pub fn locus_params(scale: AppScale) -> crate::locusroute::LocusParams {
             multi_pin_fraction: 0.15,
             seed: 11,
         }),
+        AppScale::Deep => Circuit::generate(CircuitParams {
+            width: 128,
+            height: 64,
+            regions: 32,
+            wires_per_region: 32,
+            crossing_fraction: 0.1,
+            multi_pin_fraction: 0.15,
+            seed: 11,
+        }),
     };
     crate::locusroute::LocusParams {
         circuit,
@@ -193,6 +218,7 @@ pub fn panel_problem(scale: AppScale) -> crate::panel_cholesky::PanelProblem {
         // 40×40 grid Laplacian: n = 1600, ample fill — the factor exceeds
         // the L2 cache like the paper's sparse matrices did.
         AppScale::Full => (40, 8),
+        AppScale::Deep => (20, 8),
     };
     crate::panel_cholesky::PanelProblem::analyse(&crate::panel_cholesky::PanelParams {
         matrix: workloads::matrices::grid_laplacian(k),
@@ -205,6 +231,7 @@ pub fn block_params(scale: AppScale) -> crate::block_cholesky::BlockParams {
     match scale {
         AppScale::Small => crate::block_cholesky::BlockParams { n: 48, block: 8 },
         AppScale::Full => crate::block_cholesky::BlockParams { n: 192, block: 16 },
+        AppScale::Deep => crate::block_cholesky::BlockParams { n: 96, block: 8 },
     }
 }
 
@@ -227,6 +254,14 @@ pub fn bh_params(scale: AppScale) -> crate::barnes_hut::BhParams {
             dt: 0.01,
             seed: 4,
         },
+        AppScale::Deep => crate::barnes_hut::BhParams {
+            nbodies: 512,
+            groups: 64,
+            timesteps: 2,
+            theta: 0.6,
+            dt: 0.01,
+            seed: 4,
+        },
     }
 }
 
@@ -235,6 +270,7 @@ pub fn gauss_params(scale: AppScale) -> crate::gauss::GaussParams {
     match scale {
         AppScale::Small => crate::gauss::GaussParams { n: 32, seed: 7 },
         AppScale::Full => crate::gauss::GaussParams { n: 192, seed: 7 },
+        AppScale::Deep => crate::gauss::GaussParams { n: 64, seed: 7 },
     }
 }
 
@@ -270,8 +306,10 @@ pub fn params_fingerprint(app: &str, scale: AppScale) -> String {
         }
         ("locusroute", AppScale::Small) => "w64 h16 r8 wpr16 cf0.1 mpf0.15 seed11 it2".into(),
         ("locusroute", AppScale::Full) => "w256 h128 r32 wpr48 cf0.1 mpf0.15 seed11 it2".into(),
+        ("locusroute", AppScale::Deep) => "w128 h64 r32 wpr32 cf0.1 mpf0.15 seed11 it2".into(),
         ("panel_cholesky", AppScale::Small) => "lap8 w4".into(),
         ("panel_cholesky", AppScale::Full) => "lap40 w8".into(),
+        ("panel_cholesky", AppScale::Deep) => "lap20 w8".into(),
         ("block_cholesky", _) => {
             let p = block_params(scale);
             format!("n{} b{}", p.n, p.block)
@@ -313,7 +351,11 @@ pub fn versions_for(app: &str) -> &'static [Version] {
 /// except Panel Cholesky at full scale, which the paper stops at 24 "due to
 /// limitations in the amount of physical memory".
 pub fn procs_for(app: &str, scale: AppScale) -> &'static [usize] {
-    if app == "panel_cholesky" && scale == AppScale::Full {
+    if scale == AppScale::Deep {
+        // One point per tree tier of the 64-processor deep machine: a lone
+        // processor, one chiplet, one socket, the whole machine.
+        &[1, 8, 32, 64]
+    } else if app == "panel_cholesky" && scale == AppScale::Full {
         &[1, 2, 4, 8, 16, 24]
     } else {
         &[1, 2, 4, 8, 16, 32]
@@ -343,6 +385,17 @@ pub fn trace_artifacts(report: &AppReport) -> (String, String) {
             peak_occupancy: s.peak_occupancy,
         })
         .collect();
+    // Steal-level attribution only means anything on a deeper-than-cluster
+    // tree; leaving it `None` keeps classic documents (and the committed
+    // golden) byte-identical.
+    let topo = &report.run.topology;
+    if topo.nlevels() > 1 {
+        summary.topology = Some(cool_obs::TopologyBlock {
+            levels: topo.level_sizes().to_vec(),
+            mem_level: topo.mem_level(),
+            steals_by_level: report.run.stats.steals_by_level[..=topo.nlevels()].to_vec(),
+        });
+    }
     let metrics = summary.to_json();
     cool_obs::validate_metrics_json(&metrics)
         .unwrap_or_else(|e| panic!("generated metrics failed validation: {e}"));

@@ -17,9 +17,12 @@
 //! Flags:
 //!
 //! * `--smoke` — the pinned CI matrix (2 apps × 2 versions × {1, 4}, small
-//!   scale); `--full` — the whole matrix at full (paper) scale.
-//! * `--apps A,B` / `--versions L1,L2` / `--procs 1,4` / `--scale small|full`
-//!   — build a custom slice (1-processor `Base` baselines are always kept).
+//!   scale); `--full` — the whole matrix at full (paper) scale; `--deep` —
+//!   the pinned deep-topology matrix (3 apps × 5 versions × {1, 8, 32, 64}
+//!   on the 3-level 64-processor machine).
+//! * `--apps A,B` / `--versions L1,L2` / `--procs 1,4` /
+//!   `--scale small|full|deep` — build a custom slice (1-processor `Base`
+//!   baselines are always kept).
 //! * `--jobs N` — worker threads (default: one per host CPU).
 //! * `--serial` — run through a single pool worker.
 //! * `--race-serial` — run the matrix twice, serially then pooled, assert
@@ -50,13 +53,22 @@ fn main() -> ExitCode {
 
     let scale = match opt_value(&args, "--scale").as_deref() {
         Some("full") => Scale::Full,
+        Some("deep") => Scale::Deep,
         Some("small") | None => Scale::Small,
-        Some(other) => panic!("--scale takes small|full, got {other:?}"),
+        Some(other) => panic!("--scale takes small|full|deep, got {other:?}"),
     };
-    let scale = if has("--full") { Scale::Full } else { scale };
+    let scale = if has("--full") {
+        Scale::Full
+    } else if has("--deep") {
+        Scale::Deep
+    } else {
+        scale
+    };
 
     let points = if has("--smoke") {
         repro::smoke_matrix()
+    } else if has("--deep") {
+        repro::deep_matrix()
     } else if has("--full") || (!has("--apps") && !has("--versions") && !has("--procs")) {
         repro::full_matrix(scale)
     } else {

@@ -88,11 +88,13 @@ pub fn print_rows(rows: &[FigureRow]) {
 
 /// Experiment scale: `Small` for tests and criterion (scaled-down machine
 /// and inputs), `Full` for the figures binary (DASH-sized machine, inputs
-/// that exceed the caches as the paper's did).
+/// that exceed the caches as the paper's did), `Deep` for the deep-topology
+/// sweep (64-processor 3-level SMT/chiplet/socket machine).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
     Small,
     Full,
+    Deep,
 }
 
 impl Scale {
@@ -103,7 +105,13 @@ impl Scale {
         match self {
             Scale::Small => AppScale::Small,
             Scale::Full => AppScale::Full,
+            Scale::Deep => AppScale::Deep,
         }
+    }
+
+    /// Lower-case name used in output paths and progress lines.
+    pub fn name(self) -> &'static str {
+        self.app_scale().name()
     }
 
     /// Machine for `nprocs` processors. Both scales run the discrete-event
@@ -116,6 +124,7 @@ impl Scale {
         let m = match self {
             Scale::Small => MachineConfig::dash_small(nprocs),
             Scale::Full => MachineConfig::dash(nprocs),
+            Scale::Deep => MachineConfig::deep_small(nprocs),
         };
         m.with_contention(ContentionConfig::dash())
     }
@@ -131,6 +140,9 @@ impl Scale {
         match self {
             Scale::Small => vec![1, 2, 4, 8],
             Scale::Full => vec![1, 2, 4, 8, 16, 24, 32],
+            // One point per tier of the 3-level tree: lone processor, one
+            // chiplet, one socket, the whole 64-processor machine.
+            Scale::Deep => vec![1, 8, 32, 64],
         }
     }
 }

@@ -95,6 +95,48 @@ pub fn smoke_matrix() -> Vec<MatrixPoint> {
     )
 }
 
+/// Apps of the deep-topology sweep: one task-queue app (gauss), one
+/// region-parallel grid app (ocean) and one dependence-driven app (panel).
+pub const DEEP_APPS: [&str; 3] = ["gauss", "ocean", "panel_cholesky"];
+/// Versions of the deep-topology sweep: the classic ladder endpoints plus
+/// the three topology-bounded stealing disciplines the sweep compares.
+pub const DEEP_VERSIONS: [Version; 5] = [
+    Version::Base,
+    Version::AffinityDistr,
+    Version::AffinityDistrCluster,
+    Version::AffinityDistrSocket,
+    Version::AffinityDistrWiden,
+];
+/// Processor counts of the deep-topology sweep (one per tree tier).
+pub const DEEP_PROCS: [usize; 4] = [1, 8, 32, 64];
+
+/// The pinned deep-topology matrix: 3 apps × 5 versions × {1, 8, 32, 64}
+/// processors on the 3-level 64-processor machine, validated against
+/// `results/deep/records.json` by the CI drift gate. Built with explicit
+/// loops rather than [`build_matrix`] because the socket/widen versions are
+/// deliberately *not* in the apps' paper ladders ([`driver::versions_for`])
+/// — they exist only on deep trees, where "cluster" and "whole machine" stop
+/// being the only two choices.
+pub fn deep_matrix() -> Vec<MatrixPoint> {
+    let mut points = Vec::new();
+    for &app in &DEEP_APPS {
+        for &version in &DEEP_VERSIONS {
+            for &nprocs in &DEEP_PROCS {
+                let point = MatrixPoint {
+                    app,
+                    version,
+                    nprocs,
+                    scale: Scale::Deep,
+                };
+                if !points.contains(&point) {
+                    points.push(point);
+                }
+            }
+        }
+    }
+    points
+}
+
 /// Build a matrix from filters. `versions`/`procs` of `None` mean "the
 /// paper's ladder/counts for each app". Unknown version labels or counts
 /// are the caller's problem (the point will panic when run); unknown app
@@ -182,6 +224,23 @@ mod tests {
         assert!(m
             .iter()
             .any(|p| p.app == "ocean" && p.version == Version::AffinityDistr && p.nprocs == 4));
+    }
+
+    #[test]
+    fn deep_matrix_is_pinned() {
+        let m = deep_matrix();
+        assert_eq!(m.len(), 3 * 5 * 4);
+        assert!(m.iter().all(|p| p.scale == Scale::Deep));
+        // Every app keeps its 1-processor Base baseline for speedups.
+        for &app in &DEEP_APPS {
+            assert!(m
+                .iter()
+                .any(|p| p.app == app && p.version == Version::Base && p.nprocs == 1));
+        }
+        // The topology-bounded versions reach the full 64-way machine.
+        assert!(m.iter().any(|p| {
+            p.app == "gauss" && p.version == Version::AffinityDistrWiden && p.nprocs == 64
+        }));
     }
 
     #[test]

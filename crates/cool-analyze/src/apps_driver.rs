@@ -52,6 +52,8 @@ pub fn version_key(v: Version) -> &'static str {
         Version::Affinity => "affinity",
         Version::AffinityDistr => "affinity+distr",
         Version::AffinityDistrCluster => "affinity+distr+cluster",
+        Version::AffinityDistrSocket => "affinity+distr+socket",
+        Version::AffinityDistrWiden => "affinity+distr+widen",
     }
 }
 

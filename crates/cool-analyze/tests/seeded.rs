@@ -148,8 +148,8 @@ fn all_six_apps_are_clean_in_every_schedule() {
     let findings = analyze_all();
     assert_eq!(
         findings.len(),
-        39,
-        "6 apps x (5 versions + 1 faulted) + 3 service rows"
+        51,
+        "6 apps x (7 versions + 1 faulted) + 3 service rows"
     );
     for f in &findings {
         let a = &f.analysis;

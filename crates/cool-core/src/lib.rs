@@ -60,7 +60,7 @@ pub use events::{AccessKind, RtEvent, TaskUid};
 pub use faults::FaultPlan;
 pub use ids::{ClusterId, NodeId, ObjRef, ProcId};
 pub use obs::{MemDelta, ObsEvent, ObsRecorder, ObsTrace};
-pub use policy::{StealPolicy, Topology};
+pub use policy::{StealPolicy, Topology, VictimOrders, MAX_TOPO_LEVELS};
 pub use queues::{Popped, ServerQueues, SlotClass, SlotUpdate, StolenBatch};
 pub use stats::SchedStats;
 pub use vsched::{PushSpec, QueueDefect, QueueMachine, QueueOp, VirtualProgram};

@@ -7,6 +7,8 @@
 
 use std::ops::AddAssign;
 
+use crate::policy::MAX_TOPO_LEVELS;
+
 /// Counters describing how tasks were scheduled and executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SchedStats {
@@ -41,6 +43,11 @@ pub struct SchedStats {
     /// Transient injected faults (a `FaultPlan` failing a task's first
     /// dispatch; the task was requeued and completed later).
     pub injected_faults: u64,
+    /// Successful steals by the thief–victim common-ancestor topology level:
+    /// index 0 is the innermost explicit level, index
+    /// [`crate::policy::Topology::nlevels`] the machine root. On a 2-level
+    /// machine only indices 0 (intra-cluster) and 1 (remote) are populated.
+    pub steals_by_level: [u64; MAX_TOPO_LEVELS + 1],
 }
 
 impl SchedStats {
@@ -80,6 +87,9 @@ impl AddAssign for SchedStats {
         self.mutex_parks += o.mutex_parks;
         self.panics += o.panics;
         self.injected_faults += o.injected_faults;
+        for (a, b) in self.steals_by_level.iter_mut().zip(o.steals_by_level) {
+            *a += b;
+        }
     }
 }
 

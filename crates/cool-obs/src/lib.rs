@@ -26,5 +26,7 @@ pub mod metrics;
 pub mod progress;
 
 pub use chrome::chrome_trace_json;
-pub use metrics::{validate_metrics_json, ContentionRow, MetricsSummary, METRICS_SCHEMA};
+pub use metrics::{
+    validate_metrics_json, ContentionRow, MetricsSummary, TopologyBlock, METRICS_SCHEMA,
+};
 pub use progress::ProgressMeter;

@@ -54,6 +54,21 @@ pub struct ContentionRow {
     pub peak_occupancy: u64,
 }
 
+/// Machine-topology block: present only for runs on deeper-than-2-level
+/// machine trees, where "which level did each steal cross?" becomes the
+/// interesting question. Absent (and therefore byte-invisible — the classic
+/// goldens do not change) for flat and single-cluster-level machines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TopologyBlock {
+    /// Processors spanned by a domain of each tree level, innermost first.
+    pub levels: Vec<usize>,
+    /// Index of the level whose domains own a memory module.
+    pub mem_level: usize,
+    /// Successful steals bucketed by the thief↔victim common-ancestor
+    /// level: index 0 = innermost domain, last index = whole machine.
+    pub steals_by_level: Vec<u64>,
+}
+
 /// The digested metrics of one run.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSummary {
@@ -99,6 +114,9 @@ pub struct MetricsSummary {
     /// Memory-system contention rows (one per resource class), filled by
     /// the producer from the simulator's run report.
     pub contention: Vec<ContentionRow>,
+    /// Topology block for deep-tree runs (producer-filled; `None` keeps the
+    /// document byte-identical to the pre-topology schema).
+    pub topology: Option<TopologyBlock>,
     /// Events lost to ring overflow.
     pub dropped: u64,
 }
@@ -262,6 +280,19 @@ impl MetricsSummary {
             })
             .collect();
         let _ = writeln!(s, "  \"contention\": [{}],", ctn.join(", "));
+        if let Some(t) = &self.topology {
+            let levels: Vec<String> = t.levels.iter().map(|l| l.to_string()).collect();
+            let steals: Vec<String> =
+                t.steals_by_level.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(
+                s,
+                "  \"topology\": {{\"levels\": [{}], \"mem_level\": {}, \
+                 \"steals_by_level\": [{}]}},",
+                levels.join(", "),
+                t.mem_level,
+                steals.join(", ")
+            );
+        }
         let _ = writeln!(s, "  \"dropped\": {},", self.dropped);
         s.push_str("  \"sets\": [\n");
         let rows: Vec<String> = self
@@ -498,6 +529,34 @@ mod tests {
              \"busy_cycles\": 120, \"peak_occupancy\": 5}],"
         ));
         assert_eq!(json, m.to_json());
+        validate_metrics_json(&json).unwrap();
+    }
+
+    #[test]
+    fn topology_block_is_absent_unless_filled() {
+        let mut m = MetricsSummary::from_trace(&sample_trace());
+        let before = m.to_json();
+        assert!(!before.contains("\"topology\""), "no block by default");
+        m.topology = Some(TopologyBlock {
+            levels: vec![2, 8, 32],
+            mem_level: 1,
+            steals_by_level: vec![3, 1, 4, 0],
+        });
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"topology\": {\"levels\": [2, 8, 32], \"mem_level\": 1, \
+             \"steals_by_level\": [3, 1, 4, 0]},"
+        ));
+        // The block slots between contention and dropped without disturbing
+        // any other line.
+        assert_eq!(
+            json.replace(
+                "  \"topology\": {\"levels\": [2, 8, 32], \"mem_level\": 1, \
+                 \"steals_by_level\": [3, 1, 4, 0]},\n",
+                ""
+            ),
+            before
+        );
         validate_metrics_json(&json).unwrap();
     }
 

@@ -27,7 +27,7 @@ use parking_lot::{Condvar, Mutex};
 use cool_core::obs::{ObsEvent, ObsRecorder, ObsTrace};
 use cool_core::{
     AffinityKind, AffinitySpec, FaultPlan, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy,
-    TaskError, TaskUid, Topology,
+    TaskError, TaskUid, Topology, VictimOrders,
 };
 
 use crate::faults::FaultInjector;
@@ -62,6 +62,11 @@ pub struct RtConfig {
     /// since runtime startup. Off by default: when disabled every emission
     /// site is a single branch.
     pub record_trace: bool,
+    /// Full machine tree override. `None` (the default) derives the classic
+    /// 2-level topology from `nthreads` × `procs_per_cluster`; `Some` runs
+    /// the workers on an N-level tree (see [`Topology::tree`]) so the
+    /// per-level steal knobs of [`StealPolicy`] have levels to widen over.
+    pub topology: Option<Topology>,
 }
 
 impl RtConfig {
@@ -74,7 +79,15 @@ impl RtConfig {
             affinity_slots: 64,
             stall_timeout: None,
             record_trace: false,
+            topology: None,
         }
+    }
+
+    /// Run the workers on an explicit machine tree (builder style). The
+    /// tree's processor count must equal `nthreads`.
+    pub fn with_topology(mut self, topo: Topology) -> Self {
+        self.topology = Some(topo);
+        self
     }
 
     /// Enable scheduler-observability tracing (see [`Runtime::take_obs`]).
@@ -262,6 +275,9 @@ struct Server {
 struct Inner {
     servers: Vec<Server>,
     topology: Topology,
+    /// Precomputed per-thief victim orders with common-ancestor levels
+    /// (the per-scan `steal_order` allocation sat on the idle hot path).
+    victims: VictimOrders,
     policy: StealPolicy,
     placement: Placement,
     /// Objects whose mutex is currently held.
@@ -428,6 +444,13 @@ impl Runtime {
 
     fn build(cfg: RtConfig, plan: Option<FaultPlan>) -> Self {
         assert!(cfg.nthreads >= 1);
+        let topology = cfg
+            .topology
+            .unwrap_or_else(|| Topology::clustered(cfg.nthreads, cfg.procs_per_cluster));
+        assert_eq!(
+            topology.nservers, cfg.nthreads,
+            "topology processor count must equal nthreads"
+        );
         let inner = Arc::new(Inner {
             servers: (0..cfg.nthreads)
                 .map(|_| Server {
@@ -437,7 +460,8 @@ impl Runtime {
                     stats: Mutex::new(SchedStats::default()),
                 })
                 .collect(),
-            topology: Topology::clustered(cfg.nthreads, cfg.procs_per_cluster),
+            victims: topology.victim_orders(),
+            topology,
             policy: cfg.policy,
             placement: Placement::new(),
             held: Mutex::new(HashSet::new()),
@@ -781,15 +805,18 @@ fn worker_loop(inner: &Inner, me: ProcId) {
         // 2. Steal.
         if inner.policy.enabled {
             let desperate = failed_scans >= inner.policy.last_resort_after;
+            // Strict locality ceilings (see cool-sim): desperation lifts
+            // only the object-affinity avoidance, never the cluster/radius
+            // boundary; polite widening raises itself per failed scan.
+            let allowed = inner.policy.allowed_level(&inner.topology, failed_scans);
+            let mem_level = inner.topology.mem_level() as u8;
             let mut stolen = None;
             let mut probes = 0usize;
-            for v in inner.topology.steal_order(me) {
-                let cross = !inner.topology.same_cluster(me, v);
-                // Strict cluster boundary (see cool-sim): desperation lifts
-                // only the object-affinity avoidance.
-                if inner.policy.cluster_only && cross {
+            for &(v, lvl) in inner.victims.order(me) {
+                if (lvl as usize) > allowed {
                     continue;
                 }
+                let cross = lvl > mem_level;
                 probes += 1;
                 let avoid = inner.policy.avoid_object_affinity && !desperate;
                 let batch = inner.servers[v.index()]
@@ -808,6 +835,7 @@ fn worker_loop(inner: &Inner, me: ProcId) {
                     if desperate {
                         st.desperate_steals += 1;
                     }
+                    st.steals_by_level[lvl as usize] += 1;
                     drop(st);
                     if inner.obs_on() {
                         inner.obs_emit(

@@ -283,3 +283,65 @@ fn runtime_survives_abandoned_scope_and_stays_usable() {
     assert_eq!(count.load(Ordering::SeqCst), 100);
     assert_eq!(rt.stats().spawned, rt.stats().executed);
 }
+
+#[test]
+fn deep_topology_threads_complete_and_bucket_steals_by_level() {
+    // 8 threads as SMT pairs inside 4-thread domains: hoard everything on
+    // thread 0 so the workers must steal, then check the per-level steal
+    // accounting is consistent with the tree.
+    let topo = cool_rt::Topology::tree(8, &[2, 4], 1);
+    let cfg = RtConfig::new(8).with_topology(topo);
+    let rt = Runtime::new(cfg);
+    let count = Arc::new(AtomicUsize::new(0));
+    let c2 = count.clone();
+    rt.scope(move |s| {
+        for _ in 0..400 {
+            let c = c2.clone();
+            s.spawn(
+                RtTask::new(move |_| {
+                    std::hint::black_box(0u64);
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .with_affinity(AffinitySpec::processor(0)),
+            );
+        }
+    })
+    .unwrap();
+    assert_eq!(count.load(Ordering::SeqCst), 400);
+    let stats = rt.stats();
+    assert_eq!(stats.spawned, stats.executed);
+    // mem_level is 1, so bucket 2 (the whole machine) holds exactly the
+    // cross-cluster steals; buckets past the root stay empty.
+    assert_eq!(stats.steals_by_level[2], stats.remote_steals);
+    assert_eq!(stats.steals_by_level[3..], [0, 0]);
+    let total: u64 = stats.steals_by_level.iter().sum();
+    assert_eq!(total > 0, stats.tasks_stolen > 0 || stats.sets_stolen > 0);
+}
+
+#[test]
+fn cluster_only_policy_respects_deep_tree_boundaries() {
+    // cluster_only on the deep tree must never record a steal above the
+    // memory level, no matter how starved the far domain is.
+    let topo = cool_rt::Topology::tree(8, &[2, 4], 1);
+    let mut cfg = RtConfig::new(8).with_topology(topo);
+    cfg.policy = StealPolicy::cluster_only();
+    let rt = Runtime::new(cfg);
+    let count = Arc::new(AtomicUsize::new(0));
+    let c2 = count.clone();
+    rt.scope(move |s| {
+        for _ in 0..300 {
+            let c = c2.clone();
+            s.spawn(
+                RtTask::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .with_affinity(AffinitySpec::processor(0)),
+            );
+        }
+    })
+    .unwrap();
+    assert_eq!(count.load(Ordering::SeqCst), 300);
+    let stats = rt.stats();
+    assert_eq!(stats.remote_steals, 0, "cluster_only crossed the tree");
+    assert_eq!(stats.steals_by_level[2..], [0, 0, 0]);
+}

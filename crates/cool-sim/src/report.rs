@@ -1,6 +1,6 @@
 //! Run reports: the numbers the paper's figures are built from.
 
-use cool_core::SchedStats;
+use cool_core::{SchedStats, Topology};
 use dash_sim::{ContentionStats, MissBreakdown};
 
 /// Everything measured about one simulated run: elapsed virtual time,
@@ -31,6 +31,9 @@ pub struct RunReport {
     /// engine (queue waits, busy cycles, peak occupancy). All zeros when
     /// the machine runs in zero-contention mode.
     pub contention: ContentionStats,
+    /// The machine tree the run was scheduled on (pairs with
+    /// [`SchedStats::steals_by_level`] for per-level steal attribution).
+    pub topology: Topology,
 }
 
 impl RunReport {
@@ -87,6 +90,7 @@ mod tests {
             coherence_transitions: 0,
             coherence_violations: 0,
             contention: ContentionStats::default(),
+            topology: Topology::clustered(4, 4),
         };
         assert!((r.speedup(1000) - 4.0).abs() < 1e-12);
         assert!((r.utilization() - 0.9).abs() < 1e-12);
@@ -105,6 +109,7 @@ mod tests {
             coherence_transitions: 0,
             coherence_violations: 0,
             contention: ContentionStats::default(),
+            topology: Topology::flat(1),
         };
         assert_eq!(r.speedup(100), 0.0);
         assert_eq!(r.utilization(), 0.0);

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use cool_core::obs::{MemDelta, ObsEvent, ObsRecorder, ObsTrace};
 use cool_core::{
     AffinityKind, FaultPlan, ObjRef, ProcId, RtEvent, SchedStats, ServerQueues, StealPolicy,
-    TaskUid, Topology,
+    TaskUid, Topology, VictimOrders,
 };
 use dash_sim::{Machine, MachineConfig};
 
@@ -190,6 +190,9 @@ pub struct SimRuntime {
     cfg: SimConfig,
     machine: Machine,
     topology: Topology,
+    /// Precomputed per-thief victim orders with common-ancestor levels
+    /// (`steal_order` allocated on the idle/steal hot path).
+    victims: VictimOrders,
     queues: Vec<ServerQueues<SimTask>>,
     clocks: Vec<u64>,
     stats: SchedStats,
@@ -231,6 +234,7 @@ impl SimRuntime {
         SimRuntime {
             machine,
             topology: cfg.machine.topology(),
+            victims: cfg.machine.topology().victim_orders(),
             queues: (0..n).map(|_| ServerQueues::new(cfg.affinity_slots)).collect(),
             clocks: vec![0; n],
             stats: SchedStats::default(),
@@ -401,6 +405,7 @@ impl SimRuntime {
             coherence_transitions: self.machine.transitions_checked(),
             coherence_violations: self.machine.violation_count(),
             contention: self.machine.contention_stats(),
+            topology: self.topology,
         }
     }
 
@@ -811,17 +816,21 @@ impl SimRuntime {
         let policy = self.cfg.policy;
         if policy.enabled {
             let desperate = self.failed_scans[pi] >= policy.last_resort_after;
-            let order = self.topology.steal_order(p);
+            // Locality ceilings are strict: the whole point of the Section
+            // 6.3 experiment is that stolen tasks keep referencing their
+            // objects in cluster-local memory, so desperation lifts only
+            // the object-affinity avoidance, never the cluster boundary
+            // (or its generalizations: the per-level radius, and the polite
+            // widening that raises itself one level per failed scan).
+            let allowed = policy.allowed_level(&self.topology, self.failed_scans[pi]);
+            let mem_level = self.topology.mem_level() as u8;
             let mut probes = 0u64;
-            for v in order {
-                let cross_cluster = !self.topology.same_cluster(p, v);
-                // cluster_only is strict: the whole point of the Section 6.3
-                // experiment is that stolen tasks keep referencing their
-                // objects in cluster-local memory, so desperation lifts only
-                // the object-affinity avoidance, never the cluster boundary.
-                if policy.cluster_only && cross_cluster {
+            for i in 0..self.victims.len_per_thief() {
+                let (v, lvl) = self.victims.entry(p, i);
+                if (lvl as usize) > allowed {
                     continue;
                 }
+                let cross_cluster = lvl > mem_level;
                 probes += 1;
                 let avoid_object = policy.avoid_object_affinity && !desperate;
                 if let Some(batch) =
@@ -839,6 +848,7 @@ impl SimRuntime {
                     if desperate {
                         self.stats.desperate_steals += 1;
                     }
+                    self.stats.steals_by_level[lvl as usize] += 1;
                     // Stolen tasks keep their original target for adherence
                     // accounting; re-steal classification is Task for sets
                     // (their collocation is already broken) and None for

@@ -72,6 +72,7 @@ fn every_policy_combination_completes_all_tasks() {
                         steal_whole_sets: whole,
                         cluster_only: cluster,
                         last_resort_after: 2,
+                        ..StealPolicy::default()
                     };
                     let (stats, _, ran) = run(policy);
                     assert_eq!(

@@ -1,9 +1,79 @@
 //! Machine configuration, defaulting to the Stanford DASH prototype used in
 //! Section 6 of the paper.
 
-use cool_core::{ClusterId, NodeId, ProcId, Topology};
+use cool_core::{ClusterId, NodeId, ProcId, Topology, MAX_TOPO_LEVELS};
 
 use crate::engine::ContentionConfig;
+
+/// An N-level machine tree layered on top of the classic cluster model.
+///
+/// The classic [`MachineConfig`] is 2-level: processors grouped into
+/// clusters, one memory node per cluster, a single uniform remote latency.
+/// A `DeepTopology` describes deeper machines — e.g. SMT pair → chiplet →
+/// socket — with a per-level latency table. Level sizes are innermost-first
+/// and nest (each divides the next); `mem_level` designates the level whose
+/// domains own a memory node, and must agree with
+/// [`MachineConfig::procs_per_cluster`] so the directory/page machinery is
+/// untouched. Crossing `d` levels above the memory level costs
+/// `remote_lat[d - 1]` cycles, replacing the single
+/// [`Latencies::remote_mem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeepTopology {
+    /// Domain sizes per explicit level, innermost first; unused entries 1.
+    pub levels: [usize; MAX_TOPO_LEVELS],
+    /// Explicit levels in use.
+    pub nlevels: u8,
+    /// The level whose domains each own a memory node (the cluster level).
+    pub mem_level: u8,
+    /// Base miss latency by distance: `remote_lat[d - 1]` for a miss
+    /// serviced `d` levels above the memory level (entries past the root
+    /// are unused).
+    pub remote_lat: [u64; MAX_TOPO_LEVELS],
+}
+
+impl DeepTopology {
+    /// Build and validate a machine tree. `remote_lat` must supply one
+    /// latency per level above the memory level (up to and including the
+    /// machine root).
+    pub fn new(level_sizes: &[usize], mem_level: usize, remote_lat: &[u64]) -> Self {
+        assert!(
+            !level_sizes.is_empty() && level_sizes.len() <= MAX_TOPO_LEVELS,
+            "1..={MAX_TOPO_LEVELS} levels"
+        );
+        assert!(mem_level < level_sizes.len(), "mem_level out of range");
+        let distances = level_sizes.len() - mem_level;
+        assert_eq!(
+            remote_lat.len(),
+            distances,
+            "need one remote latency per level above the memory level \
+             (incl. the root): {distances}"
+        );
+        let mut levels = [1usize; MAX_TOPO_LEVELS];
+        for (l, &s) in level_sizes.iter().enumerate() {
+            assert!(s > 0);
+            if l > 0 {
+                assert!(
+                    s > level_sizes[l - 1] && s % level_sizes[l - 1] == 0,
+                    "level sizes must strictly increase and nest"
+                );
+            }
+            levels[l] = s;
+        }
+        let mut lat = [0u64; MAX_TOPO_LEVELS];
+        lat[..remote_lat.len()].copy_from_slice(remote_lat);
+        DeepTopology {
+            levels,
+            nlevels: level_sizes.len() as u8,
+            mem_level: mem_level as u8,
+            remote_lat: lat,
+        }
+    }
+
+    /// The level sizes actually in use, innermost first.
+    pub fn level_sizes(&self) -> &[usize] {
+        &self.levels[..self.nlevels as usize]
+    }
+}
 
 /// Parameters of one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +165,11 @@ pub struct MachineConfig {
     /// every miss through per-cluster bus/net/directory/memory resources
     /// with service times and FIFO queueing, superseding `mem_occupancy`.
     pub contention: Option<ContentionConfig>,
+    /// N-level machine tree (see [`DeepTopology`]). `None` is the classic
+    /// 2-level cluster machine — every existing configuration — and keeps
+    /// simulated cycles and fingerprints byte-identical. `Some` generalizes
+    /// remote-miss latencies and interconnect routing to the tree.
+    pub deep: Option<DeepTopology>,
 }
 
 impl MachineConfig {
@@ -120,6 +195,7 @@ impl MachineConfig {
             page_migrate_cost: 2000,
             mem_occupancy: 3,
             contention: None,
+            deep: None,
         }
     }
 
@@ -127,6 +203,29 @@ impl MachineConfig {
     pub fn with_contention(mut self, c: ContentionConfig) -> Self {
         self.contention = Some(c);
         self
+    }
+
+    /// Install an N-level machine tree (builder style). Keeps
+    /// `procs_per_cluster` consistent with the tree's memory level so the
+    /// page/directory machinery and the tree agree on what a cluster is.
+    pub fn with_deep(mut self, t: DeepTopology) -> Self {
+        self.procs_per_cluster = t.levels[t.mem_level as usize];
+        self.deep = Some(t);
+        self
+    }
+
+    /// A modern-shaped deep machine at DASH cache geometry: SMT pairs →
+    /// 8-processor chiplets (each owning a memory node) → 32-processor
+    /// sockets. Crossing chiplets within a socket costs 100 cycles,
+    /// crossing sockets 180 — bracketing the paper's 100–150-cycle remote
+    /// band around the depth of the crossing.
+    pub fn deep(nprocs: usize) -> Self {
+        Self::dash(nprocs).with_deep(DeepTopology::new(&[2, 8, 32], 1, &[100, 180]))
+    }
+
+    /// The deep machine at `dash_small` cache geometry (fast tests/sweeps).
+    pub fn deep_small(nprocs: usize) -> Self {
+        Self::dash_small(nprocs).with_deep(DeepTopology::new(&[2, 8, 32], 1, &[100, 180]))
     }
 
     /// A scaled-down DASH for fast tests: small caches magnify locality
@@ -157,7 +256,7 @@ impl MachineConfig {
             None => "off".to_string(),
             Some(c) => c.fingerprint(),
         };
-        format!(
+        let mut s = format!(
             "p{}x{} l1={}/{}/{} l2={}/{}/{} lat={}/{}/{}/{}/{} pg={} do={} mig={} occ={} ctn={}",
             self.nprocs,
             self.procs_per_cluster,
@@ -177,12 +276,32 @@ impl MachineConfig {
             self.page_migrate_cost,
             self.mem_occupancy,
             ctn,
-        )
+        );
+        if let Some(t) = &self.deep {
+            // Appended only for deep machines: classic 2-level fingerprints
+            // stay byte-identical to the epoch-2 baselines, and a deep
+            // machine can never collide with a classic one in the memo cache.
+            let sizes: Vec<String> = t.level_sizes().iter().map(|s| s.to_string()).collect();
+            let lats: Vec<String> = t.remote_lat[..t.nlevels as usize - t.mem_level as usize]
+                .iter()
+                .map(|l| l.to_string())
+                .collect();
+            s.push_str(&format!(
+                " tree={}@{} rlat={}",
+                sizes.join("x"),
+                t.mem_level,
+                lats.join("/")
+            ));
+        }
+        s
     }
 
     /// Scheduler-facing topology.
     pub fn topology(&self) -> Topology {
-        Topology::clustered(self.nprocs, self.procs_per_cluster)
+        match &self.deep {
+            None => Topology::clustered(self.nprocs, self.procs_per_cluster),
+            Some(t) => Topology::tree(self.nprocs, t.level_sizes(), t.mem_level as usize),
+        }
     }
 
     /// Number of clusters / memory nodes.
@@ -207,6 +326,96 @@ impl MachineConfig {
     #[inline]
     pub fn proc_of_node(&self, n: NodeId) -> ProcId {
         ProcId(n.index() * self.procs_per_cluster)
+    }
+
+    /// Topology distance between two clusters: 0 when equal, otherwise the
+    /// number of levels above the memory level of their nearest common
+    /// ancestor. On a classic machine every remote cluster is at distance 1.
+    #[inline]
+    pub fn cluster_distance(&self, a: ClusterId, b: ClusterId) -> usize {
+        if a == b {
+            return 0;
+        }
+        match &self.deep {
+            None => 1,
+            Some(t) => {
+                let (nl, ml) = (t.nlevels as usize, t.mem_level as usize);
+                let pa = a.index() * self.procs_per_cluster;
+                let pb = b.index() * self.procs_per_cluster;
+                for l in ml + 1..nl {
+                    if pa / t.levels[l] == pb / t.levels[l] {
+                        return l - ml;
+                    }
+                }
+                nl - ml
+            }
+        }
+    }
+
+    /// Base miss latency for a supplier at `cluster_distance` `d`: the local
+    /// memory at 0; on a classic machine the uniform `remote_mem` beyond,
+    /// on a deep machine the per-level `remote_lat` table.
+    #[inline]
+    pub fn mem_latency(&self, d: usize) -> u64 {
+        if d == 0 {
+            return self.lat.local_mem;
+        }
+        match &self.deep {
+            None => self.lat.remote_mem,
+            Some(t) => t.remote_lat[d - 1],
+        }
+    }
+
+    /// Number of interconnect-link resources the contention engine models:
+    /// one per cluster, plus — on a deep machine — one per domain of every
+    /// level strictly between the memory level and the root (the root itself
+    /// has no link; a root crossing rides the lower-level links of the home
+    /// side, which on a classic machine degenerates to exactly the home
+    /// cluster's link).
+    pub fn nnet(&self) -> usize {
+        let mut n = self.nclusters();
+        if let Some(t) = &self.deep {
+            for l in t.mem_level as usize + 1..t.nlevels as usize {
+                n += self.nprocs.div_ceil(t.levels[l]);
+            }
+        }
+        n
+    }
+
+    /// First net-resource index of explicit level `l`'s domain links
+    /// (deep machines only; level `mem_level` maps to the per-cluster links
+    /// at index 0).
+    fn net_base(&self, l: usize) -> usize {
+        let t = self.deep.as_ref().expect("net_base on a classic machine");
+        let mut base = self.nclusters();
+        for j in t.mem_level as usize + 1..l {
+            base += self.nprocs.div_ceil(t.levels[j]);
+        }
+        base
+    }
+
+    /// The net-resource indices a transaction traverses crossing from
+    /// cluster `from` to cluster `to`, home-side outermost link first and
+    /// the home cluster's own link last; empty when the clusters are equal.
+    /// On a classic machine a crossing is exactly the home cluster's link,
+    /// preserving the original hop chain byte-for-byte.
+    pub fn net_path(&self, from: ClusterId, to: ClusterId, buf: &mut [usize; MAX_TOPO_LEVELS]) -> usize {
+        let d = self.cluster_distance(from, to);
+        if d == 0 {
+            return 0;
+        }
+        let mut n = 0;
+        if let Some(t) = &self.deep {
+            let ml = t.mem_level as usize;
+            let pb = to.index() * self.procs_per_cluster;
+            for k in (1..d).rev() {
+                let l = ml + k;
+                buf[n] = self.net_base(l) + pb / t.levels[l];
+                n += 1;
+            }
+        }
+        buf[n] = to.index();
+        n + 1
     }
 }
 

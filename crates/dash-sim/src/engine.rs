@@ -297,8 +297,10 @@ impl PartialOrd for Event {
     }
 }
 
-/// Maximum hops per transaction (dirty three-hop with two net crossings).
-const MAX_HOPS: usize = 5;
+/// Maximum hops per transaction: a dirty three-hop on the deepest machine
+/// tree (requester bus + up to `MAX_TOPO_LEVELS` links toward home + home
+/// directory + up to `MAX_TOPO_LEVELS` links toward the owner + owner bus).
+const MAX_HOPS: usize = 11;
 
 /// An in-flight memory-system transaction.
 #[derive(Clone, Copy, Debug)]
@@ -344,9 +346,19 @@ pub struct Engine {
 impl Engine {
     /// An engine for `nclusters` clusters, all resources idle.
     pub fn new(cfg: ContentionConfig, nclusters: usize) -> Self {
+        Self::with_nets(cfg, nclusters, nclusters)
+    }
+
+    /// As [`Engine::new`], with `nnet` interconnect-link resources instead
+    /// of one per cluster — deep machine trees add one link per domain of
+    /// every level between the memory level and the root (see
+    /// `MachineConfig::nnet`). `Hop::cluster` indexes this extended space
+    /// for [`ResourceKind::Net`] hops.
+    pub fn with_nets(cfg: ContentionConfig, nclusters: usize, nnet: usize) -> Self {
+        assert!(nnet >= nclusters);
         Engine {
             bus: vec![Resource::new(cfg.bus_service); nclusters],
-            net: vec![Resource::new(cfg.net_service); nclusters],
+            net: vec![Resource::new(cfg.net_service); nnet],
             dir: vec![Resource::new(cfg.dir_service); nclusters],
             mem: vec![Resource::new(cfg.mem_service); nclusters],
             queue: BinaryHeap::new(),

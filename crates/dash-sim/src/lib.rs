@@ -69,7 +69,7 @@ mod equiv_tests;
 mod oracle;
 
 pub use check::{explore_protocol, CoherenceViolation, ProtoStats};
-pub use config::{CacheConfig, Latencies, MachineConfig};
+pub use config::{CacheConfig, DeepTopology, Latencies, MachineConfig};
 pub use engine::{ContentionConfig, ContentionStats, Engine, Resource, ResourceStats};
 pub use machine::Machine;
 pub use monitor::{MissBreakdown, PerfMonitor, ProcCounters};

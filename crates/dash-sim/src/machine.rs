@@ -7,7 +7,7 @@
 //! the access cost, which the scheduler adds to the issuing processor's
 //! virtual clock.
 
-use cool_core::{NodeId, ObjRef, ProcId};
+use cool_core::{NodeId, ObjRef, ProcId, MAX_TOPO_LEVELS};
 
 use crate::cache::{Level, ProcCache};
 use crate::check::{CheckState, CoherenceViolation};
@@ -89,6 +89,12 @@ impl Machine {
     /// Build a cold machine from a configuration.
     pub fn new(cfg: MachineConfig) -> Self {
         assert!(cfg.nprocs >= 1 && cfg.nprocs <= 64, "1..=64 processors");
+        if let Some(t) = &cfg.deep {
+            assert_eq!(
+                cfg.procs_per_cluster, t.levels[t.mem_level as usize],
+                "procs_per_cluster must match the deep tree's memory level"
+            );
+        }
         let caches = (0..cfg.nprocs).map(|_| ProcCache::new(cfg.l1, cfg.l2)).collect();
         Machine {
             caches,
@@ -100,7 +106,9 @@ impl Machine {
             dir: Directory::new(),
             mon: PerfMonitor::new(cfg.nprocs),
             node_busy: vec![0; cfg.nclusters()],
-            engine: cfg.contention.map(|c| Engine::new(c, cfg.nclusters())),
+            engine: cfg
+                .contention
+                .map(|c| Engine::with_nets(c, cfg.nclusters(), cfg.nnet())),
             lookaside: vec![Lookaside::EMPTY; cfg.nprocs],
             line_shift: if cfg.l1.line_bytes.is_power_of_two() {
                 cfg.l1.line_bytes.trailing_zeros()
@@ -330,16 +338,22 @@ impl Machine {
                 // when its timestamp is earlier) later demand misses, which
                 // genuinely queue behind it at the shared resources.
                 let home = self.space.home(ObjRef(addr)).index();
-                let rc = self.cfg.cluster_of(p).index();
+                let rc = self.cfg.cluster_of(p);
                 let mut hops = [Hop {
                     kind: ResourceKind::Bus,
-                    cluster: rc,
-                }; 4];
+                    cluster: rc.index(),
+                }; 3 + MAX_TOPO_LEVELS];
                 let mut n = 1;
-                if home != rc {
+                // Interconnect links toward home: on a classic machine a
+                // remote home is exactly one hop at the home cluster's link;
+                // on a deep machine the crossing descends the home-side
+                // domain links.
+                let mut path = [0usize; MAX_TOPO_LEVELS];
+                let np = self.cfg.net_path(rc, cool_core::ClusterId(home), &mut path);
+                for &link in &path[..np] {
                     hops[n] = Hop {
                         kind: ResourceKind::Net,
-                        cluster: home,
+                        cluster: link,
                     };
                     n += 1;
                 }
@@ -539,12 +553,12 @@ impl Machine {
             let addr = line * self.cfg.l1.line_bytes;
             cool_core::ClusterId(self.space.home(ObjRef(addr)).index())
         };
-        let local = supplier_cluster == my_cluster;
-        let mut cycles = if local {
-            self.cfg.lat.local_mem
-        } else {
-            self.cfg.lat.remote_mem
-        };
+        // Distance 0 is the local cluster; beyond it the per-level latency
+        // table applies (a classic machine has the single uniform distance 1,
+        // charging exactly `remote_mem` as before).
+        let dist = self.cfg.cluster_distance(my_cluster, supplier_cluster);
+        let local = dist == 0;
+        let mut cycles = self.cfg.mem_latency(dist);
         if from_dirty {
             cycles += self.cfg.lat.dirty_penalty;
         }
@@ -560,16 +574,18 @@ impl Machine {
             // costs exactly what the constants cost.
             let addr = line * self.cfg.l1.line_bytes;
             let home = self.space.home(ObjRef(addr)).index();
-            let rc = my_cluster.index();
+            let home_cluster = cool_core::ClusterId(home);
             let mut hops = [Hop {
                 kind: ResourceKind::Bus,
-                cluster: rc,
-            }; 5];
+                cluster: my_cluster.index(),
+            }; 3 + 2 * MAX_TOPO_LEVELS];
             let mut n = 1;
-            if home != rc {
+            let mut path = [0usize; MAX_TOPO_LEVELS];
+            let np = self.cfg.net_path(my_cluster, home_cluster, &mut path);
+            for &link in &path[..np] {
                 hops[n] = Hop {
                     kind: ResourceKind::Net,
-                    cluster: home,
+                    cluster: link,
                 };
                 n += 1;
             }
@@ -580,10 +596,11 @@ impl Machine {
             n += 1;
             if from_dirty {
                 let oc = supplier_cluster.index();
-                if oc != home {
+                let np = self.cfg.net_path(home_cluster, supplier_cluster, &mut path);
+                for &link in &path[..np] {
                     hops[n] = Hop {
                         kind: ResourceKind::Net,
-                        cluster: oc,
+                        cluster: link,
                     };
                     n += 1;
                 }

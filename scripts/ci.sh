@@ -104,4 +104,21 @@ run cargo run --release --offline -q -p bench --bin repro -- \
 run cmp results/smoke/tables.md target/repro-smoke/tables.md
 run cmp results/smoke/tables.tsv target/repro-smoke/tables.tsv
 
+# Topology gate: the N-level tree laws (steal order is a permutation,
+# nearest-domain-first, 2-level trees byte-match the original scan), the
+# partial-last-cluster and pinned-fingerprint regressions, the forged-deep
+# memo-miss case, and the committed deep-topology sweep (3 apps × 5 steal
+# disciplines × {1,8,32,64} processors on the 3-level 64-processor machine)
+# re-swept uncached and drift-checked against results/deep within the same
+# 2% band; rendered tables must match byte-for-byte.
+run cargo test -q --offline -p cool-core --test topology_props
+run cargo test -q --offline --test topology_tree
+run cargo test -q --offline --test repro_determinism
+rm -rf target/repro-deep
+run cargo run --release --offline -q -p bench --bin repro -- \
+    --deep --no-cache --out target/repro-deep \
+    --check results/deep/records.json --tolerance 0.02
+run cmp results/deep/tables.md target/repro-deep/tables.md
+run cmp results/deep/tables.tsv target/repro-deep/tables.tsv
+
 echo "CI OK"

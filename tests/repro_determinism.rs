@@ -120,6 +120,56 @@ fn memoization_hits_on_repeat_and_misses_on_mutation() {
 }
 
 #[test]
+fn deep_topology_memoizes_separately_from_classic() {
+    // The same app/version/processor-count at deep scale must key a
+    // different cache slot: the machine fingerprint carries the tree.
+    let small = MatrixPoint {
+        app: "gauss",
+        version: Version::Base,
+        nprocs: 8,
+        scale: Scale::Small,
+    };
+    let deep = MatrixPoint {
+        scale: Scale::Deep,
+        ..small
+    };
+    assert_ne!(small.hash_hex(), deep.hash_hex());
+    assert!(
+        deep.config_string().contains("tree=2x8x32@1 rlat=100/180"),
+        "{}",
+        deep.config_string()
+    );
+    assert!(
+        !small.config_string().contains("tree="),
+        "{}",
+        small.config_string()
+    );
+
+    // A record forged under the classic hash but carrying the deep machine
+    // fingerprint must degrade to a miss, never be served for the classic
+    // point.
+    let dir = std::env::temp_dir().join(format!(
+        "cool-repro-deeptest-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = MemoCache::open(&dir).expect("cache dir");
+    let mut forged: ReproRecord = small.run();
+    forged.config = deep.config_string();
+    std::fs::write(
+        dir.join(format!("{}.json", small.hash_hex())),
+        forged.to_json(0),
+    )
+    .expect("forge cache entry");
+    assert!(
+        cache.lookup(&small).is_none(),
+        "deep-topology record must not satisfy a classic lookup"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn speedups_are_relative_to_the_one_proc_baseline() {
     let points = repro::build_matrix(&["gauss"], None, Some(&[1, 8]), Scale::Small);
     let (records, _) = repro::run_serial(&points);
