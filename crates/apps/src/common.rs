@@ -1,7 +1,7 @@
 //! Conventions shared by the case studies.
 
 use cool_core::obs::ObsTrace;
-use cool_core::{RtEvent, StealPolicy};
+use cool_core::{AdaptiveConfig, RebalanceConfig, RtEvent, StealPolicy};
 use cool_sim::{MachineConfig, RunReport, SimConfig};
 
 /// The scheduling versions the paper's figures compare. Not every app uses
@@ -33,11 +33,24 @@ pub enum Version {
     /// consecutive failed scan admits victims one topology level further
     /// out (the bubble-scheduler discipline).
     AffinityDistrWiden,
+    /// [`AffinityDistrCluster`](Version::AffinityDistrCluster) with the
+    /// closed-loop feedback layer on top: the cluster-only ceiling widens
+    /// under observed steal starvation and decays back when steals succeed,
+    /// and scans are probe-capped by observed queue depth (see
+    /// [`cool_core::feedback`]). With adaptation signals quiet this is
+    /// cycle-identical to its static parent.
+    AffinityDistrAdaptive,
+    /// [`AffinityDistr`](Version::AffinityDistr) plus the phase-boundary
+    /// global rebalancer: between `waitfor` phases, pages whose observed
+    /// cross-cluster miss traffic says they were placed on the wrong
+    /// cluster are re-homed when the modelled saving beats the migration
+    /// cost.
+    AffinityDistrRebalance,
 }
 
 impl Version {
     /// All versions, in the order the figures list them.
-    pub const ALL: [Version; 7] = [
+    pub const ALL: [Version; 9] = [
         Version::Base,
         Version::Distr,
         Version::Affinity,
@@ -45,6 +58,8 @@ impl Version {
         Version::AffinityDistrCluster,
         Version::AffinityDistrSocket,
         Version::AffinityDistrWiden,
+        Version::AffinityDistrAdaptive,
+        Version::AffinityDistrRebalance,
     ];
 
     /// Short label used in figure output.
@@ -57,40 +72,48 @@ impl Version {
             Version::AffinityDistrCluster => "Affinity+Distr+ClusterSteal",
             Version::AffinityDistrSocket => "Affinity+Distr+SocketSteal",
             Version::AffinityDistrWiden => "Affinity+Distr+WidenSteal",
+            Version::AffinityDistrAdaptive => "Affinity+Distr+AdaptiveSteal",
+            Version::AffinityDistrRebalance => "Affinity+Distr+Rebalance",
         }
     }
 
     /// Does this version distribute objects across memories?
     pub fn distributes(self) -> bool {
-        matches!(
-            self,
-            Version::Distr
-                | Version::AffinityDistr
-                | Version::AffinityDistrCluster
-                | Version::AffinityDistrSocket
-                | Version::AffinityDistrWiden
-        )
+        !matches!(self, Version::Base | Version::Affinity)
     }
 
     /// Does this version supply affinity hints?
     pub fn hints(self) -> bool {
-        matches!(
-            self,
-            Version::Affinity
-                | Version::AffinityDistr
-                | Version::AffinityDistrCluster
-                | Version::AffinityDistrSocket
-                | Version::AffinityDistrWiden
-        )
+        !matches!(self, Version::Base | Version::Distr)
     }
 
     /// The steal policy this version runs under.
     pub fn policy(self) -> StealPolicy {
         match self {
-            Version::AffinityDistrCluster => StealPolicy::cluster_only(),
+            Version::AffinityDistrCluster | Version::AffinityDistrAdaptive => {
+                StealPolicy::cluster_only()
+            }
             Version::AffinityDistrSocket => StealPolicy::with_radius(1),
             Version::AffinityDistrWiden => StealPolicy::widening(),
             _ => StealPolicy::default(),
+        }
+    }
+
+    /// The closed-loop adaptation knobs this version runs under (`None`
+    /// for every static version).
+    pub fn adaptive(self) -> Option<AdaptiveConfig> {
+        match self {
+            Version::AffinityDistrAdaptive => Some(AdaptiveConfig::default()),
+            _ => None,
+        }
+    }
+
+    /// The phase-boundary rebalancer knobs this version runs under
+    /// (`None` for every version without the rebalancer).
+    pub fn rebalance(self) -> Option<RebalanceConfig> {
+        match self {
+            Version::AffinityDistrRebalance => Some(RebalanceConfig::default()),
+            _ => None,
         }
     }
 }
@@ -121,15 +144,29 @@ impl AppReport {
     }
 }
 
+/// Apply a version's policy, adaptation and rebalancing knobs to a base
+/// config. Static versions leave the adaptive/rebalance options `None`, so
+/// their fingerprints (and therefore committed sweep records) are untouched.
+pub fn apply_version(mut cfg: SimConfig, version: Version) -> SimConfig {
+    cfg = cfg.with_policy(version.policy());
+    if let Some(a) = version.adaptive() {
+        cfg = cfg.with_adaptive(a);
+    }
+    if let Some(r) = version.rebalance() {
+        cfg = cfg.with_rebalance(r);
+    }
+    cfg
+}
+
 /// Simulator configuration for an app run: DASH-like machine at the given
 /// processor count, with the version's steal policy.
 pub fn sim_config(nprocs: usize, version: Version) -> SimConfig {
-    SimConfig::new(MachineConfig::dash(nprocs)).with_policy(version.policy())
+    apply_version(SimConfig::new(MachineConfig::dash(nprocs)), version)
 }
 
 /// Scaled-down machine for fast tests.
 pub fn sim_config_small(nprocs: usize, version: Version) -> SimConfig {
-    SimConfig::new(MachineConfig::dash_small(nprocs)).with_policy(version.policy())
+    apply_version(SimConfig::new(MachineConfig::dash_small(nprocs)), version)
 }
 
 /// Scaled-down machine with one processor per cluster (every processor has
@@ -140,7 +177,7 @@ pub fn sim_config_small(nprocs: usize, version: Version) -> SimConfig {
 pub fn sim_config_small_flat(nprocs: usize, version: Version) -> SimConfig {
     let mut m = MachineConfig::dash_small(nprocs);
     m.procs_per_cluster = 1;
-    SimConfig::new(m).with_policy(version.policy())
+    apply_version(SimConfig::new(m), version)
 }
 
 /// Round-robin spawn counter used by the Base/Distr versions ("the wire

@@ -396,6 +396,22 @@ pub fn trace_artifacts(report: &AppReport) -> (String, String) {
             steals_by_level: report.run.stats.steals_by_level[..=topo.nlevels()].to_vec(),
         });
     }
+    // Adaptive-policy attribution only means anything when the feedback
+    // layer or the rebalancer actually acted; leaving the block `None`
+    // keeps static documents (and every committed golden) byte-identical.
+    let st = &report.run.stats;
+    if st.adaptive_widenings > 0
+        || st.throttled_migrations > 0
+        || st.rebalanced_pages > 0
+        || summary.rebalances > 0
+    {
+        summary.adaptive = Some(cool_obs::AdaptiveBlock {
+            widenings: st.adaptive_widenings,
+            throttled_migrations: st.throttled_migrations,
+            rebalanced_pages: st.rebalanced_pages,
+            rebalances: summary.rebalances,
+        });
+    }
     let metrics = summary.to_json();
     cool_obs::validate_metrics_json(&metrics)
         .unwrap_or_else(|e| panic!("generated metrics failed validation: {e}"));

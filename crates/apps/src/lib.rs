@@ -43,4 +43,4 @@ pub mod panel_cholesky;
 pub mod serve_adapter;
 pub mod threaded;
 
-pub use common::{AppReport, Version};
+pub use common::{apply_version, AppReport, Version};

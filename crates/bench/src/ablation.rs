@@ -32,10 +32,15 @@ use workloads::ocean::OceanParams;
 /// A labelled ablation measurement.
 #[derive(Clone, Debug)]
 pub struct AblationRow {
+    /// Which ablation experiment the row belongs to.
     pub experiment: &'static str,
+    /// The variant being measured (e.g. a policy or machine knob).
     pub variant: String,
+    /// Simulated execution time in cycles.
     pub elapsed: u64,
+    /// Total cache misses.
     pub misses: u64,
+    /// Fraction of misses serviced locally.
     pub local_frac: f64,
 }
 

@@ -44,7 +44,8 @@ fn main() {
     // value for later runs to be held against.
     let (micro, calib) = median_fast_path_sample(if has("--smoke") { 3 } else { 5 });
     let figures_ms = perf::figures_small_wall_ms();
-    let json = render_json(&timings, &micro, calib, repeats, iters, figures_ms);
+    let adaptive_ms = perf::adaptive_small_wall_ms();
+    let json = render_json(&timings, &micro, calib, repeats, iters, figures_ms, adaptive_ms);
 
     match opt("--out") {
         Some(path) => {
@@ -92,6 +93,7 @@ fn render_json(
     repeats: u32,
     iters: u32,
     figures_ms: f64,
+    adaptive_ms: f64,
 ) -> String {
     let total_refs: u64 = timings.iter().map(|t| t.refs).sum();
     let total_cycles: u64 = timings.iter().map(|t| t.sim_cycles).sum();
@@ -118,6 +120,7 @@ fn render_json(
     s.push_str(&format!("  \"repeats\": {repeats},\n"));
     s.push_str(&format!("  \"iters\": {iters},\n"));
     s.push_str(&format!("  \"figures_small_wall_ms\": {figures_ms:.3},\n"));
+    s.push_str(&format!("  \"adaptive_small_wall_ms\": {adaptive_ms:.3},\n"));
     s.push_str("  \"apps\": [\n");
     for (i, t) in timings.iter().enumerate() {
         s.push_str(&format!(

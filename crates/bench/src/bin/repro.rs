@@ -19,7 +19,9 @@
 //! * `--smoke` — the pinned CI matrix (2 apps × 2 versions × {1, 4}, small
 //!   scale); `--full` — the whole matrix at full (paper) scale; `--deep` —
 //!   the pinned deep-topology matrix (3 apps × 5 versions × {1, 8, 32, 64}
-//!   on the 3-level 64-processor machine).
+//!   on the 3-level 64-processor machine); `--adaptive` — the pinned
+//!   static-vs-adaptive comparison (3 apps × 5 versions × {1, 8, 32, 64},
+//!   same deep machine, adding the feedback-driven versions).
 //! * `--apps A,B` / `--versions L1,L2` / `--procs 1,4` /
 //!   `--scale small|full|deep` — build a custom slice (1-processor `Base`
 //!   baselines are always kept).
@@ -59,7 +61,7 @@ fn main() -> ExitCode {
     };
     let scale = if has("--full") {
         Scale::Full
-    } else if has("--deep") {
+    } else if has("--deep") || has("--adaptive") {
         Scale::Deep
     } else {
         scale
@@ -67,6 +69,8 @@ fn main() -> ExitCode {
 
     let points = if has("--smoke") {
         repro::smoke_matrix()
+    } else if has("--adaptive") {
+        repro::adaptive_matrix()
     } else if has("--deep") {
         repro::deep_matrix()
     } else if has("--full") || (!has("--apps") && !has("--versions") && !has("--procs")) {

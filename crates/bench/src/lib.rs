@@ -16,6 +16,8 @@
 //! | Figure 3 (GE affinity example)      | [`fig_gauss`] |
 //! | §1/§8 headline (60–135%)            | [`summary`] |
 
+#![warn(missing_docs)]
+
 pub mod ablation;
 pub mod perf;
 pub mod repro;
@@ -92,8 +94,11 @@ pub fn print_rows(rows: &[FigureRow]) {
 /// sweep (64-processor 3-level SMT/chiplet/socket machine).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
+    /// Scaled-down machine and inputs for tests and criterion benches.
     Small,
+    /// DASH-sized machine with cache-exceeding inputs (the paper's figures).
     Full,
+    /// 64-processor 3-level SMT/chiplet/socket machine (deep-topology sweep).
     Deep,
 }
 
@@ -129,9 +134,11 @@ impl Scale {
         m.with_contention(ContentionConfig::dash())
     }
 
-    /// Simulator config for `nprocs` processors under version `v`'s policy.
+    /// Simulator config for `nprocs` processors under version `v`'s policy
+    /// (plus `v`'s adaptation/rebalancer knobs — both `None` for every
+    /// static version, so static fingerprints are untouched).
     pub fn config(self, nprocs: usize, v: Version) -> SimConfig {
-        SimConfig::new(self.machine(nprocs)).with_policy(v.policy())
+        apps::apply_version(SimConfig::new(self.machine(nprocs)), v)
     }
 
     /// The processor counts the paper sweeps (Panel Cholesky stops at 24

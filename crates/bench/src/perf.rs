@@ -35,9 +35,13 @@ pub const SWEEP_APPS: [&str; 6] = [
 /// One cell of the sweep: an (app, version, procs) run and its report.
 #[derive(Clone, Debug)]
 pub struct SweepCell {
+    /// Application name.
     pub app: &'static str,
+    /// Scheduling version the cell ran under.
     pub version: Version,
+    /// Processor count.
     pub nprocs: usize,
+    /// The run's full report.
     pub report: AppReport,
 }
 
@@ -113,9 +117,13 @@ pub fn golden_tsv(cells: &[SweepCell]) -> String {
 /// references, simulated cycles, and the best-of-`repeats` wall time.
 #[derive(Clone, Debug)]
 pub struct AppTiming {
+    /// Application name (or the name of a micro workload).
     pub app: &'static str,
+    /// Total simulated references issued.
     pub refs: u64,
+    /// Total simulated cycles.
     pub sim_cycles: u64,
+    /// Best-of-repeats wall-clock milliseconds.
     pub wall_ms: f64,
 }
 
@@ -274,6 +282,24 @@ pub fn figures_small_wall_ms() -> f64 {
     rows += crate::fig_barnes_hut(&procs, scale).len();
     let ms = t0.elapsed().as_secs_f64() * 1000.0;
     assert!(rows > 0);
+    ms
+}
+
+/// Wall-clock of one pass over the feedback-driven ladder entries at
+/// `Scale::Small`: the adaptive-steal and rebalancer versions of the three
+/// deep-table apps at 8 processors. Tracks the cost of carrying the
+/// closed-loop layer; emitted as its own JSON key so the static `total`
+/// block (and the baseline gate over it) is untouched.
+pub fn adaptive_small_wall_ms() -> f64 {
+    let t0 = Instant::now();
+    let mut refs = 0u64;
+    for app in ["gauss", "ocean", "panel_cholesky"] {
+        for v in [Version::AffinityDistrAdaptive, Version::AffinityDistrRebalance] {
+            refs += run_app(app, v, 8).run.mem.refs;
+        }
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1000.0;
+    assert!(refs > 0);
     ms
 }
 

@@ -137,6 +137,50 @@ pub fn deep_matrix() -> Vec<MatrixPoint> {
     points
 }
 
+/// Apps of the adaptive-policy sweep (same trio as the deep sweep, so the
+/// adaptive series land next to committed static curves).
+pub const ADAPTIVE_APPS: [&str; 3] = DEEP_APPS;
+/// Versions of the adaptive-policy sweep: each closed-loop version next to
+/// its static parent (`Adaptive` next to `ClusterSteal`, `Rebalance` next
+/// to plain `Affinity+Distr`), plus `Base` so speedups are well-defined.
+pub const ADAPTIVE_VERSIONS: [Version; 5] = [
+    Version::Base,
+    Version::AffinityDistr,
+    Version::AffinityDistrCluster,
+    Version::AffinityDistrAdaptive,
+    Version::AffinityDistrRebalance,
+];
+/// Processor counts of the adaptive-policy sweep (one per tree tier).
+pub const ADAPTIVE_PROCS: [usize; 4] = DEEP_PROCS;
+
+/// The pinned adaptive-policy matrix: 3 apps × 5 versions × {1, 8, 32, 64}
+/// processors on the deep machine, validated against
+/// `results/adaptive/records.json` by the CI drift gate. Runs at
+/// [`Scale::Deep`] because that is where the static locality ceilings
+/// visibly starve (cluster-only stealing on a 64-way tree) — the regime the
+/// feedback loop exists for. Built with explicit loops for the same reason
+/// as [`deep_matrix`]: the adaptive versions are not in any app's paper
+/// ladder.
+pub fn adaptive_matrix() -> Vec<MatrixPoint> {
+    let mut points = Vec::new();
+    for &app in &ADAPTIVE_APPS {
+        for &version in &ADAPTIVE_VERSIONS {
+            for &nprocs in &ADAPTIVE_PROCS {
+                let point = MatrixPoint {
+                    app,
+                    version,
+                    nprocs,
+                    scale: Scale::Deep,
+                };
+                if !points.contains(&point) {
+                    points.push(point);
+                }
+            }
+        }
+    }
+    points
+}
+
 /// Build a matrix from filters. `versions`/`procs` of `None` mean "the
 /// paper's ladder/counts for each app". Unknown version labels or counts
 /// are the caller's problem (the point will panic when run); unknown app
@@ -241,6 +285,44 @@ mod tests {
         assert!(m.iter().any(|p| {
             p.app == "gauss" && p.version == Version::AffinityDistrWiden && p.nprocs == 64
         }));
+    }
+
+    #[test]
+    fn adaptive_matrix_is_pinned() {
+        let m = adaptive_matrix();
+        assert_eq!(m.len(), 3 * 5 * 4);
+        assert!(m.iter().all(|p| p.scale == Scale::Deep));
+        // Each adaptive version sits next to its static parent.
+        for &v in &[
+            Version::AffinityDistrCluster,
+            Version::AffinityDistrAdaptive,
+            Version::AffinityDistr,
+            Version::AffinityDistrRebalance,
+        ] {
+            assert!(m.iter().any(|p| p.app == "gauss" && p.version == v && p.nprocs == 64));
+        }
+    }
+
+    #[test]
+    fn adaptive_versions_fingerprint_separately_from_parents() {
+        let parent = MatrixPoint {
+            app: "gauss",
+            version: Version::AffinityDistrCluster,
+            nprocs: 8,
+            scale: Scale::Deep,
+        };
+        let adaptive = MatrixPoint {
+            version: Version::AffinityDistrAdaptive,
+            ..parent
+        };
+        assert_ne!(parent.config_string(), adaptive.config_string());
+        assert!(adaptive.config_string().contains("adapt=w"));
+        assert!(!parent.config_string().contains("adapt="));
+        let rebal = MatrixPoint {
+            version: Version::AffinityDistrRebalance,
+            ..parent
+        };
+        assert!(rebal.config_string().contains("rebal=m"));
     }
 
     #[test]

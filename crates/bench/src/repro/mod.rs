@@ -35,7 +35,7 @@ pub mod render;
 
 pub use cache::MemoCache;
 pub use check::drift;
-pub use matrix::{build_matrix, deep_matrix, full_matrix, smoke_matrix, MatrixPoint};
+pub use matrix::{adaptive_matrix, build_matrix, deep_matrix, full_matrix, smoke_matrix, MatrixPoint};
 pub use pool::{run_serial, run_sweep, SweepOptions, SweepOutcome};
 pub use record::{
     derive_speedups, fnv1a64, parse_records_doc, records_doc, ReproRecord, REPRO_EPOCH,

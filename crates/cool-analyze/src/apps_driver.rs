@@ -54,8 +54,24 @@ pub fn version_key(v: Version) -> &'static str {
         Version::AffinityDistrCluster => "affinity+distr+cluster",
         Version::AffinityDistrSocket => "affinity+distr+socket",
         Version::AffinityDistrWiden => "affinity+distr+widen",
+        Version::AffinityDistrAdaptive => "affinity+distr+adaptive",
+        Version::AffinityDistrRebalance => "affinity+distr+rebalance",
     }
 }
+
+/// The scheduling versions the analyzer sweeps: the static ladder. The
+/// feedback-driven versions are deliberately excluded — they are gated by
+/// their own sweep (`results/adaptive/`), and keeping this list pinned keeps
+/// the committed `analyze_findings.json` stable.
+pub const ANALYZED_VERSIONS: [Version; 7] = [
+    Version::Base,
+    Version::Distr,
+    Version::Affinity,
+    Version::AffinityDistr,
+    Version::AffinityDistrCluster,
+    Version::AffinityDistrSocket,
+    Version::AffinityDistrWiden,
+];
 
 /// The version each app's fault-injected schedule runs under: the full
 /// affinity + distribution configuration, where placement, stealing and
@@ -84,15 +100,15 @@ pub fn analyze_app(app: &str, version: Version, faulted: bool) -> RunFindings {
     }
 }
 
-/// Analyze every app: all five scheduling versions on the default schedule
+/// Analyze every app: the static scheduling versions on the default schedule
 /// plus one fault-injected run each, then the service matrix (the work
 /// server's request-lifecycle streams — see [`crate::service`]). Output
-/// order is stable (apps alphabetical, versions in `Version::ALL` order,
-/// faulted last, service rows at the end).
+/// order is stable (apps alphabetical, versions in [`ANALYZED_VERSIONS`]
+/// order, faulted last, service rows at the end).
 pub fn analyze_all() -> Vec<RunFindings> {
     let mut out = Vec::new();
     for app in APPS {
-        for v in Version::ALL {
+        for v in ANALYZED_VERSIONS {
             out.push(analyze_app(app, v, false));
         }
         out.push(analyze_app(app, FAULTED_VERSION, true));

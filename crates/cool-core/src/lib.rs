@@ -18,6 +18,12 @@
 //! * [`policy`] — work-stealing policy knobs from Sections 4.2 and 6.3:
 //!   stealing whole task-affinity sets, avoiding object-affinity tasks, and
 //!   cluster-first stealing.
+//! * [`feedback`] — the closed-loop layer over those knobs: the
+//!   [`AdaptiveConfig`]/[`RebalanceConfig`] knob sets and the deterministic
+//!   [`PolicyFeedback`] aggregator that turns observed steal failures,
+//!   remote-miss rates and queue depths into ceiling widening, migration
+//!   throttling and probe limits (sampled at task boundaries, so adaptive
+//!   runs stay schedule-deterministic).
 //! * [`stats`] — scheduling statistics (tasks executed, stolen, affinity
 //!   adherence) used by both runtimes and by the figure harnesses.
 //! * [`error`] — failure descriptions ([`TaskError`]) surfaced when a task
@@ -47,6 +53,7 @@ pub mod affinity;
 pub mod error;
 pub mod events;
 pub mod faults;
+pub mod feedback;
 pub mod ids;
 pub mod obs;
 pub mod policy;
@@ -58,6 +65,7 @@ pub use affinity::{AffinityKind, AffinitySpec};
 pub use error::TaskError;
 pub use events::{AccessKind, RtEvent, TaskUid};
 pub use faults::FaultPlan;
+pub use feedback::{AdaptiveConfig, PolicyFeedback, RebalanceConfig};
 pub use ids::{ClusterId, NodeId, ObjRef, ProcId};
 pub use obs::{MemDelta, ObsEvent, ObsRecorder, ObsTrace};
 pub use policy::{StealPolicy, Topology, VictimOrders, MAX_TOPO_LEVELS};

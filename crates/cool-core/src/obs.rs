@@ -168,6 +168,20 @@ pub enum ObsEvent {
         /// Backend timestamp (see enum docs).
         time: u64,
     },
+    /// The phase-boundary rebalancer re-homed one page: the closing
+    /// phase's traffic said the page's dominant consumer was a remote
+    /// memory domain and the modelled saving beat the migration cost.
+    Rebalance {
+        /// First byte of the moved page.
+        obj: ObjRef,
+        /// Destination server (the winning domain's first processor).
+        to: ProcId,
+        /// Remote misses the page drew from the winning domain during the
+        /// closing phase.
+        misses: u64,
+        /// Backend timestamp (see enum docs).
+        time: u64,
+    },
     /// Queue-depth sample on `proc`, taken at dispatch points.
     QueueDepth {
         /// Sampled server.
@@ -244,6 +258,7 @@ impl ObsEvent {
             | ObsEvent::SlotDrain { time, .. }
             | ObsEvent::MutexWait { time, .. }
             | ObsEvent::Migrate { time, .. }
+            | ObsEvent::Rebalance { time, .. }
             | ObsEvent::QueueDepth { time, .. }
             | ObsEvent::RequestAdmit { time, .. }
             | ObsEvent::RequestShed { time, .. }
@@ -263,7 +278,7 @@ impl ObsEvent {
             | ObsEvent::MutexWait { proc, .. }
             | ObsEvent::QueueDepth { proc, .. } => *proc,
             ObsEvent::StealSuccess { thief, .. } | ObsEvent::StealFail { thief, .. } => *thief,
-            ObsEvent::Migrate { to, .. } => *to,
+            ObsEvent::Migrate { to, .. } | ObsEvent::Rebalance { to, .. } => *to,
             ObsEvent::RequestAdmit { domain, .. }
             | ObsEvent::RequestShed { domain, .. }
             | ObsEvent::RequestRetry { domain, .. }

@@ -43,6 +43,14 @@ pub struct SchedStats {
     /// Transient injected faults (a `FaultPlan` failing a task's first
     /// dispatch; the task was requeued and completed later).
     pub injected_faults: u64,
+    /// Feedback windows in which the adaptive layer widened a server's
+    /// steal ceiling by one topology level (zero on static versions).
+    pub adaptive_widenings: u64,
+    /// `migrate` requests ignored by the adaptive migration throttle
+    /// because the observed remote-miss rate did not justify the move.
+    pub throttled_migrations: u64,
+    /// Pages re-homed by the phase-boundary global rebalancer.
+    pub rebalanced_pages: u64,
     /// Successful steals by the thief–victim common-ancestor topology level:
     /// index 0 is the innermost explicit level, index
     /// [`crate::policy::Topology::nlevels`] the machine root. On a 2-level
@@ -87,6 +95,9 @@ impl AddAssign for SchedStats {
         self.mutex_parks += o.mutex_parks;
         self.panics += o.panics;
         self.injected_faults += o.injected_faults;
+        self.adaptive_widenings += o.adaptive_widenings;
+        self.throttled_migrations += o.throttled_migrations;
+        self.rebalanced_pages += o.rebalanced_pages;
         for (a, b) in self.steals_by_level.iter_mut().zip(o.steals_by_level) {
             *a += b;
         }

@@ -230,6 +230,21 @@ pub fn chrome_trace_json(events: &[ObsEvent]) -> String {
                     &format!("\"task\": \"{task}\", \"obj\": \"{obj}\", \"bytes\": {bytes}"),
                 );
             }
+            ObsEvent::Rebalance {
+                obj,
+                to,
+                misses,
+                time,
+            } => {
+                sep(&mut out);
+                push_instant(
+                    &mut out,
+                    "rebalance",
+                    *time,
+                    to.index(),
+                    &format!("\"obj\": \"{obj}\", \"misses\": {misses}"),
+                );
+            }
             ObsEvent::QueueDepth { proc, depth, time } => {
                 sep(&mut out);
                 let _ = write!(

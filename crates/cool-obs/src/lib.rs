@@ -21,12 +21,15 @@
 //! JSON dependency, matching the offline build constraints and the
 //! `cool-bench-v1` precedent in the bench crate.
 
+#![warn(missing_docs)]
+
 pub mod chrome;
 pub mod metrics;
 pub mod progress;
 
 pub use chrome::chrome_trace_json;
 pub use metrics::{
-    validate_metrics_json, ContentionRow, MetricsSummary, TopologyBlock, METRICS_SCHEMA,
+    validate_metrics_json, AdaptiveBlock, ContentionRow, MetricsSummary, TopologyBlock,
+    METRICS_SCHEMA,
 };
 pub use progress::ProgressMeter;

@@ -69,6 +69,24 @@ pub struct TopologyBlock {
     pub steals_by_level: Vec<u64>,
 }
 
+/// Adaptive-policy block: present only for runs with the feedback layer or
+/// the phase-boundary rebalancer switched on. Absent (and therefore
+/// byte-invisible — static goldens do not change) for every static
+/// configuration. The counter fields are producer-filled from the run
+/// report's scheduling statistics; `rebalances` is digested from the trace's
+/// `Rebalance` events.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdaptiveBlock {
+    /// Feedback windows that widened a server's steal ceiling.
+    pub widenings: u64,
+    /// `migrate` requests suppressed by the migration throttle.
+    pub throttled_migrations: u64,
+    /// Pages re-homed by the phase-boundary rebalancer.
+    pub rebalanced_pages: u64,
+    /// `Rebalance` trace events (one per page move with tracing on).
+    pub rebalances: u64,
+}
+
 /// The digested metrics of one run.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSummary {
@@ -117,6 +135,12 @@ pub struct MetricsSummary {
     /// Topology block for deep-tree runs (producer-filled; `None` keeps the
     /// document byte-identical to the pre-topology schema).
     pub topology: Option<TopologyBlock>,
+    /// `Rebalance` events observed in the trace (folded into the adaptive
+    /// block when the producer fills one).
+    pub rebalances: u64,
+    /// Adaptive-policy block for feedback/rebalancer runs (producer-filled;
+    /// `None` keeps the document byte-identical to the static schema).
+    pub adaptive: Option<AdaptiveBlock>,
     /// Events lost to ring overflow.
     pub dropped: u64,
 }
@@ -175,6 +199,7 @@ impl MetricsSummary {
                 ObsEvent::SlotDrain { .. } => m.slot_drains += 1,
                 ObsEvent::MutexWait { .. } => m.mutex_waits += 1,
                 ObsEvent::Migrate { .. } => m.migrations += 1,
+                ObsEvent::Rebalance { .. } => m.rebalances += 1,
                 ObsEvent::QueueDepth { depth, .. } => {
                     *m.queue_depth.entry(depth_bucket(*depth)).or_default() += 1;
                 }
@@ -291,6 +316,14 @@ impl MetricsSummary {
                 levels.join(", "),
                 t.mem_level,
                 steals.join(", ")
+            );
+        }
+        if let Some(a) = &self.adaptive {
+            let _ = writeln!(
+                s,
+                "  \"adaptive\": {{\"widenings\": {}, \"throttled_migrations\": {}, \
+                 \"rebalanced_pages\": {}, \"rebalances\": {}}},",
+                a.widenings, a.throttled_migrations, a.rebalanced_pages, a.rebalances
             );
         }
         let _ = writeln!(s, "  \"dropped\": {},", self.dropped);
@@ -558,6 +591,48 @@ mod tests {
             before
         );
         validate_metrics_json(&json).unwrap();
+    }
+
+    #[test]
+    fn adaptive_block_is_absent_unless_filled() {
+        let mut m = MetricsSummary::from_trace(&sample_trace());
+        let before = m.to_json();
+        assert!(!before.contains("\"adaptive\""), "no block by default");
+        m.adaptive = Some(AdaptiveBlock {
+            widenings: 2,
+            throttled_migrations: 1,
+            rebalanced_pages: 4,
+            rebalances: 4,
+        });
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"adaptive\": {\"widenings\": 2, \"throttled_migrations\": 1, \
+             \"rebalanced_pages\": 4, \"rebalances\": 4},"
+        ));
+        // The block slots between topology and dropped without disturbing
+        // any other line.
+        assert_eq!(
+            json.replace(
+                "  \"adaptive\": {\"widenings\": 2, \"throttled_migrations\": 1, \
+                 \"rebalanced_pages\": 4, \"rebalances\": 4},\n",
+                ""
+            ),
+            before
+        );
+        validate_metrics_json(&json).unwrap();
+    }
+
+    #[test]
+    fn rebalance_events_are_digested() {
+        let mut trace = sample_trace();
+        trace.events.push(ObsEvent::Rebalance {
+            obj: ObjRef(0x2000),
+            to: ProcId(4),
+            misses: 12,
+            time: 30,
+        });
+        let m = MetricsSummary::from_trace(&trace);
+        assert_eq!(m.rebalances, 1);
     }
 
     #[test]

@@ -26,8 +26,8 @@ use parking_lot::{Condvar, Mutex};
 
 use cool_core::obs::{ObsEvent, ObsRecorder, ObsTrace};
 use cool_core::{
-    AffinityKind, AffinitySpec, FaultPlan, ObjRef, ProcId, SchedStats, ServerQueues, StealPolicy,
-    TaskError, TaskUid, Topology, VictimOrders,
+    AdaptiveConfig, AffinityKind, AffinitySpec, FaultPlan, ObjRef, PolicyFeedback, ProcId,
+    SchedStats, ServerQueues, StealPolicy, TaskError, TaskUid, Topology, VictimOrders,
 };
 
 use crate::faults::FaultInjector;
@@ -67,6 +67,13 @@ pub struct RtConfig {
     /// the workers on an N-level tree (see [`Topology::tree`]) so the
     /// per-level steal knobs of [`StealPolicy`] have levels to widen over.
     pub topology: Option<Topology>,
+    /// Closed-loop policy adaptation (see [`cool_core::feedback`]): each
+    /// worker keeps a private [`PolicyFeedback`] aggregator fed at its own
+    /// task boundaries, so no cross-thread timing enters the control loop.
+    /// The threaded runtime has no memory model, so only the starvation
+    /// widening and probe-cap controls engage (the migration throttle
+    /// never sees a remote-miss signal). `None` keeps every knob static.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl RtConfig {
@@ -80,6 +87,7 @@ impl RtConfig {
             stall_timeout: None,
             record_trace: false,
             topology: None,
+            adaptive: None,
         }
     }
 
@@ -107,6 +115,12 @@ impl RtConfig {
     /// *completions*, so one long body looks the same as a stall.
     pub fn with_stall_timeout(mut self, interval: Duration) -> Self {
         self.stall_timeout = Some(interval);
+        self
+    }
+
+    /// Enable closed-loop policy adaptation (see [`RtConfig::adaptive`]).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = Some(adaptive);
         self
     }
 }
@@ -279,6 +293,8 @@ struct Inner {
     /// (the per-scan `steal_order` allocation sat on the idle hot path).
     victims: VictimOrders,
     policy: StealPolicy,
+    /// Adaptation knobs each worker builds its private aggregator from.
+    adaptive: Option<AdaptiveConfig>,
     placement: Placement,
     /// Objects whose mutex is currently held.
     held: Mutex<HashSet<ObjRef>>,
@@ -463,6 +479,7 @@ impl Runtime {
             victims: topology.victim_orders(),
             topology,
             policy: cfg.policy,
+            adaptive: cfg.adaptive,
             placement: Placement::new(),
             held: Mutex::new(HashSet::new()),
             faults: plan.map(|p| FaultInjector::new(p, cfg.nthreads)),
@@ -748,6 +765,12 @@ fn worker_loop(inner: &Inner, me: ProcId) {
     // Consecutive mutex rotations with no task executed: drives the bounded
     // backoff that replaces a hot requeue/yield spin under contention.
     let mut mutex_rotations = 0usize;
+    // Private per-worker feedback aggregator: fed only from this worker's
+    // own task boundaries and scans, so adaptation never couples workers
+    // through shared mutable state (see `cool_core::feedback`).
+    let mut feedback = inner
+        .adaptive
+        .map(|a| PolicyFeedback::new(a, inner.topology.nlevels()));
     loop {
         // 0. Shutdown: leave promptly even with work still queued, so a
         // dropped Runtime joins. Discarded tasks notify their scopes via
@@ -756,7 +779,7 @@ fn worker_loop(inner: &Inner, me: ProcId) {
             return;
         }
         // 1. Local work.
-        let popped = {
+        let (popped, depth) = {
             let mut q = inner.servers[mi].queues.lock();
             let depth = q.len();
             let popped = q.pop_local_info();
@@ -770,7 +793,7 @@ fn worker_loop(inner: &Inner, me: ProcId) {
                     },
                 );
             }
-            popped
+            (popped, depth)
         };
         if let Some(popped) = popped {
             if popped.drained && inner.obs_on() {
@@ -789,6 +812,14 @@ fn worker_loop(inner: &Inner, me: ProcId) {
             failed_scans = 0;
             if run_or_rotate(inner, me, kind, queued) {
                 mutex_rotations = 0;
+                // Task-boundary feedback sample. The host runtime has no
+                // memory model, so the reference signals are zero and only
+                // the widening/probe-cap controls can engage.
+                if let Some(fb) = feedback.as_mut() {
+                    if fb.note_task(0, 0, depth) {
+                        inner.servers[mi].stats.lock().adaptive_widenings += 1;
+                    }
+                }
             } else {
                 mutex_rotations += 1;
                 if mutex_rotations >= MUTEX_PARK_AFTER {
@@ -809,12 +840,21 @@ fn worker_loop(inner: &Inner, me: ProcId) {
             // only the object-affinity avoidance, never the cluster/radius
             // boundary; polite widening raises itself per failed scan.
             let allowed = inner.policy.allowed_level(&inner.topology, failed_scans);
+            // Adaptive widening and probe capping, from this worker's own
+            // feedback (see cool-sim's steal scan for the same controls).
+            let (allowed, probe_cap) = match &feedback {
+                Some(fb) => (allowed.saturating_add(fb.extra_levels()), fb.probe_cap()),
+                None => (allowed, usize::MAX),
+            };
             let mem_level = inner.topology.mem_level() as u8;
             let mut stolen = None;
             let mut probes = 0usize;
             for &(v, lvl) in inner.victims.order(me) {
                 if (lvl as usize) > allowed {
                     continue;
+                }
+                if probes >= probe_cap {
+                    break;
                 }
                 let cross = lvl > mem_level;
                 probes += 1;
@@ -852,6 +892,9 @@ fn worker_loop(inner: &Inner, me: ProcId) {
                     stolen = Some(batch);
                     break;
                 }
+            }
+            if let Some(fb) = feedback.as_mut() {
+                fb.note_scan(stolen.is_none());
             }
             match stolen {
                 Some(batch) => {

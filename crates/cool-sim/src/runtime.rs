@@ -4,8 +4,9 @@ use std::collections::HashMap;
 
 use cool_core::obs::{MemDelta, ObsEvent, ObsRecorder, ObsTrace};
 use cool_core::{
-    AffinityKind, FaultPlan, ObjRef, ProcId, RtEvent, SchedStats, ServerQueues, StealPolicy,
-    TaskUid, Topology, VictimOrders,
+    AdaptiveConfig, AffinityKind, ClusterId, FaultPlan, NodeId, ObjRef, PolicyFeedback, ProcId,
+    RebalanceConfig, RtEvent, SchedStats, ServerQueues, StealPolicy, TaskUid, Topology,
+    VictimOrders,
 };
 use dash_sim::{Machine, MachineConfig};
 
@@ -89,6 +90,19 @@ pub struct SimConfig {
     /// (`machine().violations()`), never panicked. Off by default; checking
     /// is an observer — it cannot change the simulated schedule.
     pub check_coherence: bool,
+    /// Closed-loop policy adaptation (see [`cool_core::feedback`]): steal
+    /// ceilings widen under observed starvation, `migrate` is throttled by
+    /// the observed remote-miss rate, and steal scans are probe-capped by
+    /// observed queue depth. `None` (the default) keeps every policy knob
+    /// static and the config fingerprint byte-identical to the pre-adaptive
+    /// schema.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Phase-boundary global rebalancer: at each `waitfor` boundary, pages
+    /// whose observed cross-cluster miss traffic says they live on the
+    /// wrong cluster are re-homed when the modelled cycle saving beats the
+    /// migration cost by the configured margin. `None` (the default)
+    /// disables the pass and keeps the fingerprint unchanged.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl SimConfig {
@@ -105,6 +119,8 @@ impl SimConfig {
             record_events: false,
             record_trace: false,
             check_coherence: false,
+            adaptive: None,
+            rebalance: None,
         }
     }
 
@@ -133,14 +149,29 @@ impl SimConfig {
         self
     }
 
+    /// Enable closed-loop policy adaptation (see [`SimConfig::adaptive`]).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Enable the phase-boundary rebalancer (see [`SimConfig::rebalance`]).
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = Some(rebalance);
+        self
+    }
+
     /// A compact, stable fingerprint of every knob that influences the
     /// simulated schedule: the machine, the steal policy, and the scheduler
     /// cost constants. Recording and checking flags are deliberately
     /// excluded — they are observers, never inputs (recording or checking
     /// a run must not change it). `cool-repro` hashes this into its
-    /// memoization key.
+    /// memoization key. The adaptive and rebalance segments are appended
+    /// only when configured, so every static configuration's fingerprint
+    /// stays byte-identical to the pre-adaptive schema (committed sweep
+    /// records keep verifying).
     pub fn fingerprint(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} {} slots={} probe={} xfer={} mrt={} spawn={}",
             self.machine.fingerprint(),
             self.policy.fingerprint(),
@@ -149,7 +180,16 @@ impl SimConfig {
             self.steal_xfer_cost,
             self.mutex_retry_cost,
             self.spawn_cost,
-        )
+        );
+        if let Some(a) = &self.adaptive {
+            s.push(' ');
+            s.push_str(&a.fingerprint());
+        }
+        if let Some(r) = &self.rebalance {
+            s.push(' ');
+            s.push_str(&r.fingerprint());
+        }
+        s
     }
 }
 
@@ -221,6 +261,13 @@ pub struct SimRuntime {
     next_uid: u64,
     /// Phase counter for `PhaseBegin`/`PhaseEnd` events.
     phase_seq: u32,
+    /// Closed-loop policy aggregator, when adaptation is enabled. The
+    /// virtual-time event loop is single-threaded, so one global aggregator
+    /// sees the same deterministic task-boundary order on every run.
+    feedback: Option<PolicyFeedback>,
+    /// Reference-mix snapshot (refs, remote misses) per server at the last
+    /// feedback sample, for per-task deltas.
+    feedback_snap: Vec<(u64, u64)>,
 }
 
 impl SimRuntime {
@@ -231,6 +278,10 @@ impl SimRuntime {
         if cfg.check_coherence {
             machine.enable_checked();
         }
+        if cfg.rebalance.is_some() {
+            machine.enable_traffic();
+        }
+        let topology = cfg.machine.topology();
         SimRuntime {
             machine,
             topology: cfg.machine.topology(),
@@ -254,6 +305,10 @@ impl SimRuntime {
             },
             next_uid: 1,
             phase_seq: 0,
+            feedback: cfg
+                .adaptive
+                .map(|a| PolicyFeedback::new(a, topology.nlevels())),
+            feedback_snap: vec![(0, 0); n],
             cfg,
         }
     }
@@ -519,6 +574,9 @@ impl SimRuntime {
         // trailing prefetch burst is accounted before reports are cut (a
         // no-op in zero-contention mode).
         self.machine.flush_contention();
+        // Phase boundary: globally rebalance page homes against the phase's
+        // observed traffic (a no-op unless `SimConfig::rebalance` is set).
+        self.rebalance_pages();
         if self.cfg.check_coherence {
             // Phase boundary: global invariants (tracked-count
             // conservation, reverse tag agreement) on the settled state.
@@ -746,6 +804,13 @@ impl SimRuntime {
         } else {
             None
         };
+        // Feedback sampling: snapshot this server's reference mix so the
+        // completion boundary can feed the body's exact refs/remote-miss
+        // delta into the adaptive control loop.
+        if self.feedback.is_some() {
+            let m = self.machine.monitor().proc(pi).ref_mix();
+            self.feedback_snap[pi] = (m[0], m[4]);
+        }
         let body = st.task.body;
         let mut ctx = TaskCtx {
             rt: self,
@@ -799,6 +864,112 @@ impl SimRuntime {
                 on_target: hinted_target == p,
             });
         }
+        // Task-boundary feedback sample: controls only ever change here
+        // (at window boundaries), so the adaptive schedule stays a pure
+        // function of the deterministic task order.
+        if let Some(fb) = self.feedback.as_mut() {
+            let m = self.machine.monitor().proc(pi).ref_mix();
+            let (refs0, rem0) = self.feedback_snap[pi];
+            let depth = self.queues[pi].len();
+            if fb.note_task(m[0] - refs0, m[4] - rem0, depth) {
+                self.stats.adaptive_widenings += 1;
+            }
+        }
+    }
+
+    /// The adaptive migration gate, consulted by [`TaskCtx::migrate`]:
+    /// `true` means proceed; `false` means the feedback loop vetoed the
+    /// move (counted into `SchedStats::throttled_migrations`).
+    pub(crate) fn migration_gate(&mut self) -> bool {
+        match &self.feedback {
+            Some(fb) if !fb.migration_open() => {
+                self.stats.throttled_migrations += 1;
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// The phase-boundary global rebalancer: re-home pages whose observed
+    /// cross-cluster miss traffic says they were placed on the wrong
+    /// cluster.
+    ///
+    /// For every page the closing phase touched, the pass compares the
+    /// modelled communication cost of that traffic under the current home
+    /// against the dominant requesting cluster (ties to the lowest index),
+    /// using the machine's per-level latency tables — the same cost model
+    /// the miss path charges. A page moves only when the modelled cycle
+    /// saving clears the page-migration cost by the configured margin; the
+    /// move's cycles are charged (clock and overhead) to the destination
+    /// cluster's lead processor, and traffic counters reset so the next
+    /// phase's decisions see only its own behaviour. Scanning traffic in
+    /// page order with deterministic tie-breaks keeps the pass a pure
+    /// function of the (deterministic) schedule.
+    fn rebalance_pages(&mut self) {
+        let Some(rb) = self.cfg.rebalance else { return };
+        let mcfg = &self.cfg.machine;
+        let nclusters = mcfg.nclusters();
+        let page_bytes = self.machine.space().page_bytes();
+        // Decide first (immutable scan), then apply: the borrow of the
+        // traffic table cannot overlap the migrations.
+        let mut moves: Vec<(u64, usize, u64)> = Vec::new();
+        if let Some(tr) = self.machine.traffic() {
+            // Page 0 is the reserved null page — never allocated, never
+            // moved.
+            for page in 1..tr.pages() {
+                let home = self.machine.space().home(ObjRef(page as u64 * page_bytes));
+                let mut best = home.index();
+                let mut best_count = 0u32;
+                for c in 0..nclusters {
+                    let n = tr.count(page, c);
+                    if n > best_count {
+                        best = c;
+                        best_count = n;
+                    }
+                }
+                if best == home.index() || best_count < rb.min_remote {
+                    continue;
+                }
+                // Modelled saving of serving the phase's traffic from `best`
+                // instead of `home` (the home cluster's own accesses turning
+                // remote enter as a negative term).
+                let mut gain = 0i64;
+                for c in 0..nclusters {
+                    let n = i64::from(tr.count(page, c));
+                    if n == 0 {
+                        continue;
+                    }
+                    let d_home = mcfg.cluster_distance(ClusterId(c), ClusterId(home.index()));
+                    let d_best = mcfg.cluster_distance(ClusterId(c), ClusterId(best));
+                    gain +=
+                        n * (mcfg.mem_latency(d_home) as i64 - mcfg.mem_latency(d_best) as i64);
+                }
+                if gain <= 0 {
+                    continue;
+                }
+                let cost = mcfg.page_migrate_cost;
+                if (gain as u64) * 1000 < cost * u64::from(rb.margin_permille) {
+                    continue;
+                }
+                moves.push((page as u64, best, u64::from(best_count)));
+            }
+        }
+        for (page, dest, misses) in moves {
+            let obj = ObjRef(page * page_bytes);
+            let cost = self.machine.migrate_to_node(obj, page_bytes, NodeId(dest));
+            let lead = self.cfg.machine.proc_of_node(NodeId(dest));
+            let li = lead.index();
+            self.clocks[li] += cost;
+            self.machine.monitor_mut().proc_mut(li).overhead_cycles += cost;
+            self.stats.rebalanced_pages += 1;
+            self.obs_emit(ObsEvent::Rebalance {
+                obj,
+                to: lead,
+                misses,
+                time: self.clocks[li],
+            });
+        }
+        self.machine.reset_traffic();
     }
 
     /// Steal scan for an idle server, or advance its clock past the next
@@ -823,12 +994,26 @@ impl SimRuntime {
             // (or its generalizations: the per-level radius, and the polite
             // widening that raises itself one level per failed scan).
             let allowed = policy.allowed_level(&self.topology, self.failed_scans[pi]);
+            // Adaptive widening: the feedback loop lifts the static ceiling
+            // by whole topology levels while observed steal failure shows
+            // starvation (and decays it back once steals succeed). The
+            // probe cap bounds how many victims this scan may touch.
+            let (allowed, probe_cap) = match &self.feedback {
+                Some(fb) => (
+                    allowed.saturating_add(fb.extra_levels()),
+                    fb.probe_cap() as u64,
+                ),
+                None => (allowed, u64::MAX),
+            };
             let mem_level = self.topology.mem_level() as u8;
             let mut probes = 0u64;
             for i in 0..self.victims.len_per_thief() {
                 let (v, lvl) = self.victims.entry(p, i);
                 if (lvl as usize) > allowed {
                     continue;
+                }
+                if probes >= probe_cap {
+                    break;
                 }
                 let cross_cluster = lvl > mem_level;
                 probes += 1;
@@ -872,6 +1057,9 @@ impl SimRuntime {
                             time: self.clocks[pi],
                         });
                     }
+                    if let Some(fb) = self.feedback.as_mut() {
+                        fb.note_scan(false);
+                    }
                     // Run the first stolen task immediately. Besides matching
                     // what a real thief does, this guarantees progress: a
                     // steal always executes at least one task, so whole-set
@@ -885,6 +1073,9 @@ impl SimRuntime {
             self.machine.monitor_mut().proc_mut(pi).overhead_cycles += cost;
             self.failed_scans[pi] += 1;
             self.stats.failed_steals += 1;
+            if let Some(fb) = self.feedback.as_mut() {
+                fb.note_scan(true);
+            }
             if self.obs_on() {
                 self.obs_emit(ObsEvent::StealFail {
                     thief: p,

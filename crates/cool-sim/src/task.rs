@@ -193,7 +193,16 @@ impl TaskCtx<'_> {
 
     /// `migrate()`: move `bytes` at `obj` to processor `n % nservers`'s
     /// local memory, charging the migration cost to this task.
+    ///
+    /// Under the adaptive migration throttle ([`cool_core::feedback`]) the
+    /// request is ignored while the observed remote-miss rate says the
+    /// data is not actually remote — placement is a performance hint in
+    /// COOL, never a correctness requirement, so dropping a `migrate` can
+    /// only change costs.
     pub fn migrate(&mut self, obj: ObjRef, bytes: u64, n: usize) {
+        if !self.rt.migration_gate() {
+            return;
+        }
         let c = self.rt.machine_mut().migrate_to_proc(obj, bytes, n);
         self.cycles += self.rt.machine_mut().compute(self.proc, c);
         if self.rt.recording() {

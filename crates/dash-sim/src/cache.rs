@@ -25,7 +25,10 @@ pub enum Access {
     Hit,
     /// The line was absent and has been filled; the victim line (if any) was
     /// evicted.
-    Miss { evicted: Option<u64> },
+    Miss {
+        /// Tag of the line evicted to make room, if the set was full.
+        evicted: Option<u64>,
+    },
 }
 
 /// A set-associative cache with true-LRU replacement per set.
@@ -165,18 +168,25 @@ impl Cache {
 /// is also in L2; an L2 eviction invalidates the line from L1.
 #[derive(Debug)]
 pub struct ProcCache {
+    /// First-level cache (small, fast).
     pub l1: Cache,
+    /// Second-level cache (larger; inclusive of L1).
     pub l2: Cache,
 }
 
 /// Where a probe of the two-level hierarchy was satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Level {
+    /// Satisfied by the first-level cache.
     L1,
+    /// Missed L1, satisfied by the second-level cache.
     L2,
     /// Missed both levels; the line has been filled in both. Carries the
     /// lines evicted from L2 (which were also removed from L1 for inclusion).
-    Memory { l2_victim: Option<u64> },
+    Memory {
+        /// Tag evicted from L2 (and, by inclusion, from L1), if any.
+        l2_victim: Option<u64>,
+    },
 }
 
 impl ProcCache {

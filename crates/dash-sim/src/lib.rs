@@ -52,6 +52,8 @@
 //! assert_eq!(c_hit, m.config().lat.l1_hit);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod check;
 pub mod config;
@@ -71,6 +73,6 @@ mod oracle;
 pub use check::{explore_protocol, CoherenceViolation, ProtoStats};
 pub use config::{CacheConfig, DeepTopology, Latencies, MachineConfig};
 pub use engine::{ContentionConfig, ContentionStats, Engine, Resource, ResourceStats};
-pub use machine::Machine;
+pub use machine::{Machine, PageTraffic};
 pub use monitor::{MissBreakdown, PerfMonitor, ProcCounters};
 pub use space::AddressSpace;

@@ -55,6 +55,58 @@ impl Lookaside {
     };
 }
 
+/// Gated per-page traffic monitor: memory-serviced misses counted by
+/// (page, requesting cluster). Off by default — the rebalancing runtime
+/// enables it — and observer-pure: counting never changes a reference's
+/// cost, so enabling it cannot perturb simulated cycles.
+#[derive(Clone, Debug, Default)]
+pub struct PageTraffic {
+    nclusters: usize,
+    /// Flat `page × cluster` counters, grown lazily to the highest page
+    /// observed (stride `nclusters`).
+    counts: Vec<u32>,
+}
+
+impl PageTraffic {
+    fn new(nclusters: usize) -> Self {
+        PageTraffic {
+            nclusters,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Count one memory-serviced miss on `page` from `cluster`.
+    #[inline]
+    fn note(&mut self, page: usize, cluster: usize) {
+        let end = (page + 1) * self.nclusters;
+        if end > self.counts.len() {
+            self.counts.resize(end, 0);
+        }
+        let c = &mut self.counts[page * self.nclusters + cluster];
+        *c = c.saturating_add(1);
+    }
+
+    /// Highest observed page index plus one (pages beyond this have zero
+    /// traffic).
+    pub fn pages(&self) -> usize {
+        self.counts.len().checked_div(self.nclusters).unwrap_or(0)
+    }
+
+    /// Misses `cluster` took on `page` since the last reset.
+    pub fn count(&self, page: usize, cluster: usize) -> u32 {
+        self.counts
+            .get(page * self.nclusters + cluster)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Clear all counters (the rebalancer resets at each phase boundary so
+    /// every decision sees one phase's traffic).
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+}
+
 /// A simulated DASH-like multiprocessor.
 #[derive(Debug)]
 pub struct Machine {
@@ -83,6 +135,9 @@ pub struct Machine {
     /// Checked-mode state (`None` when disabled — the per-reference cost
     /// is then a single branch). See [`crate::check`] for the catalogue.
     checked: Option<CheckState>,
+    /// Per-page miss traffic (`Some` iff enabled by the rebalancing
+    /// runtime; observer-pure, see [`PageTraffic`]).
+    traffic: Option<PageTraffic>,
 }
 
 impl Machine {
@@ -117,6 +172,7 @@ impl Machine {
             },
             page_shift: cfg.page_bytes.trailing_zeros(),
             checked: None,
+            traffic: None,
             cfg,
         }
     }
@@ -645,12 +701,45 @@ impl Machine {
             cycles += queue_delay;
             self.mon.proc_mut(pi).contention_cycles += queue_delay;
         }
+        if !from_dirty {
+            // Memory-serviced miss: attribute it to (page, requester
+            // cluster) for the phase-boundary rebalancer. Dirty-cache
+            // supplies are excluded — re-homing the page would not change
+            // where that data comes from.
+            if let Some(tr) = self.traffic.as_mut() {
+                let page = (line * self.cfg.l1.line_bytes) >> self.page_shift;
+                tr.note(page as usize, my_cluster.index());
+            }
+        }
         self.mon.proc_mut(pi).record(if local {
             Service::LocalMem
         } else {
             Service::RemoteMem
         });
         cycles
+    }
+
+    // ----- page-traffic monitoring (rebalancer input) -----
+
+    /// Start counting per-page miss traffic (idempotent). The counters are
+    /// observer-pure: enabling them never changes any reference's cost.
+    pub fn enable_traffic(&mut self) {
+        if self.traffic.is_none() {
+            self.traffic = Some(PageTraffic::new(self.cfg.nclusters()));
+        }
+    }
+
+    /// The per-page traffic counters (`None` unless
+    /// [`Machine::enable_traffic`] was called).
+    pub fn traffic(&self) -> Option<&PageTraffic> {
+        self.traffic.as_ref()
+    }
+
+    /// Clear the per-page traffic counters (no-op when disabled).
+    pub fn reset_traffic(&mut self) {
+        if let Some(tr) = self.traffic.as_mut() {
+            tr.reset();
+        }
     }
 
     // ----- checked mode (coherence-invariant validation) -----

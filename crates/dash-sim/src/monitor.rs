@@ -26,10 +26,13 @@ pub enum Service {
 pub struct ProcCounters {
     /// Total references issued.
     pub refs: u64,
-    /// References serviced per level.
+    /// References satisfied by the first-level cache.
     pub l1_hits: u64,
+    /// References satisfied by the second-level cache.
     pub l2_hits: u64,
+    /// References serviced from the local cluster's memory.
     pub local_misses: u64,
+    /// References serviced from a remote cluster (memory or dirty cache).
     pub remote_misses: u64,
     /// Invalidation messages this processor's writes caused.
     pub invalidations_sent: u64,
@@ -111,11 +114,17 @@ pub struct PerfMonitor {
 /// The aggregate miss breakdown the paper's miss figures plot.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MissBreakdown {
+    /// Total references issued.
     pub refs: u64,
+    /// References satisfied by first-level caches.
     pub l1_hits: u64,
+    /// References satisfied by second-level caches.
     pub l2_hits: u64,
+    /// References serviced from local cluster memory.
     pub local_misses: u64,
+    /// References serviced from remote clusters.
     pub remote_misses: u64,
+    /// Invalidation messages sent machine-wide.
     pub invalidations: u64,
 }
 

@@ -266,6 +266,12 @@ impl AddressSpace {
     pub fn allocated(&self) -> u64 {
         self.brk - self.page_bytes
     }
+
+    /// Number of pages with a recorded home (page indices `0..npages()` are
+    /// safe to query; index 0 is the reserved null page).
+    pub fn npages(&self) -> usize {
+        self.page_home.len()
+    }
 }
 
 #[cfg(test)]

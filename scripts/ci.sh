@@ -121,4 +121,19 @@ run cargo run --release --offline -q -p bench --bin repro -- \
 run cmp results/deep/tables.md target/repro-deep/tables.md
 run cmp results/deep/tables.tsv target/repro-deep/tables.tsv
 
+# Adaptive gate: the feedback-policy behavioural tests (rebalancer recovers
+# a bad placement, inert adaptation is cycle-identical to the static
+# parents, adapt=/rebal= fingerprint segments key their own memo slots, the
+# committed table really contains the claimed dominance), then the adaptive
+# ladder (3 apps × 5 versions × {1,8,32,64} on the deep machine) re-swept
+# uncached and drift-checked against results/adaptive within the same 2%
+# band; rendered tables must match byte-for-byte.
+run cargo test -q --offline --test adaptive_policies
+rm -rf target/repro-adaptive
+run cargo run --release --offline -q -p bench --bin repro -- \
+    --adaptive --no-cache --out target/repro-adaptive \
+    --check results/adaptive/records.json --tolerance 0.02
+run cmp results/adaptive/tables.md target/repro-adaptive/tables.md
+run cmp results/adaptive/tables.tsv target/repro-adaptive/tables.tsv
+
 echo "CI OK"
